@@ -1,0 +1,90 @@
+// Command ftbfsbench runs the paper-reproduction experiment suite (E1–E11
+// in DESIGN.md) and prints the resulting tables. This is the full-scale
+// companion to the quick `go test -bench .` harness.
+//
+// Usage:
+//
+//	ftbfsbench                 # quick profile, all experiments
+//	ftbfsbench -full           # full sweep (minutes)
+//	ftbfsbench -only E1,E2     # subset
+//	ftbfsbench -sizes 60,90    # override the n sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ftbfsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("ftbfsbench", flag.ContinueOnError)
+	var (
+		full  = fs.Bool("full", false, "full-scale sweep")
+		only  = fs.String("only", "", "comma-separated experiment IDs (default: all)")
+		sizes = fs.String("sizes", "", "comma-separated n sweep override")
+		seeds = fs.Int("seeds", 0, "replicate seeds per point")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := exp.Config{Full: *full, Seeds: *seeds}
+	if *sizes != "" {
+		for _, s := range strings.Split(*sizes, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || v < 8 {
+				return fmt.Errorf("bad size %q", s)
+			}
+			cfg.Sizes = append(cfg.Sizes, v)
+		}
+	}
+	wanted := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			wanted[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	all := []struct {
+		id string
+		fn func(exp.Config) (*exp.Table, error)
+	}{
+		{"E1", exp.E1DualSize},
+		{"E2", exp.E2LowerBound},
+		{"E3", exp.E3Approx},
+		{"E4", exp.E4FTDiameter},
+		{"E5", exp.E5PerVertex},
+		{"E6", exp.E6SingleVsDual},
+		{"E7", exp.E7Classes},
+		{"E8", exp.E8Detours},
+		{"E9", exp.E9Verify},
+		{"E10", exp.E10Kernel},
+		{"E11", exp.E11Ablation},
+		{"E12", exp.E12Beyond},
+		{"E13", exp.E13Selection},
+	}
+	for _, e := range all {
+		if len(wanted) > 0 && !wanted[e.id] {
+			continue
+		}
+		start := time.Now()
+		tbl, err := e.fn(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		fmt.Fprint(stdout, tbl.String())
+		fmt.Fprintf(stdout, "   (%.1fs)\n\n", time.Since(start).Seconds())
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBenchSubset(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-only", "E4", "-sizes", "30,40"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "== E4") || strings.Contains(s, "== E1") {
+		t.Fatalf("subset selection wrong:\n%s", s)
+	}
+}
+
+func TestBenchBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-sizes", "abc"}, &out); err == nil {
+		t.Fatal("bad sizes accepted")
+	}
+	if err := run([]string{"-sizes", "2"}, &out); err == nil {
+		t.Fatal("tiny size accepted")
+	}
+}
+
+func TestBenchTwoExperiments(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-only", "e8,E10", "-sizes", "30"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "== E8") || !strings.Contains(s, "== E10") {
+		t.Fatalf("expected E8 and E10:\n%s", s)
+	}
+}

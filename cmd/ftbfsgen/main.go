@@ -1,0 +1,164 @@
+// Command ftbfsgen builds a fault-tolerant BFS structure from an edge-list
+// graph and writes the structure's edge list to stdout.
+//
+// Usage:
+//
+//	ftbfsgen -in graph.txt -source 0 -mode dual [-seed 7] [-out h.txt]
+//
+// Modes: single (f=1, ESA'13), dual (f=2, Theorem 1.1), exhaustive-f0/1/2,
+// approx-f1/f2 (Theorem 1.3), fullpaths (ablation).
+// With -gen FAMILY:N a synthetic input is generated instead of -in
+// (families: gnp, grid, layered, tree, lb1, lb2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	ftbfs "repro"
+	"repro/internal/dot"
+	"repro/internal/edgelist"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ftbfsgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("ftbfsgen", flag.ContinueOnError)
+	var (
+		in     = fs.String("in", "", "input graph file (edge list); - for stdin")
+		genArg = fs.String("gen", "", "generate input instead: FAMILY:N (gnp, grid, layered, tree, lb1, lb2)")
+		source = fs.Int("source", 0, "source vertex")
+		mode   = fs.String("mode", "dual", "single | dual | exhaustive-f0 | exhaustive-f1 | exhaustive-f2 | approx-f1 | approx-f2 | fullpaths")
+		seed   = fs.Int64("seed", 1, "tie-breaking seed")
+		out    = fs.String("out", "", "write structure edge list to file (default: stdout)")
+		quiet  = fs.Bool("q", false, "suppress the stats line")
+		stats  = fs.Bool("stats", false, "print a full structure summary to stderr")
+		dotOut = fs.String("dot", "", "also write a Graphviz rendering to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, src, err := loadGraph(*in, *genArg, *source)
+	if err != nil {
+		return err
+	}
+	opts := &ftbfs.Options{Seed: *seed}
+	var st *ftbfs.Structure
+	switch *mode {
+	case "single":
+		st, err = ftbfs.BuildSingleFTBFS(g, src, opts)
+	case "dual":
+		st, err = ftbfs.BuildDualFTBFS(g, src, opts)
+	case "exhaustive-f0", "exhaustive-f1", "exhaustive-f2":
+		f := int((*mode)[len(*mode)-1] - '0')
+		st, err = ftbfs.BuildExhaustiveFTBFS(g, src, f, opts)
+	case "approx-f1":
+		st, err = ftbfs.BuildApproxFTMBFS(g, []int{src}, 1, opts)
+	case "approx-f2":
+		st, err = ftbfs.BuildApproxFTMBFS(g, []int{src}, 2, opts)
+	case "fullpaths":
+		st, err = ftbfs.BuildFullPathsFTBFS(g, src, opts)
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		fmt.Fprintf(stdout, "# mode=%s n=%d m=%d structure=%d source=%d faults=%d\n",
+			*mode, g.N(), g.M(), st.NumEdges(), src, st.Faults)
+	}
+	if *stats {
+		fmt.Fprint(os.Stderr, st.Summary())
+	}
+	if *dotOut != "" {
+		f, err := os.Create(*dotOut)
+		if err != nil {
+			return err
+		}
+		if err := dot.Write(f, g, dot.Options{Structure: st}); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return edgelist.WriteSubset(w, g, st.Edges)
+}
+
+func loadGraph(in, genArg string, source int) (*ftbfs.Graph, int, error) {
+	if genArg != "" {
+		parts := strings.SplitN(genArg, ":", 2)
+		if len(parts) != 2 {
+			return nil, 0, fmt.Errorf("-gen wants FAMILY:N, got %q", genArg)
+		}
+		n, err := strconv.Atoi(parts[1])
+		if err != nil || n < 2 {
+			return nil, 0, fmt.Errorf("-gen size %q invalid", parts[1])
+		}
+		switch parts[0] {
+		case "gnp":
+			return ftbfs.SparseGNP(n, 6, 1), source, nil
+		case "grid":
+			s := 2
+			for (s+1)*(s+1) <= n {
+				s++
+			}
+			return ftbfs.Grid(s, s), source, nil
+		case "layered":
+			return ftbfs.Layered(6, (n+5)/6, 0.35, 1), source, nil
+		case "tree":
+			return ftbfs.TreePlusChords(n, n/10+1, 1), source, nil
+		case "lb1", "lb2":
+			f := int(parts[0][2] - '0')
+			inst, err := ftbfs.LowerBound(f, n)
+			if err != nil {
+				return nil, 0, err
+			}
+			return inst.G, inst.Source, nil
+		default:
+			return nil, 0, fmt.Errorf("unknown family %q", parts[0])
+		}
+	}
+	if in == "" {
+		return nil, 0, fmt.Errorf("need -in FILE or -gen FAMILY:N")
+	}
+	var r io.Reader
+	if in == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer f.Close()
+		r = f
+	}
+	g, err := edgelist.Read(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	if source < 0 || source >= g.N() {
+		return nil, 0, fmt.Errorf("source %d out of range [0,%d)", source, g.N())
+	}
+	return g, source, nil
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestVerifyAccepts(t *testing.T) {
+	dir := t.TempDir()
+	// A 4-cycle: the cycle itself is a valid f=1 structure of itself.
+	g := writeFile(t, dir, "g.txt", "n 4\n0 1\n1 2\n2 3\n0 3\n")
+	h := writeFile(t, dir, "h.txt", "n 4\n0 1\n1 2\n2 3\n0 3\n")
+	var out bytes.Buffer
+	code, err := run([]string{"-graph", g, "-structure", h, "-f", "1"}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v out=%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "OK:") {
+		t.Fatalf("output: %s", out.String())
+	}
+}
+
+func TestVerifyRejects(t *testing.T) {
+	dir := t.TempDir()
+	g := writeFile(t, dir, "g.txt", "n 4\n0 1\n1 2\n2 3\n0 3\n")
+	// Structure missing edge 0-3: fails already at f=0 (dist to 3 doubles).
+	h := writeFile(t, dir, "h.txt", "n 4\n0 1\n1 2\n2 3\n")
+	var out bytes.Buffer
+	code, err := run([]string{"-graph", g, "-structure", h, "-f", "0"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 || !strings.Contains(out.String(), "FAILED") {
+		t.Fatalf("code=%d out=%s", code, out.String())
+	}
+}
+
+func TestVerifySampledMode(t *testing.T) {
+	dir := t.TempDir()
+	g := writeFile(t, dir, "g.txt", "n 4\n0 1\n1 2\n2 3\n0 3\n")
+	h := writeFile(t, dir, "h.txt", "n 4\n0 1\n1 2\n2 3\n0 3\n")
+	var out bytes.Buffer
+	code, err := run([]string{"-graph", g, "-structure", h, "-f", "3", "-sampled", "50"}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+}
+
+func TestVerifyMultiSource(t *testing.T) {
+	dir := t.TempDir()
+	g := writeFile(t, dir, "g.txt", "n 3\n0 1\n1 2\n0 2\n")
+	h := writeFile(t, dir, "h.txt", "n 3\n0 1\n1 2\n0 2\n")
+	var out bytes.Buffer
+	code, err := run([]string{"-graph", g, "-structure", h, "-sources", "0, 2", "-f", "1"}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+}
+
+func TestVerifyErrors(t *testing.T) {
+	dir := t.TempDir()
+	g := writeFile(t, dir, "g.txt", "n 3\n0 1\n1 2\n")
+	hBig := writeFile(t, dir, "hbig.txt", "n 4\n0 1\n")
+	hExtra := writeFile(t, dir, "hextra.txt", "n 3\n0 2\n")
+	cases := [][]string{
+		{},            // missing flags
+		{"-graph", g}, // missing structure
+		{"-graph", g, "-structure", "/nonexistent"},
+		{"-graph", g, "-structure", hBig},   // vertex count mismatch
+		{"-graph", g, "-structure", hExtra}, // structure edge not in graph
+		{"-graph", g, "-structure", g, "-sources", "9"},
+		{"-graph", g, "-structure", g, "-sources", "x"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if _, err := run(args, &out); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

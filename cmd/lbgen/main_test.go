@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/edgelist"
+)
+
+func TestLBGenSingleSource(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-f", "1", "-n", "100"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "# G*_1:") {
+		t.Fatalf("missing header:\n%s", s[:100])
+	}
+	// The emitted body must parse back as a graph.
+	body := s[strings.Index(s, "n "):]
+	g, err := edgelist.Read(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() > 100 {
+		t.Fatalf("oversized instance: %d", g.N())
+	}
+}
+
+func TestLBGenCerts(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-f", "2", "-n", "130", "-certs"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "# leaf 0") {
+		t.Fatal("certificates missing")
+	}
+}
+
+func TestLBGenMultiSource(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-f", "1", "-n", "300", "-sigma", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "multi-source") {
+		t.Fatal("multi-source header missing")
+	}
+}
+
+func TestLBGenErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-f", "2", "-n", "10"}, &out); err == nil {
+		t.Fatal("tiny n accepted")
+	}
+	if err := run([]string{"-f", "0", "-n", "100"}, &out); err == nil {
+		t.Fatal("f=0 accepted")
+	}
+}

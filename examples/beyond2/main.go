@@ -1,0 +1,76 @@
+// Command beyond2 explores the paper's closing question — what lies beyond
+// two faults — with the library's recursive relevant-fault-tree builder:
+// it constructs f = 0..3 structures on one network, verifies each, shows
+// the size ladder approaching the conjectured Θ(n^{2-1/(f+1)}), and then
+// serves fault-tolerant routing queries for a triple failure through the
+// Oracle API.
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	ftbfs "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "beyond2:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	g := ftbfs.SparseGNP(48, 5, 77)
+	const source = 0
+	fmt.Printf("graph: n=%d m=%d, source %d\n\n", g.N(), g.M(), source)
+
+	fmt.Printf("%3s %10s %14s %10s %s\n", "f", "edges", "n^(2-1/(f+1))", "searches", "check")
+	var structures []*ftbfs.Structure
+	for f := 0; f <= 3; f++ {
+		st, err := ftbfs.BuildRecursiveFTBFS(g, source, f, nil)
+		if err != nil {
+			return err
+		}
+		structures = append(structures, st)
+		status := "sampled ok"
+		if f <= 2 {
+			rep := ftbfs.Verify(g, st, []int{source}, f)
+			if !rep.OK {
+				return fmt.Errorf("f=%d failed verification: %v", f, rep.Violations[0])
+			}
+			status = "exhaustive ok"
+		} else {
+			rep := ftbfs.VerifySampled(g, st, []int{source}, f, 500, 1)
+			if !rep.OK {
+				return fmt.Errorf("f=%d failed sampled verification: %v", f, rep.Violations[0])
+			}
+		}
+		envelope := math.Pow(float64(g.N()), 2-1/float64(f+1))
+		fmt.Printf("%3d %10d %14.0f %10d %s\n", f, st.NumEdges(), envelope, st.Stats.Dijkstras, status)
+	}
+
+	// Route through a triple failure on the f=3 structure.
+	st3 := structures[3]
+	o, err := ftbfs.NewOracle(st3)
+	if err != nil {
+		return err
+	}
+	faults := []int{0, 7, 19}
+	fmt.Printf("\ntriple failure %v %v %v:\n", g.EdgeAt(0), g.EdgeAt(7), g.EdgeAt(19))
+	for _, v := range []int{11, 23, 47} {
+		d, err := o.Dist(source, v, faults)
+		if err != nil {
+			return err
+		}
+		p, err := o.Route(source, v, faults)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  → %2d: dist %d via %v\n", v, d, p)
+	}
+	fmt.Println("\nEvery route above runs inside the f=3 structure and is provably as")
+	fmt.Println("short as any route in the full surviving network.")
+	return nil
+}

@@ -1,0 +1,104 @@
+// Command faultsim runs a Monte-Carlo fault simulation: random dual-edge
+// failure events hit a network while traffic is routed inside the
+// dual-failure FT-BFS structure. It measures the routing stretch of the
+// structure (always 1.0 — that is the theorem) against a plain BFS tree
+// and the single-failure structure, which both go suboptimal or lose
+// connectivity.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	ftbfs "repro"
+	"repro/internal/bfs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "faultsim:", err)
+		os.Exit(1)
+	}
+}
+
+type tally struct {
+	name          string
+	disabled      []int
+	worstStretch  float64
+	sumStretch    float64
+	stretchCount  int
+	disconnected  int
+	totalMeasured int
+}
+
+func run() error {
+	g := ftbfs.SparseGNP(70, 5, 11)
+	const source, trials = 0, 400
+	fmt.Printf("graph: n=%d m=%d; %d random dual-failure events\n\n", g.N(), g.M(), trials)
+
+	tree, err := ftbfs.BuildExhaustiveFTBFS(g, source, 0, nil)
+	if err != nil {
+		return err
+	}
+	single, err := ftbfs.BuildSingleFTBFS(g, source, nil)
+	if err != nil {
+		return err
+	}
+	dual, err := ftbfs.BuildDualFTBFS(g, source, nil)
+	if err != nil {
+		return err
+	}
+
+	tallies := []*tally{
+		{name: fmt.Sprintf("BFS tree (%d edges)", tree.NumEdges()), disabled: tree.DisabledEdges()},
+		{name: fmt.Sprintf("single-failure (%d edges)", single.NumEdges()), disabled: single.DisabledEdges()},
+		{name: fmt.Sprintf("dual-failure (%d edges)", dual.NumEdges()), disabled: dual.DisabledEdges()},
+	}
+
+	rng := rand.New(rand.NewSource(5))
+	inG := bfs.NewRunner(g)
+	inH := bfs.NewRunner(g)
+	for trial := 0; trial < trials; trial++ {
+		f1 := rng.Intn(g.M())
+		f2 := rng.Intn(g.M())
+		if f1 == f2 {
+			continue
+		}
+		inG.Run(source, []int{f1, f2}, nil)
+		for _, ta := range tallies {
+			inH.Run(source, append([]int{f1, f2}, ta.disabled...), nil)
+			for v := 0; v < g.N(); v++ {
+				want := inG.Dist(v)
+				if want == bfs.Unreachable {
+					continue // v cut off in G as well: nothing to route
+				}
+				got := inH.Dist(v)
+				ta.totalMeasured++
+				if got == bfs.Unreachable {
+					ta.disconnected++
+					continue
+				}
+				s := float64(got) / float64(want)
+				if want == 0 {
+					s = 1
+				}
+				ta.sumStretch += s
+				ta.stretchCount++
+				if s > ta.worstStretch {
+					ta.worstStretch = s
+				}
+			}
+		}
+	}
+
+	fmt.Printf("%-28s %12s %12s %14s\n", "routing substrate", "avg stretch", "worst", "disconnected")
+	for _, ta := range tallies {
+		avg := ta.sumStretch / float64(ta.stretchCount)
+		fmt.Printf("%-28s %12.4f %12.2f %9d/%d\n",
+			ta.name, avg, ta.worstStretch, ta.disconnected, ta.totalMeasured)
+	}
+	fmt.Println("\nThe dual-failure structure is the only substrate with stretch exactly 1")
+	fmt.Println("and zero disconnections — that is Theorem 1.1 operating as designed.")
+	return nil
+}

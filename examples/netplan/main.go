@@ -1,0 +1,84 @@
+// Command netplan plays out the paper's motivating scenario: a network
+// operator leases communication channels (edges) and wants the cheapest
+// subset that still supports *optimal* routing from a head office under up
+// to two simultaneous channel failures.
+//
+// It compares four purchase plans on the same backbone-like network:
+//
+//	tree       — a plain BFS tree: cheapest, breaks under any failure
+//	single     — the ESA'13 single-failure structure (O(n^{3/2}))
+//	dual       — the PODC'15 dual-failure structure (O(n^{5/3}))
+//	approx-f2  — Section 5's O(log n)-approximate minimum dual structure
+package main
+
+import (
+	"fmt"
+	"os"
+
+	ftbfs "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "netplan:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A layered backbone: 6 sites per tier, 7 tiers, redundant links.
+	g := ftbfs.Layered(6, 7, 0.4, 7)
+	const hq = 0
+	fmt.Printf("network: %d sites, %d available channels\n\n", g.N(), g.M())
+
+	type plan struct {
+		name   string
+		faults int
+		build  func() (*ftbfs.Structure, error)
+	}
+	plans := []plan{
+		{"tree (f=0)", 0, func() (*ftbfs.Structure, error) {
+			return ftbfs.BuildExhaustiveFTBFS(g, hq, 0, nil)
+		}},
+		{"single (f=1)", 1, func() (*ftbfs.Structure, error) {
+			return ftbfs.BuildSingleFTBFS(g, hq, nil)
+		}},
+		{"dual (f=2)", 2, func() (*ftbfs.Structure, error) {
+			return ftbfs.BuildDualFTBFS(g, hq, nil)
+		}},
+		{"approx (f=2)", 2, func() (*ftbfs.Structure, error) {
+			return ftbfs.BuildApproxFTMBFS(g, []int{hq}, 2, nil)
+		}},
+	}
+
+	fmt.Printf("%-14s %9s %10s %12s %s\n", "plan", "channels", "% of all", "resilience", "verified")
+	for _, p := range plans {
+		st, err := p.build()
+		if err != nil {
+			return fmt.Errorf("%s: %w", p.name, err)
+		}
+		rep := ftbfs.Verify(g, st, []int{hq}, p.faults)
+		status := "ok"
+		if !rep.OK {
+			status = fmt.Sprintf("FAILED (%d violations)", len(rep.Violations))
+		}
+		fmt.Printf("%-14s %9d %9.1f%% %12s %s\n",
+			p.name, st.NumEdges(), 100*float64(st.NumEdges())/float64(g.M()),
+			fmt.Sprintf("≤%d faults", p.faults), status)
+
+		// The tree plan really does break under a single failure:
+		if p.faults == 0 {
+			bad := ftbfs.VerifyWithOptions(g, st, []int{hq}, 1, &ftbfs.VerifyOptions{MaxViolations: 1})
+			if !bad.OK {
+				v := bad.Violations[0]
+				fmt.Printf("%-14s %9s %10s %12s channel %v down → site %d detour suboptimal\n",
+					"", "", "", "", g.EdgeAt(v.Faults[0]), v.V)
+			}
+		}
+	}
+
+	fmt.Println("\nThe dual plan guarantees every site still receives traffic over a")
+	fmt.Println("shortest possible route after any two simultaneous channel failures,")
+	fmt.Println("at a fraction of the full network's channel cost.")
+	return nil
+}

@@ -1,0 +1,142 @@
+package ftbfs_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	ftbfs "repro"
+)
+
+func TestFacadeVertexFaults(t *testing.T) {
+	g := ftbfs.GNP(14, 0.3, 11)
+	for f := 0; f <= 2; f++ {
+		st, err := ftbfs.BuildVertexFTBFS(g, 0, f, nil)
+		if err != nil {
+			t.Fatalf("f=%d: %v", f, err)
+		}
+		rep := ftbfs.VerifyVertex(g, st, []int{0}, f)
+		if !rep.OK {
+			t.Fatalf("f=%d: %v", f, rep.Violations)
+		}
+	}
+}
+
+func TestFacadeRecursiveBuilder(t *testing.T) {
+	g := ftbfs.SparseGNP(16, 3, 5)
+	for f := 0; f <= 3; f++ {
+		st, err := ftbfs.BuildRecursiveFTBFS(g, 0, f, nil)
+		if err != nil {
+			t.Fatalf("f=%d: %v", f, err)
+		}
+		fCheck := f
+		if fCheck > 3 {
+			fCheck = 3
+		}
+		rep := ftbfs.Verify(g, st, []int{0}, fCheck)
+		if !rep.OK {
+			t.Fatalf("f=%d: %v", f, rep.Violations)
+		}
+	}
+}
+
+func TestFacadeOracleEndToEnd(t *testing.T) {
+	g := ftbfs.Grid(4, 5)
+	st, err := ftbfs.BuildDualFTBFS(g, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := ftbfs.NewOracle(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := o.Dist(0, 19, []int{0, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := o.Route(0, 19, []int{0, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == nil || int32(p.Len()) != d {
+		t.Fatalf("route/dist mismatch: %v vs %d", p, d)
+	}
+}
+
+// TestQuickBuildVerifyRoundTrip is the facade-level randomized campaign:
+// random graphs, random sources, random seeds — the dual structure always
+// passes the exhaustive dual-failure check.
+func TestQuickBuildVerifyRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(20)
+		var g *ftbfs.Graph
+		switch rng.Intn(4) {
+		case 0:
+			g = ftbfs.SparseGNP(n, 3+rng.Float64()*3, seed)
+		case 1:
+			g = ftbfs.GNP(n, 0.15+rng.Float64()*0.2, seed)
+		case 2:
+			g = ftbfs.TreePlusChords(n, rng.Intn(n/2+1), seed)
+		default:
+			g = ftbfs.RandomRegular(n, 3, seed)
+		}
+		src := rng.Intn(n)
+		st, err := ftbfs.BuildDualFTBFS(g, src, &ftbfs.Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		return ftbfs.Verify(g, st, []int{src}, 2).OK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickApproxRoundTrip does the same for the Section-5 approximation
+// at f = 1 with one or two sources.
+func TestQuickApproxRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(14)
+		g := ftbfs.SparseGNP(n, 3, seed)
+		sources := []int{rng.Intn(n)}
+		if rng.Intn(2) == 0 {
+			sources = append(sources, rng.Intn(n))
+		}
+		st, err := ftbfs.BuildApproxFTMBFS(g, sources, 1, nil)
+		if err != nil {
+			return false
+		}
+		return ftbfs.Verify(g, st, sources, 1).OK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStructuresNested confirms the budget hierarchy on one graph: any
+// valid f-structure is also a valid (f-1)-structure, and the builders'
+// sizes are monotone in f for the recursive family.
+func TestStructuresNested(t *testing.T) {
+	g := ftbfs.SparseGNP(24, 4, 9)
+	var prev *ftbfs.Structure
+	for f := 0; f <= 3; f++ {
+		st, err := ftbfs.BuildRecursiveFTBFS(g, 0, f, &ftbfs.Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil && st.NumEdges() < prev.NumEdges() {
+			t.Fatalf("f=%d structure smaller than f=%d: %d < %d",
+				f, f-1, st.NumEdges(), prev.NumEdges())
+		}
+		// An f-structure must pass the f-1 check too.
+		if f >= 1 && f-1 <= 2 {
+			rep := ftbfs.Verify(g, st, []int{0}, f-1)
+			if !rep.OK {
+				t.Fatalf("f=%d structure fails f=%d check", f, f-1)
+			}
+		}
+		prev = st
+	}
+}

@@ -1,0 +1,131 @@
+package ftbfs_test
+
+import (
+	"testing"
+
+	ftbfs "repro"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	g := ftbfs.GNP(24, 0.2, 42)
+	st, err := ftbfs.BuildDualFTBFS(g, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumEdges() == 0 || st.NumEdges() > g.M() {
+		t.Fatalf("bad size %d", st.NumEdges())
+	}
+	rep := ftbfs.Verify(g, st, []int{0}, 2)
+	if !rep.OK {
+		t.Fatalf("verify: %v", rep.Violations)
+	}
+}
+
+func TestFacadeBuilders(t *testing.T) {
+	g := ftbfs.SparseGNP(20, 4, 7)
+	builders := map[string]func() (*ftbfs.Structure, int, error){
+		"single": func() (*ftbfs.Structure, int, error) {
+			st, err := ftbfs.BuildSingleFTBFS(g, 0, nil)
+			return st, 1, err
+		},
+		"dual": func() (*ftbfs.Structure, int, error) {
+			st, err := ftbfs.BuildDualFTBFS(g, 0, nil)
+			return st, 2, err
+		},
+		"exhaustive-f2": func() (*ftbfs.Structure, int, error) {
+			st, err := ftbfs.BuildExhaustiveFTBFS(g, 0, 2, nil)
+			return st, 2, err
+		},
+		"full-paths": func() (*ftbfs.Structure, int, error) {
+			st, err := ftbfs.BuildFullPathsFTBFS(g, 0, nil)
+			return st, 2, err
+		},
+		"approx-f1": func() (*ftbfs.Structure, int, error) {
+			st, err := ftbfs.BuildApproxFTMBFS(g, []int{0}, 1, nil)
+			return st, 1, err
+		},
+		"multi-dual": func() (*ftbfs.Structure, int, error) {
+			st, err := ftbfs.BuildMultiSourceDualFTBFS(g, []int{0, 5}, nil)
+			return st, 2, err
+		},
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			st, f, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := ftbfs.Verify(g, st, st.Sources, f)
+			if !rep.OK {
+				t.Fatalf("verify: %v", rep.Violations)
+			}
+		})
+	}
+}
+
+func TestFacadeGraphBuilding(t *testing.T) {
+	g := ftbfs.NewGraph(4)
+	if _, err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(0, 1); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if g.N() != 4 || g.M() != 1 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestFacadeLowerBound(t *testing.T) {
+	inst, err := ftbfs.LowerBound(2, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Bipartite) == 0 {
+		t.Fatal("no bipartite edges")
+	}
+	mi, err := ftbfs.LowerBoundMulti(1, 2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mi.Sources) != 2 {
+		t.Fatalf("sources: %v", mi.Sources)
+	}
+}
+
+func TestFacadeSampledVerify(t *testing.T) {
+	g := ftbfs.Grid(5, 5)
+	st, err := ftbfs.BuildDualFTBFS(g, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := ftbfs.VerifySampled(g, st, []int{0}, 2, 100, 1)
+	if !rep.OK {
+		t.Fatalf("sampled verify: %v", rep.Violations)
+	}
+	repO := ftbfs.VerifyWithOptions(g, st, []int{0}, 2, &ftbfs.VerifyOptions{NoPrune: true})
+	if !repO.OK {
+		t.Fatalf("noprune verify: %v", repO.Violations)
+	}
+}
+
+func TestFacadeGenerators(t *testing.T) {
+	gens := map[string]*ftbfs.Graph{
+		"gnp":    ftbfs.GNP(10, 0.3, 1),
+		"sparse": ftbfs.SparseGNP(10, 3, 1),
+		"grid":   ftbfs.Grid(3, 4),
+		"path":   ftbfs.PathGraph(5),
+		"cycle":  ftbfs.Cycle(5),
+		"kn":     ftbfs.Complete(5),
+		"kab":    ftbfs.CompleteBipartite(3, 4),
+		"hcube":  ftbfs.Hypercube(3),
+		"layer":  ftbfs.Layered(3, 3, 0.5, 1),
+		"tree":   ftbfs.TreePlusChords(10, 2, 1),
+		"reg":    ftbfs.RandomRegular(10, 3, 1),
+	}
+	for name, g := range gens {
+		if g.N() == 0 || !g.ConnectedFrom(0) {
+			t.Fatalf("%s: invalid generated graph", name)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/path"
+	"repro/internal/replace"
+)
+
+func mkDetour(xPos, yPos int, verts ...int) *replace.Detour {
+	ids := make([]int, len(verts)-1)
+	for i := range ids {
+		ids[i] = -1 - i // synthetic IDs; pair classification ignores them
+	}
+	return &replace.Detour{Valid: true, Path: path.Path(verts), XPos: xPos, YPos: yPos, EdgeIDs: ids}
+}
+
+func TestClassifyDetourPairConfigs(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b *replace.Detour
+		want DetourConfig
+	}{
+		{"non-nested", mkDetour(0, 2, 100, 101, 102), mkDetour(3, 5, 103, 104, 105), ConfigNonNested},
+		{"nested", mkDetour(0, 6, 100, 101, 102), mkDetour(2, 4, 103, 104, 105), ConfigNested},
+		{"interleaved", mkDetour(0, 4, 100, 101, 102), mkDetour(2, 6, 103, 104, 105), ConfigInterleaved},
+		{"x-interleaved", mkDetour(0, 4, 100, 101, 102), mkDetour(0, 6, 100, 104, 105), ConfigXInterleaved},
+		{"y-interleaved", mkDetour(0, 6, 100, 101, 102), mkDetour(2, 6, 103, 104, 102), ConfigYInterleaved},
+		{"xy-interleaved", mkDetour(0, 3, 100, 101, 102), mkDetour(3, 6, 102, 104, 105), ConfigXYInterleaved},
+		{"same-span", mkDetour(0, 4, 100, 101, 102), mkDetour(0, 4, 100, 104, 102), ConfigSameSpan},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := ClassifyDetourPair(c.a, c.b)
+			if got.Config != c.want {
+				t.Fatalf("config = %v, want %v", got.Config, c.want)
+			}
+			// Order-insensitivity.
+			rev := ClassifyDetourPair(c.b, c.a)
+			if rev.Config != c.want {
+				t.Fatalf("reversed config = %v, want %v", rev.Config, c.want)
+			}
+		})
+	}
+}
+
+func TestClassifyDetourPairDependence(t *testing.T) {
+	// Share vertex 104, both traverse 104→105 in the same direction.
+	a := mkDetour(0, 4, 100, 104, 105, 102)
+	b := mkDetour(2, 6, 103, 104, 105, 106)
+	rep := ClassifyDetourPair(a, b)
+	if !rep.Dependent || !rep.SameDirection {
+		t.Fatalf("fw pair: %+v", rep)
+	}
+	// Reverse the shared segment on b: opposite directions.
+	bRev := mkDetour(2, 6, 103, 105, 104, 106)
+	rep = ClassifyDetourPair(a, bRev)
+	if !rep.Dependent || rep.SameDirection {
+		t.Fatalf("rev pair: %+v", rep)
+	}
+	// Disjoint detours.
+	c := mkDetour(2, 6, 200, 201, 202)
+	rep = ClassifyDetourPair(a, c)
+	if rep.Dependent {
+		t.Fatalf("disjoint pair marked dependent")
+	}
+}
+
+func TestConfigAndClassStrings(t *testing.T) {
+	for _, c := range []DetourConfig{ConfigNonNested, ConfigNested, ConfigInterleaved,
+		ConfigXInterleaved, ConfigYInterleaved, ConfigXYInterleaved, ConfigSameSpan, DetourConfig(42)} {
+		if c.String() == "" {
+			t.Fatal("empty config string")
+		}
+	}
+	for _, c := range []PathClass{ClassPiPi, ClassNoDetour, ClassIndependent,
+		ClassPiInterfering, ClassDInterfering, PathClass(42)} {
+		if c.String() == "" {
+			t.Fatal("empty class string")
+		}
+	}
+}
+
+// collectTargets builds the dual structure with path collection on a graph
+// suite and returns the per-target artifacts.
+func collectTargets(t *testing.T, g *graph.Graph) []*replace.TargetResult {
+	t.Helper()
+	st, err := core.BuildDual(g, 0, &core.Options{Seed: 11, CollectPaths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.Targets
+}
+
+func analysisGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"gnp28":   gen.GNP(28, 0.15, 7),
+		"gnp22":   gen.GNP(22, 0.25, 19),
+		"grid5x5": gen.Grid(5, 5),
+		"layered": gen.Layered(5, 5, 0.35, 3),
+		"chords":  gen.TreePlusChords(26, 8, 4),
+	}
+}
+
+// TestDisjointnessClaimsHold asserts Claims 3.8/3.9 across families: nested
+// and non-nested detour pairs are vertex-disjoint under the canonical
+// selection.
+func TestDisjointnessClaimsHold(t *testing.T) {
+	for name, g := range analysisGraphs() {
+		t.Run(name, func(t *testing.T) {
+			pairs := 0
+			for _, tr := range collectTargets(t, g) {
+				if tr == nil {
+					continue
+				}
+				bad, hist := CheckDisjointnessClaims(tr)
+				if len(bad) > 0 {
+					t.Fatalf("claims 3.8/3.9 violated: %+v", bad[0])
+				}
+				for _, n := range hist {
+					pairs += n
+				}
+			}
+			if pairs == 0 {
+				t.Skip("no detour pairs on this instance")
+			}
+		})
+	}
+}
+
+// TestClassificationPartitions checks the class partition covers every
+// new-ending path exactly once and that class-B paths really avoid their
+// detours.
+func TestClassificationPartitions(t *testing.T) {
+	for name, g := range analysisGraphs() {
+		t.Run(name, func(t *testing.T) {
+			for _, tr := range collectTargets(t, g) {
+				if tr == nil {
+					continue
+				}
+				tc := ClassifyTarget(g, tr)
+				newEnding := 0
+				for i := range tr.Records {
+					rec := &tr.Records[i]
+					if rec.NewEnding && rec.Path != nil &&
+						(rec.Kind == replace.KindPiPi || rec.Kind == replace.KindPiD) {
+						if rec.Kind == replace.KindPiD && DetourOf(tr, rec) == nil {
+							continue
+						}
+						newEnding++
+					}
+				}
+				if len(tc.Paths) != newEnding {
+					t.Fatalf("v=%d: classified %d paths, %d new-ending", tr.V, len(tc.Paths), newEnding)
+				}
+				total := 0
+				for _, n := range tc.Counts {
+					total += n
+				}
+				if total != newEnding {
+					t.Fatalf("v=%d: counts sum %d != %d", tr.V, total, newEnding)
+				}
+				for _, cp := range tc.Paths {
+					rec := &tr.Records[cp.RecordIdx]
+					if cp.Class == ClassNoDetour {
+						det := DetourOf(tr, rec)
+						for _, id := range det.EdgeIDs {
+							if rec.Path.ContainsEdge(g.EdgeAt(id)) {
+								t.Fatalf("v=%d: class-B path intersects its detour", tr.V)
+							}
+						}
+					}
+					if cp.Class == ClassIndependent && len(cp.Interferes) > 0 {
+						t.Fatalf("v=%d: independent path has interferences", tr.V)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDistinctDDivergence asserts Lemma 3.16 across families.
+func TestDistinctDDivergence(t *testing.T) {
+	for name, g := range analysisGraphs() {
+		t.Run(name, func(t *testing.T) {
+			for _, tr := range collectTargets(t, g) {
+				if tr == nil {
+					continue
+				}
+				if bad := CheckDistinctDDivergence(tr); len(bad) > 0 {
+					t.Fatalf("lemma 3.16 violated: %+v", bad[0])
+				}
+			}
+		})
+	}
+}
+
+// TestKernelClaims asserts Lemma 3.14 (second faults live in the kernel),
+// Claim 3.29 (regions ≤ 2·N_D) and Claim 3.28 (first common vertices in W1)
+// across families.
+func TestKernelClaims(t *testing.T) {
+	checked := 0
+	for name, g := range analysisGraphs() {
+		t.Run(name, func(t *testing.T) {
+			for _, tr := range collectTargets(t, g) {
+				if tr == nil {
+					continue
+				}
+				rep := CheckKernel(tr)
+				checked += rep.Lemma314Checked
+				if len(rep.Lemma314Violations) > 0 {
+					ri := rep.Lemma314Violations[0]
+					t.Fatalf("v=%d: lemma 3.14 violated at record %d (%+v)", tr.V, ri, tr.Records[ri])
+				}
+				if rep.MaxRegionRatio > 1.0 {
+					t.Fatalf("v=%d: region ratio %.2f > 1 (claim 3.29)", tr.V, rep.MaxRegionRatio)
+				}
+				if rep.FirstCommonOutsideW > 0 {
+					t.Fatalf("v=%d: claim 3.28 violated %d times", tr.V, rep.FirstCommonOutsideW)
+				}
+			}
+		})
+	}
+}
+
+func TestBuildKernelBasics(t *testing.T) {
+	// Two detours sharing a tail vertex: second is truncated at the shared
+	// vertex, first is its breaker.
+	d1 := mkDetour(2, 6, 100, 101, 102, 103)
+	d2 := mkDetour(0, 6, 104, 105, 102, 103)
+	k := BuildKernel([]*replace.Detour{d1, d2})
+	// (x,y)-order: d1 (x=2) before d2 (x=0).
+	if k.Detours[0] != d1 || k.Detours[1] != d2 {
+		t.Fatalf("kernel order wrong")
+	}
+	if k.Truncated[0] || !k.Truncated[1] {
+		t.Fatalf("truncation wrong: %v", k.Truncated)
+	}
+	if k.WIdx[1] != 2 { // d2 hits vertex 102 at position 2
+		t.Fatalf("WIdx[1] = %d", k.WIdx[1])
+	}
+	if k.Breaker[1] != 0 {
+		t.Fatalf("breaker = %d", k.Breaker[1])
+	}
+	if !k.HasVertex(105) || k.HasVertex(999) {
+		t.Fatalf("vertex membership wrong")
+	}
+	// Regions: d1 contributes one fragment split at 102 (a W1 vertex):
+	// [100..102], [102,103]; d2 contributes [104..102]. Total 3 ≤ 2·2.
+	if r := k.Regions(); r != 3 {
+		t.Fatalf("regions = %d, want 3", r)
+	}
+	if k.NumVertices() != 6 {
+		t.Fatalf("kernel vertices = %d", k.NumVertices())
+	}
+}
+
+func TestBuildKernelSkipsInvalid(t *testing.T) {
+	k := BuildKernel([]*replace.Detour{nil, {Valid: false}})
+	if len(k.Detours) != 0 || k.Regions() != 0 {
+		t.Fatalf("invalid detours not skipped")
+	}
+}

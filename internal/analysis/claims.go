@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/replace"
+)
+
+// CheckSingleSuffixDisjoint verifies Observation 1.4 / Obs 3.17: the
+// suffixes (from the π-divergence point, excluding v) of new-ending
+// single-failure replacement paths are pairwise vertex-disjoint. It returns
+// the number of overlapping pairs (0 under canonical selection).
+func CheckSingleSuffixDisjoint(tr *replace.TargetResult) int {
+	seen := make(map[int]bool)
+	violations := 0
+	for i := range tr.Records {
+		rec := &tr.Records[i]
+		if rec.Kind != replace.KindSingle || !rec.NewEnding || rec.Path == nil || rec.BPos < 0 {
+			continue
+		}
+		overlap := false
+		for j := rec.BPos; j+1 < len(rec.Path); j++ { // exclude the endpoint v
+			if seen[rec.Path[j]] && j > rec.BPos {
+				overlap = true
+			}
+		}
+		if overlap {
+			violations++
+		}
+		for j := rec.BPos + 1; j+1 < len(rec.Path); j++ {
+			seen[rec.Path[j]] = true
+		}
+	}
+	return violations
+}
+
+// ExcludedSegmentViolation is a failed instance of Claim 3.12: a new-ending
+// path whose second fault lies on the excluded suffix of its detour.
+type ExcludedSegmentViolation struct {
+	V         int
+	RecordIdx int
+	DetourI   int // π-edge index of D(P) (= D1)
+	OtherJ    int // π-edge index of the detour inducing the exclusion (= D2)
+}
+
+// CheckExcludedSegments verifies Claim 3.12: for dependent detours D1, D2
+// with x1 ≤ x2 ≤ y1 < y2, no new-ending path P with D(P) = D1 has its
+// second fault on D1[w, y1], where w is the last vertex on D2 common to D1.
+func CheckExcludedSegments(tr *replace.TargetResult) []ExcludedSegmentViolation {
+	var out []ExcludedSegmentViolation
+	// Group new-ending (π,D) records by detour index.
+	byDet := make(map[int][]int)
+	for i := range tr.Records {
+		rec := &tr.Records[i]
+		if rec.Kind == replace.KindPiD && rec.NewEnding && !rec.UsedFallback && rec.Path != nil {
+			byDet[rec.EIdx] = append(byDet[rec.EIdx], i)
+		}
+	}
+	for i := range tr.Detours {
+		d1 := &tr.Detours[i]
+		if !d1.Valid || len(byDet[i]) == 0 {
+			continue
+		}
+		pos1 := make(map[int]int, len(d1.Path))
+		for p, v := range d1.Path {
+			pos1[v] = p
+		}
+		for j := range tr.Detours {
+			if i == j {
+				continue
+			}
+			d2 := &tr.Detours[j]
+			if !d2.Valid {
+				continue
+			}
+			// Require x1 ≤ x2 ≤ y1 < y2 (interleaved, x-interleaved or
+			// (x,y)-interleaved with D1 on top).
+			if !(d1.XPos <= d2.XPos && d2.XPos <= d1.YPos && d1.YPos < d2.YPos) {
+				continue
+			}
+			// w = last vertex on D2 that is common to D1.
+			w := -1
+			for _, v := range d2.Path {
+				if _, ok := pos1[v]; ok {
+					w = v
+				}
+			}
+			if w < 0 {
+				continue // independent pair: no exclusion induced
+			}
+			wPos := pos1[w]
+			for _, ri := range byDet[i] {
+				rec := &tr.Records[ri]
+				// Second fault edge occupies positions [SecondIdx, SecondIdx+1] on D1.
+				if rec.SecondIdx >= wPos {
+					out = append(out, ExcludedSegmentViolation{
+						V: tr.V, RecordIdx: ri, DetourI: i, OtherJ: j,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MonotonicityViolation is a failed instance of Lemma 3.46 (via Lemma
+// 3.44): independent new-ending paths with strictly higher π-divergence
+// points must be strictly longer.
+type MonotonicityViolation struct {
+	V          int
+	RecA, RecB int
+	LenA, LenB int
+}
+
+// CheckIndependentMonotonic verifies the b-ordering part of Lemma 3.46 on
+// the class-C (independent) new-ending paths of a classified target: if
+// b(P_i) is strictly above b(P_j) on π, then |P_i| > |P_j|.
+func CheckIndependentMonotonic(g *graph.Graph, tr *replace.TargetResult) []MonotonicityViolation {
+	tc := ClassifyTarget(g, tr)
+	type entry struct {
+		recIdx, bPos, length int
+	}
+	var es []entry
+	for _, cp := range tc.Paths {
+		if cp.Class != ClassIndependent {
+			continue
+		}
+		rec := &tr.Records[cp.RecordIdx]
+		if rec.BPos < 0 || rec.UsedFallback {
+			continue
+		}
+		es = append(es, entry{recIdx: cp.RecordIdx, bPos: rec.BPos, length: rec.Path.Len()})
+	}
+	sort.Slice(es, func(a, b int) bool { return es[a].bPos < es[b].bPos })
+	var out []MonotonicityViolation
+	for a := 0; a < len(es); a++ {
+		for b := a + 1; b < len(es); b++ {
+			if es[a].bPos < es[b].bPos && es[a].length <= es[b].length {
+				out = append(out, MonotonicityViolation{
+					V: tr.V, RecA: es[a].recIdx, RecB: es[b].recIdx,
+					LenA: es[a].length, LenB: es[b].length,
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"testing"
+)
+
+// TestSingleSuffixDisjointHolds asserts Observation 1.4 across families.
+func TestSingleSuffixDisjointHolds(t *testing.T) {
+	for name, g := range analysisGraphs() {
+		t.Run(name, func(t *testing.T) {
+			for _, tr := range collectTargets(t, g) {
+				if tr == nil {
+					continue
+				}
+				if v := CheckSingleSuffixDisjoint(tr); v > 0 {
+					t.Fatalf("v=%d: %d suffix overlaps (Obs 1.4)", tr.V, v)
+				}
+			}
+		})
+	}
+}
+
+// TestExcludedSegmentsHold asserts Claim 3.12 across families.
+func TestExcludedSegmentsHold(t *testing.T) {
+	pairsSeen := 0
+	for name, g := range analysisGraphs() {
+		t.Run(name, func(t *testing.T) {
+			for _, tr := range collectTargets(t, g) {
+				if tr == nil {
+					continue
+				}
+				bad := CheckExcludedSegments(tr)
+				if len(bad) > 0 {
+					b := bad[0]
+					t.Fatalf("v=%d: claim 3.12 violated: record %d detour %d vs %d",
+						b.V, b.RecordIdx, b.DetourI, b.OtherJ)
+				}
+				pairsSeen++
+			}
+		})
+	}
+	if pairsSeen == 0 {
+		t.Skip("no targets exercised")
+	}
+}
+
+// TestIndependentMonotonicHolds asserts the Lemma 3.46 length ordering
+// across families.
+func TestIndependentMonotonicHolds(t *testing.T) {
+	for name, g := range analysisGraphs() {
+		t.Run(name, func(t *testing.T) {
+			for _, tr := range collectTargets(t, g) {
+				if tr == nil {
+					continue
+				}
+				bad := CheckIndependentMonotonic(g, tr)
+				if len(bad) > 0 {
+					b := bad[0]
+					t.Fatalf("v=%d: lemma 3.46 violated: rec %d len %d vs rec %d len %d",
+						b.V, b.RecA, b.LenA, b.RecB, b.LenB)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/replace"
+)
+
+// PathClass is the five-way partition of new-ending replacement paths
+// (Section 3.3.2, Figure 7).
+type PathClass int
+
+// The classes A–E of Figure 7.
+const (
+	ClassPiPi          PathClass = iota + 1 // A: both faults on π(s,v)
+	ClassNoDetour                           // B: (π,D) path disjoint from its detour's edges
+	ClassIndependent                        // C: interferes with no other new-ending path
+	ClassPiInterfering                      // D: π-interferes with every path it interferes with
+	ClassDInterfering                       // E: D-interferes with some path (and not π with it)
+)
+
+// String implements fmt.Stringer.
+func (c PathClass) String() string {
+	switch c {
+	case ClassPiPi:
+		return "A:(pi,pi)"
+	case ClassNoDetour:
+		return "B:no-detour"
+	case ClassIndependent:
+		return "C:independent"
+	case ClassPiInterfering:
+		return "D:pi-interfering"
+	case ClassDInterfering:
+		return "E:D-interfering"
+	default:
+		return fmt.Sprintf("PathClass(%d)", int(c))
+	}
+}
+
+// ClassifiedPath is one new-ending path with its class assignment.
+type ClassifiedPath struct {
+	RecordIdx int // index into tr.Records
+	Class     PathClass
+	// Interferes lists (for classes C/D/E) the record indices of
+	// new-ending paths this path interferes with (I(P)).
+	Interferes []int
+}
+
+// TargetClasses is the classification result for one target vertex.
+type TargetClasses struct {
+	V      int
+	Paths  []ClassifiedPath
+	Counts map[PathClass]int
+}
+
+// ClassifyTarget partitions the new-ending paths of a collected target into
+// the five classes of Figure 7. tr must come from a build with path
+// collection enabled.
+func ClassifyTarget(g *graph.Graph, tr *replace.TargetResult) *TargetClasses {
+	out := &TargetClasses{V: tr.V, Counts: make(map[PathClass]int)}
+
+	// Gather new-ending records: (π,π) → class A immediately; (π,D) take
+	// part in the interference analysis.
+	type piD struct {
+		recIdx int
+		rec    *replace.Record
+		det    *replace.Detour
+		// pathEdges: edge IDs of the path; detEdges: edge IDs of D(P).
+		pathEdges map[int]bool
+		detEdges  map[int]bool
+		// f2 is the second fault's edge ID; f2PosOnOwnD its position.
+		f2 int
+	}
+	var piDs []piD
+	for i := range tr.Records {
+		rec := &tr.Records[i]
+		if !rec.NewEnding || rec.Path == nil {
+			continue
+		}
+		switch rec.Kind {
+		case replace.KindPiPi:
+			out.Paths = append(out.Paths, ClassifiedPath{RecordIdx: i, Class: ClassPiPi})
+			out.Counts[ClassPiPi]++
+		case replace.KindPiD:
+			det := DetourOf(tr, rec)
+			if det == nil {
+				continue
+			}
+			p := piD{recIdx: i, rec: rec, det: det, f2: det.EdgeIDs[rec.SecondIdx]}
+			p.pathEdges = edgeIDSet(g, rec.Path)
+			p.detEdges = make(map[int]bool, len(det.EdgeIDs))
+			for _, id := range det.EdgeIDs {
+				p.detEdges[id] = true
+			}
+			piDs = append(piDs, p)
+		}
+	}
+
+	// Interference: P_i interferes with P_j iff F2(P_j) ∈ P_i \ D(P_i).
+	interferes := func(pi, pj *piD) bool {
+		return pi.pathEdges[pj.f2] && !pi.detEdges[pj.f2]
+	}
+	// π-interference: additionally F1(P_i) ∈ π(y(D(P_j)), v), i.e. the
+	// first fault's π edge index lies at or below y(D(P_j)).
+	piInterferes := func(pi, pj *piD) bool {
+		return pi.rec.EIdx >= pj.det.YPos
+	}
+
+	for i := range piDs {
+		p := &piDs[i]
+		// Class B: path disjoint from its detour's edges.
+		intersectsOwn := false
+		for id := range p.detEdges {
+			if p.pathEdges[id] {
+				intersectsOwn = true
+				break
+			}
+		}
+		cp := ClassifiedPath{RecordIdx: p.recIdx}
+		for j := range piDs {
+			if i == j {
+				continue
+			}
+			if interferes(p, &piDs[j]) {
+				cp.Interferes = append(cp.Interferes, piDs[j].recIdx)
+			}
+		}
+		switch {
+		case !intersectsOwn:
+			cp.Class = ClassNoDetour
+		case len(cp.Interferes) == 0:
+			cp.Class = ClassIndependent
+		default:
+			cp.Class = ClassPiInterfering
+			for j := range piDs {
+				if i == j {
+					continue
+				}
+				if interferes(p, &piDs[j]) && !piInterferes(p, &piDs[j]) {
+					cp.Class = ClassDInterfering
+					break
+				}
+			}
+		}
+		out.Paths = append(out.Paths, cp)
+		out.Counts[cp.Class]++
+	}
+	return out
+}
+
+func edgeIDSet(g *graph.Graph, p interface{ Edges() []graph.Edge }) map[int]bool {
+	es := p.Edges()
+	out := make(map[int]bool, len(es))
+	for _, e := range es {
+		if id, ok := g.EdgeID(e.U, e.V); ok {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+// DivergenceViolation is a failed instance of Lemma 3.16 (distinct
+// D-divergence points).
+type DivergenceViolation struct {
+	V          int
+	RecA, RecB int
+	C          int // shared divergence vertex
+}
+
+// CheckDistinctDDivergence verifies Lemma 3.16: among new-ending (π,D)
+// paths that intersect their detours, the D-divergence points are pairwise
+// distinct.
+func CheckDistinctDDivergence(tr *replace.TargetResult) []DivergenceViolation {
+	seen := make(map[int]int) // divergence vertex -> record index
+	var bad []DivergenceViolation
+	for i := range tr.Records {
+		rec := &tr.Records[i]
+		if rec.Kind != replace.KindPiD || !rec.NewEnding || rec.CPos < 0 || rec.UsedFallback {
+			continue
+		}
+		det := DetourOf(tr, rec)
+		if det == nil {
+			continue
+		}
+		c := det.Path[rec.CPos]
+		if prev, dup := seen[c]; dup {
+			bad = append(bad, DivergenceViolation{V: tr.V, RecA: prev, RecB: i, C: c})
+		} else {
+			seen[c] = i
+		}
+	}
+	return bad
+}

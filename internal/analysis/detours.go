@@ -1,0 +1,169 @@
+// Package analysis implements the paper's structural theory as executable
+// checks and classifiers: pairwise detour configurations (Definition 3.7,
+// Figures 3–4), the interference relation and the five-class partition of
+// new-ending paths (Section 3.3.2, Figure 7), and the kernel subgraph with
+// its truncated detours, breakers and regions (Section 3.2.2, Figure 5).
+//
+// The experiment harness uses it to regenerate the paper's structural
+// claims empirically; the test suite asserts the claims that are theorems
+// under the canonical path selection (Claims 3.8, 3.9, 3.29, Lemma 3.14,
+// Lemma 3.16).
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/replace"
+)
+
+// DetourConfig is the pairwise configuration of two detours per
+// Definition 3.7, ordered so the first detour has the smaller x.
+type DetourConfig int
+
+// Configurations of Definition 3.7 plus two boundary cases the paper folds
+// into neighbors (identical spans arise when two π edges share one detour
+// span).
+const (
+	ConfigNonNested     DetourConfig = iota + 1 // y1 < x2
+	ConfigNested                                // x1 < x2 ≤ y2 < y1
+	ConfigInterleaved                           // x1 < x2 < y1 < y2
+	ConfigXInterleaved                          // x1 = x2 < y1 < y2
+	ConfigYInterleaved                          // x1 < x2 < y1 = y2
+	ConfigXYInterleaved                         // x1 < y1 = x2 < y2
+	ConfigSameSpan                              // x1 = x2, y1 = y2
+)
+
+// String implements fmt.Stringer.
+func (c DetourConfig) String() string {
+	switch c {
+	case ConfigNonNested:
+		return "non-nested"
+	case ConfigNested:
+		return "nested"
+	case ConfigInterleaved:
+		return "interleaved"
+	case ConfigXInterleaved:
+		return "x-interleaved"
+	case ConfigYInterleaved:
+		return "y-interleaved"
+	case ConfigXYInterleaved:
+		return "(x,y)-interleaved"
+	case ConfigSameSpan:
+		return "same-span"
+	default:
+		return fmt.Sprintf("DetourConfig(%d)", int(c))
+	}
+}
+
+// PairReport describes the relationship of an ordered detour pair.
+type PairReport struct {
+	Config DetourConfig
+	// Dependent reports whether the detours share a vertex.
+	Dependent bool
+	// SameDirection reports, for dependent pairs, whether the common
+	// segment is traversed in the same direction by both detours
+	// (fw-interleaved vs rev-interleaved, Figure 4). False for
+	// independent pairs.
+	SameDirection bool
+	// Swapped reports that the inputs were reordered so the first has
+	// the smaller (x, y).
+	Swapped bool
+}
+
+// ClassifyDetourPair orders the two detours by (x, then y) position and
+// classifies them per Definition 3.7.
+func ClassifyDetourPair(a, b *replace.Detour) PairReport {
+	rep := PairReport{}
+	if b.XPos < a.XPos || (b.XPos == a.XPos && b.YPos < a.YPos) {
+		a, b = b, a
+		rep.Swapped = true
+	}
+	x1, y1, x2, y2 := a.XPos, a.YPos, b.XPos, b.YPos
+	switch {
+	case x1 == x2 && y1 == y2:
+		rep.Config = ConfigSameSpan
+	case x1 == x2:
+		rep.Config = ConfigXInterleaved
+	case y1 == y2:
+		rep.Config = ConfigYInterleaved
+	case y1 < x2:
+		rep.Config = ConfigNonNested
+	case y1 == x2:
+		rep.Config = ConfigXYInterleaved
+	case y2 < y1:
+		rep.Config = ConfigNested
+	default:
+		rep.Config = ConfigInterleaved
+	}
+	onA := make(map[int]int, len(a.Path))
+	for i, v := range a.Path {
+		onA[v] = i
+	}
+	firstShared, lastShared := -1, -1 // positions on b
+	firstOnA, lastOnA := -1, -1
+	for i, v := range b.Path {
+		if pa, ok := onA[v]; ok {
+			if firstShared < 0 {
+				firstShared, firstOnA = i, pa
+			}
+			lastShared, lastOnA = i, pa
+		}
+	}
+	if firstShared < 0 {
+		return rep
+	}
+	rep.Dependent = true
+	// Same direction iff positions on A increase along B's traversal.
+	rep.SameDirection = lastOnA >= firstOnA
+	if firstShared == lastShared {
+		// Single shared vertex: direction by convention follows the
+		// first-common-vertex equality used in the paper
+		// (First(D1,D2) = First(D2,D1) for one shared point).
+		rep.SameDirection = true
+	}
+	return rep
+}
+
+// DetourOf returns the detour protecting a record's first fault, or nil.
+func DetourOf(tr *replace.TargetResult, rec *replace.Record) *replace.Detour {
+	if rec.EIdx < 0 || rec.EIdx >= len(tr.Detours) {
+		return nil
+	}
+	d := &tr.Detours[rec.EIdx]
+	if !d.Valid {
+		return nil
+	}
+	return d
+}
+
+// DisjointnessViolation records a failed instance of Claim 3.8 / 3.9.
+type DisjointnessViolation struct {
+	V      int
+	I, J   int // π edge indices of the two detours
+	Config DetourConfig
+}
+
+// CheckDisjointnessClaims verifies Claims 3.8 and 3.9 on a target: nested
+// and non-nested detour pairs must be vertex-disjoint. It returns the pairs
+// violating the claims (empty on conforming targets) and the histogram of
+// configurations observed.
+func CheckDisjointnessClaims(tr *replace.TargetResult) ([]DisjointnessViolation, map[DetourConfig]int) {
+	hist := make(map[DetourConfig]int)
+	var bad []DisjointnessViolation
+	for i := range tr.Detours {
+		if !tr.Detours[i].Valid {
+			continue
+		}
+		for j := i + 1; j < len(tr.Detours); j++ {
+			if !tr.Detours[j].Valid {
+				continue
+			}
+			rep := ClassifyDetourPair(&tr.Detours[i], &tr.Detours[j])
+			hist[rep.Config]++
+			if (rep.Config == ConfigNonNested || rep.Config == ConfigNested) && rep.Dependent {
+				bad = append(bad, DisjointnessViolation{V: tr.V, I: i, J: j, Config: rep.Config})
+			}
+		}
+	}
+	return bad, hist
+}

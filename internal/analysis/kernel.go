@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/replace"
+)
+
+// Kernel is the kernel subgraph K(D) of a detour collection (Section
+// 3.2.2): detours are added in (x,y)-order, each contributing only its
+// prefix up to the first vertex already present.
+type Kernel struct {
+	// Detours holds the collection in (x,y)-order: decreasing x position,
+	// then decreasing y position.
+	Detours []*replace.Detour
+	// WIdx[i] is the position on Detours[i].Path of its truncation point
+	// w_i (the full length for non-truncated detours).
+	WIdx []int
+	// Truncated[i] reports w_i ≠ y_i.
+	Truncated []bool
+	// Breaker[i] is the index of a previously added detour whose kept
+	// prefix contains w_i (-1 for non-truncated detours).
+	Breaker []int
+
+	vertices map[int]bool
+	edges    map[int]bool
+	special  map[int]bool // X1 ∪ W1: detour starts and truncation points
+}
+
+// BuildKernel constructs K(D) for the given detours (invalid detours are
+// skipped; input order is irrelevant).
+func BuildKernel(dets []*replace.Detour) *Kernel {
+	k := &Kernel{
+		vertices: make(map[int]bool),
+		edges:    make(map[int]bool),
+		special:  make(map[int]bool),
+	}
+	for _, d := range dets {
+		if d != nil && d.Valid {
+			k.Detours = append(k.Detours, d)
+		}
+	}
+	// (x,y)-order: decreasing x, then decreasing y (Section 3.2.1).
+	sort.SliceStable(k.Detours, func(a, b int) bool {
+		da, db := k.Detours[a], k.Detours[b]
+		if da.XPos != db.XPos {
+			return da.XPos > db.XPos
+		}
+		return da.YPos > db.YPos
+	})
+	k.WIdx = make([]int, len(k.Detours))
+	k.Truncated = make([]bool, len(k.Detours))
+	k.Breaker = make([]int, len(k.Detours))
+	// owner[v] = index of the detour whose kept prefix first included v.
+	owner := make(map[int]int)
+	for i, d := range k.Detours {
+		w := len(d.Path) - 1
+		for pos := 0; pos < len(d.Path); pos++ {
+			if k.vertices[d.Path[pos]] {
+				w = pos
+				break
+			}
+		}
+		k.WIdx[i] = w
+		k.Truncated[i] = w != len(d.Path)-1
+		k.Breaker[i] = -1
+		if k.Truncated[i] {
+			if j, ok := owner[d.Path[w]]; ok {
+				k.Breaker[i] = j
+			}
+		}
+		for pos := 0; pos <= w; pos++ {
+			v := d.Path[pos]
+			if !k.vertices[v] {
+				k.vertices[v] = true
+				owner[v] = i
+			}
+		}
+		for pos := 0; pos < w; pos++ {
+			k.edges[d.EdgeIDs[pos]] = true
+		}
+		k.special[d.Path[0]] = true // x_i
+		k.special[d.Path[w]] = true // w_i
+	}
+	return k
+}
+
+// HasVertex reports whether v was added to the kernel.
+func (k *Kernel) HasVertex(v int) bool { return k.vertices[v] }
+
+// HasEdge reports whether the edge ID was added to the kernel.
+func (k *Kernel) HasEdge(id int) bool { return k.edges[id] }
+
+// NumVertices returns the kernel's vertex count.
+func (k *Kernel) NumVertices() int { return len(k.vertices) }
+
+// ContainsDetourPrefix reports whether the detour's prefix up to path
+// position upto (inclusive) is entirely inside the kernel, edges included.
+func (k *Kernel) ContainsDetourPrefix(d *replace.Detour, upto int) bool {
+	if upto >= len(d.Path) {
+		return false
+	}
+	for pos := 0; pos < upto; pos++ {
+		if !k.edges[d.EdgeIDs[pos]] {
+			return false
+		}
+	}
+	return k.vertices[d.Path[upto]]
+}
+
+// Regions decomposes the kernel into its maximal detour fragments between
+// special vertices (X1 ∪ W1) and returns their count (Claim 3.29 bounds it
+// by 2·|D| for y-interleaved collections).
+func (k *Kernel) Regions() int {
+	regions := 0
+	for i, d := range k.Detours {
+		w := k.WIdx[i]
+		if w == 0 {
+			continue // degenerate fragment: single vertex, no edges
+		}
+		regions++
+		for pos := 1; pos < w; pos++ {
+			if k.special[d.Path[pos]] {
+				regions++
+			}
+		}
+	}
+	return regions
+}
+
+// KernelReport aggregates the kernel-level claims for one target.
+type KernelReport struct {
+	V int
+	// Lemma314Checked counts new-ending (π,D) paths tested; violations
+	// lists record indices whose detour prefix up to the second fault is
+	// not inside K(D) (Lemma 3.14 says none).
+	Lemma314Checked    int
+	Lemma314Violations []int
+	// YGroups is the number of distinct detour end positions; for each
+	// group Claim 3.29 bounds regions by 2·group size. MaxRegionRatio is
+	// the max over groups of regions/(2·size).
+	YGroups        int
+	MaxRegionRatio float64
+	// FirstCommonOutsideW counts detour pairs in a y-group whose first
+	// common vertex is not a W1 endpoint (Claim 3.28 says zero).
+	FirstCommonOutsideW int
+}
+
+// CheckKernel runs the kernel-level claims (Lemma 3.14, Claims 3.28–3.29)
+// on a collected target.
+func CheckKernel(tr *replace.TargetResult) KernelReport {
+	rep := KernelReport{V: tr.V}
+
+	// Collection D: detours of the new-ending (π,D) paths.
+	detIdx := make(map[int]bool)
+	var recs []int
+	for i := range tr.Records {
+		rec := &tr.Records[i]
+		if rec.Kind == replace.KindPiD && rec.NewEnding && rec.Path != nil && !rec.UsedFallback {
+			if d := DetourOf(tr, rec); d != nil {
+				detIdx[rec.EIdx] = true
+				recs = append(recs, i)
+			}
+		}
+	}
+	var dets []*replace.Detour
+	for i := range tr.Detours {
+		if detIdx[i] {
+			dets = append(dets, &tr.Detours[i])
+		}
+	}
+	k := BuildKernel(dets)
+	for _, ri := range recs {
+		rec := &tr.Records[ri]
+		d := DetourOf(tr, rec)
+		rep.Lemma314Checked++
+		if !k.ContainsDetourPrefix(d, rec.SecondIdx+1) {
+			rep.Lemma314Violations = append(rep.Lemma314Violations, ri)
+		}
+	}
+
+	// y-groups over ALL valid detours of the target.
+	groups := make(map[int][]*replace.Detour)
+	for i := range tr.Detours {
+		if tr.Detours[i].Valid {
+			groups[tr.Detours[i].YPos] = append(groups[tr.Detours[i].YPos], &tr.Detours[i])
+		}
+	}
+	rep.YGroups = len(groups)
+	for _, g := range groups {
+		gk := BuildKernel(g)
+		if n := len(gk.Detours); n > 0 {
+			ratio := float64(gk.Regions()) / float64(2*n)
+			if ratio > rep.MaxRegionRatio {
+				rep.MaxRegionRatio = ratio
+			}
+		}
+		// Claim 3.28: first common vertex of every pair lies in W1.
+		w1 := make(map[int]bool)
+		for i, d := range gk.Detours {
+			w1[d.Path[gk.WIdx[i]]] = true
+		}
+		for i := 0; i < len(gk.Detours); i++ {
+			onI := make(map[int]bool, len(gk.Detours[i].Path))
+			for _, v := range gk.Detours[i].Path {
+				onI[v] = true
+			}
+			for j := i + 1; j < len(gk.Detours); j++ {
+				first := -1
+				for _, v := range gk.Detours[j].Path {
+					if onI[v] {
+						first = v
+						break
+					}
+				}
+				if first >= 0 && !w1[first] {
+					rep.FirstCommonOutsideW++
+				}
+			}
+		}
+	}
+	return rep
+}

@@ -1,0 +1,33 @@
+package bfs
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func BenchmarkRunner(b *testing.B) {
+	for _, n := range []int{100, 400, 1600} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := gen.SparseGNP(n, 8, 1)
+			r := NewRunner(g)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Run(0, nil, nil)
+			}
+		})
+	}
+}
+
+func BenchmarkRunnerWithFaults(b *testing.B) {
+	g := gen.SparseGNP(400, 8, 1)
+	r := NewRunner(g)
+	faults := []int{3, 17}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Run(0, faults, nil)
+	}
+}

@@ -1,0 +1,133 @@
+// Package bfs provides plain unweighted breadth-first search with reusable
+// scratch buffers. The verifier and the approximation algorithm run millions
+// of BFS passes over fault-restricted subgraphs, so the runner is
+// allocation-free after construction and supports per-run edge masks.
+package bfs
+
+import (
+	"repro/internal/graph"
+	"repro/internal/path"
+)
+
+// Unreachable is the distance reported for vertices not reached.
+const Unreachable = int32(-1)
+
+// Runner is a reusable BFS scratch over a fixed graph. It is not safe for
+// concurrent use; create one per goroutine.
+type Runner struct {
+	g      *graph.Graph
+	dist   []int32
+	parent []int32
+	queue  []int32
+	eOff   []uint32
+	vOff   []uint32
+	epoch  uint32
+}
+
+// NewRunner returns a runner bound to g.
+func NewRunner(g *graph.Graph) *Runner {
+	return &Runner{
+		g:      g,
+		dist:   make([]int32, g.N()),
+		parent: make([]int32, g.N()),
+		queue:  make([]int32, 0, g.N()),
+		eOff:   make([]uint32, g.M()),
+		vOff:   make([]uint32, g.N()),
+	}
+}
+
+// Run executes BFS from src with the given edges and vertices disabled.
+// Results are valid until the next Run.
+func (r *Runner) Run(src int, disabledEdges []int, disabledVertices []int) {
+	r.epoch++
+	if r.epoch == 0 {
+		for i := range r.eOff {
+			r.eOff[i] = 0
+		}
+		for i := range r.vOff {
+			r.vOff[i] = 0
+		}
+		r.epoch = 1
+	}
+	ep := r.epoch
+	for _, e := range disabledEdges {
+		r.eOff[e] = ep
+	}
+	for _, v := range disabledVertices {
+		r.vOff[v] = ep
+	}
+	for i := range r.dist {
+		r.dist[i] = Unreachable
+	}
+	r.queue = r.queue[:0]
+	if r.vOff[src] == ep {
+		return
+	}
+	r.dist[src] = 0
+	r.parent[src] = -1
+	r.queue = append(r.queue, int32(src))
+	for head := 0; head < len(r.queue); head++ {
+		v := int(r.queue[head])
+		dv := r.dist[v]
+		r.g.ForNeighbors(v, func(u, eid int) bool {
+			if r.eOff[eid] == ep || r.vOff[u] == ep || r.dist[u] != Unreachable {
+				return true
+			}
+			r.dist[u] = dv + 1
+			r.parent[u] = int32(v)
+			r.queue = append(r.queue, int32(u))
+			return true
+		})
+	}
+}
+
+// Dist returns the hop distance to v from the last run's source, or
+// Unreachable.
+func (r *Runner) Dist(v int) int32 { return r.dist[v] }
+
+// Dists returns the internal distance slice for the last run. The slice is
+// owned by the runner and overwritten by the next Run; callers must copy it
+// if they need to retain it.
+func (r *Runner) Dists() []int32 { return r.dist }
+
+// PathTo reconstructs one shortest path to v from the last run, or nil.
+func (r *Runner) PathTo(v int) path.Path {
+	if r.dist[v] == Unreachable {
+		return nil
+	}
+	p := make(path.Path, r.dist[v]+1)
+	i := len(p) - 1
+	for u := v; i >= 0; u = int(r.parent[u]) {
+		p[i] = u
+		i--
+	}
+	return p
+}
+
+// Distances runs a one-shot BFS and returns a fresh distance slice.
+// Convenience for callers that do not need a reusable runner.
+func Distances(g *graph.Graph, src int, disabledEdges []int) []int32 {
+	r := NewRunner(g)
+	r.Run(src, disabledEdges, nil)
+	out := make([]int32, g.N())
+	copy(out, r.dist)
+	return out
+}
+
+// Eccentricity returns the maximum finite distance from src, and whether all
+// vertices are reachable.
+func Eccentricity(g *graph.Graph, src int) (int32, bool) {
+	d := Distances(g, src, nil)
+	var ecc int32
+	all := true
+	for _, dv := range d {
+		if dv == Unreachable {
+			all = false
+			continue
+		}
+		if dv > ecc {
+			ecc = dv
+		}
+	}
+	return ecc, all
+}

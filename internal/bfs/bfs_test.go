@@ -1,0 +1,104 @@
+package bfs
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestDistancesPathGraph(t *testing.T) {
+	g := gen.PathGraph(5)
+	d := Distances(g, 0, nil)
+	for v := 0; v < 5; v++ {
+		if d[v] != int32(v) {
+			t.Fatalf("dist(%d) = %d", v, d[v])
+		}
+	}
+}
+
+func TestRunnerFaults(t *testing.T) {
+	g := gen.Cycle(8)
+	e01, _ := g.EdgeID(0, 1)
+	r := NewRunner(g)
+	r.Run(0, []int{e01}, nil)
+	if r.Dist(1) != 7 {
+		t.Fatalf("dist(1) with cut = %d, want 7", r.Dist(1))
+	}
+	r.Run(0, nil, nil)
+	if r.Dist(1) != 1 {
+		t.Fatalf("mask leaked: dist(1) = %d", r.Dist(1))
+	}
+}
+
+func TestRunnerDisabledVertexAndSource(t *testing.T) {
+	g := gen.PathGraph(5)
+	r := NewRunner(g)
+	r.Run(0, nil, []int{2})
+	if r.Dist(3) != Unreachable || r.Dist(1) != 1 {
+		t.Fatalf("vertex mask wrong: d3=%d d1=%d", r.Dist(3), r.Dist(1))
+	}
+	r.Run(0, nil, []int{0})
+	for v := 0; v < 5; v++ {
+		if r.Dist(v) != Unreachable {
+			t.Fatalf("disabled source still reaches %d", v)
+		}
+	}
+}
+
+func TestRunnerPathTo(t *testing.T) {
+	g := gen.Grid(3, 3)
+	r := NewRunner(g)
+	r.Run(0, nil, nil)
+	p := r.PathTo(8)
+	if p == nil || p.Len() != int(r.Dist(8)) || !p.ValidIn(g) {
+		t.Fatalf("PathTo(8) = %v (dist %d)", p, r.Dist(8))
+	}
+	if p.First() != 0 || p.Last() != 8 {
+		t.Fatalf("endpoints wrong: %v", p)
+	}
+	r.Run(0, nil, []int{8})
+	if r.PathTo(8) != nil {
+		t.Fatalf("unreachable PathTo should be nil")
+	}
+}
+
+func TestEccentricity(t *testing.T) {
+	g := gen.PathGraph(6)
+	ecc, all := Eccentricity(g, 0)
+	if ecc != 5 || !all {
+		t.Fatalf("ecc = %d all=%v", ecc, all)
+	}
+	ecc, all = Eccentricity(g, 2)
+	if ecc != 3 || !all {
+		t.Fatalf("ecc from middle = %d", ecc)
+	}
+}
+
+func TestEpochWraparound(t *testing.T) {
+	g := gen.PathGraph(3)
+	r := NewRunner(g)
+	r.epoch = ^uint32(0)
+	e01, _ := g.EdgeID(0, 1)
+	r.Run(0, []int{e01}, nil) // wraps
+	if r.Dist(1) != Unreachable {
+		t.Fatalf("mask ignored after wrap: %d", r.Dist(1))
+	}
+	r.Run(0, nil, nil)
+	if r.Dist(2) != 2 {
+		t.Fatalf("post-wrap run wrong: %d", r.Dist(2))
+	}
+}
+
+func TestDistsSliceReused(t *testing.T) {
+	g := gen.PathGraph(3)
+	r := NewRunner(g)
+	r.Run(0, nil, nil)
+	d := r.Dists()
+	if d[2] != 2 {
+		t.Fatalf("Dists()[2] = %d", d[2])
+	}
+	r.Run(2, nil, nil)
+	if d[0] != 2 { // same backing array, now from source 2
+		t.Fatalf("Dists should be runner-owned storage; got %d", d[0])
+	}
+}

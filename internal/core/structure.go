@@ -1,0 +1,347 @@
+// Package core implements the paper's fault-tolerant BFS structures: the
+// dual-failure construction Cons2FTBFS (Theorem 1.1), the single-failure
+// construction of Parter–Peleg [10] as a baseline, an exhaustive
+// union-of-canonical-trees builder for any f (the generic last-edge closure,
+// cf. Obs. 1.6), a full-path-union ablation, and multi-source composition.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/replace"
+	"repro/internal/wsp"
+)
+
+// Structure is a fault-tolerant BFS structure: a subgraph of G given as an
+// edge-ID set, together with its provenance.
+type Structure struct {
+	G       *graph.Graph
+	Sources []int
+	// Faults is the number of failures the structure is built to
+	// tolerate.
+	Faults int
+	// VertexFaults marks structures built for the vertex-failure model
+	// (BuildVertexExhaustive) rather than edge failures.
+	VertexFaults bool
+	// Edges marks the IDs of G's edges kept in the structure.
+	Edges *graph.EdgeSet
+	// Stats describes the construction effort and per-vertex size
+	// distribution (see BuildStats).
+	Stats BuildStats
+	// Targets optionally retains the per-target computation artifacts
+	// (Options.CollectPaths); indexed by vertex, nil entries for the
+	// source and unreachable vertices.
+	Targets []*replace.TargetResult
+}
+
+// NumEdges returns the number of edges in the structure.
+func (s *Structure) NumEdges() int { return s.Edges.Len() }
+
+// Subgraph materializes the structure as a standalone graph (edge IDs are
+// renumbered).
+func (s *Structure) Subgraph() *graph.Graph { return s.G.Subgraph(s.Edges) }
+
+// DisabledEdges returns the IDs of G's edges NOT in the structure, which is
+// how verifiers and routers restrict searches to H.
+func (s *Structure) DisabledEdges() []int {
+	out := make([]int, 0, s.G.M()-s.Edges.Len())
+	for id := 0; id < s.G.M(); id++ {
+		if !s.Edges.Has(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// BuildStats aggregates construction counters.
+type BuildStats struct {
+	Dijkstras   int
+	Fallbacks   int
+	TieWarnings int
+	// MaxNewEdges is max over v of |New(v)| (the paper bounds it by
+	// O(n^{2/3}) for f = 2).
+	MaxNewEdges int
+	// MaxE1, MaxE2 are max over v of |E1(π)|, |E2(π)| new-edge counts
+	// (the paper bounds both by O(√n)).
+	MaxE1, MaxE2 int
+	// NewEndingPiD is the total number of Step-3 new-ending paths.
+	NewEndingPiD int
+}
+
+// Options configures the builders. The zero value is ready to use.
+type Options struct {
+	// Seed selects the tie-breaking weight assignment W; builders with
+	// equal seeds are deterministic.
+	Seed int64
+	// CollectPaths retains every replacement path in Structure.Targets
+	// (memory-heavy; analysis and tests only).
+	CollectPaths bool
+	// Parallelism > 1 splits the per-target work of BuildDual/BuildSingle
+	// across that many goroutines, each with its own search engine over
+	// the SAME weight assignment — the result is identical to the
+	// sequential build.
+	Parallelism int
+}
+
+func (o *Options) seed() int64 {
+	if o == nil {
+		return 1
+	}
+	return o.Seed + 1 // keep seed 0 distinct from "no options"
+}
+
+func (o *Options) collect() bool { return o != nil && o.CollectPaths }
+
+// BuildDual constructs the dual-failure FT-BFS structure of Theorem 1.1 for
+// source s: H = T0 ∪ ⋃_v H(v) where H(v) holds the last edges of the
+// replacement paths selected by Algorithm Cons2FTBFS.
+func BuildDual(g *graph.Graph, s int, opts *Options) (*Structure, error) {
+	return buildWithEngine(g, s, opts, 2, func(eng *replace.Engine, v int, collect bool) *replace.TargetResult {
+		return eng.BuildTarget(v, collect)
+	})
+}
+
+// BuildSingle constructs the single-failure FT-BFS structure of [10]:
+// T0 plus the last edge of every single-failure replacement path. Its size
+// is O(n^{3/2}).
+func BuildSingle(g *graph.Graph, s int, opts *Options) (*Structure, error) {
+	return buildWithEngine(g, s, opts, 1, func(eng *replace.Engine, v int, collect bool) *replace.TargetResult {
+		return eng.BuildTargetSingle(v, collect)
+	})
+}
+
+func buildWithEngine(g *graph.Graph, s int, opts *Options, faults int,
+	build func(*replace.Engine, int, bool) *replace.TargetResult) (*Structure, error) {
+	w := wsp.NewAssignment(g.M(), opts.seed())
+	eng, err := replace.NewEngine(g, w, s)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	st := &Structure{
+		G:       g,
+		Sources: []int{s},
+		Faults:  faults,
+		Edges:   graph.NewEdgeSet(g.M()),
+	}
+	for _, id := range eng.TreeEdges() {
+		st.Edges.Add(id)
+	}
+	collect := opts.collect()
+	if collect {
+		st.Targets = make([]*replace.TargetResult, g.N())
+	}
+	workers := 1
+	if opts != nil && opts.Parallelism > 1 {
+		workers = opts.Parallelism
+	}
+	if workers == 1 {
+		for v := 0; v < g.N(); v++ {
+			st.fold(build(eng, v, collect), collect)
+		}
+		es := eng.Stats()
+		st.Stats.Dijkstras = es.Dijkstras
+		st.Stats.Fallbacks = es.Fallbacks
+		st.Stats.TieWarnings = es.TieWarnings
+		return st, nil
+	}
+	return st, st.buildParallel(g, w, s, workers, collect, build)
+}
+
+// fold merges one target's contribution into the structure.
+func (s *Structure) fold(tr *replace.TargetResult, collect bool) {
+	if tr == nil {
+		return
+	}
+	for _, id := range tr.HEdges {
+		s.Edges.Add(id)
+	}
+	if len(tr.NewEdges) > s.Stats.MaxNewEdges {
+		s.Stats.MaxNewEdges = len(tr.NewEdges)
+	}
+	if tr.E1Count > s.Stats.MaxE1 {
+		s.Stats.MaxE1 = tr.E1Count
+	}
+	if tr.E2Count > s.Stats.MaxE2 {
+		s.Stats.MaxE2 = tr.E2Count
+	}
+	s.Stats.NewEndingPiD += tr.NewEndingPiD
+	if collect {
+		s.Targets[tr.V] = tr
+	}
+}
+
+// buildParallel fans the per-target computation out over `workers`
+// goroutines, each with a private engine over the shared weight assignment,
+// and folds the results deterministically (target order is irrelevant: each
+// target's edge set is independent).
+func (s *Structure) buildParallel(g *graph.Graph, w *wsp.Assignment, src, workers int,
+	collect bool, build func(*replace.Engine, int, bool) *replace.TargetResult) error {
+	type chunk struct {
+		results []*replace.TargetResult
+		stats   replace.Stats
+		err     error
+	}
+	n := g.N()
+	out := make([]chunk, workers)
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			eng, err := replace.NewEngine(g, w, src)
+			if err != nil {
+				out[wi].err = err
+				return
+			}
+			for v := wi; v < n; v += workers {
+				if tr := build(eng, v, collect); tr != nil {
+					out[wi].results = append(out[wi].results, tr)
+				}
+			}
+			out[wi].stats = eng.Stats()
+		}(wi)
+	}
+	wg.Wait()
+	for wi := range out {
+		if out[wi].err != nil {
+			return fmt.Errorf("core: worker %d: %w", wi, out[wi].err)
+		}
+		for _, tr := range out[wi].results {
+			s.fold(tr, collect)
+		}
+		s.Stats.Dijkstras += out[wi].stats.Dijkstras
+		s.Stats.Fallbacks += out[wi].stats.Fallbacks
+		s.Stats.TieWarnings += out[wi].stats.TieWarnings
+	}
+	return nil
+}
+
+// BuildFullPaths is the no-sparsification ablation: it runs the same
+// replacement-path selection as BuildDual but keeps EVERY edge of every
+// selected path instead of only last edges. Always a superset of the
+// BuildDual structure with the same seed.
+func BuildFullPaths(g *graph.Graph, s int, opts *Options) (*Structure, error) {
+	forced := Options{CollectPaths: true}
+	if opts != nil {
+		forced.Seed = opts.Seed
+	}
+	st, err := BuildDual(g, s, &forced)
+	if err != nil {
+		return nil, err
+	}
+	for _, tr := range st.Targets {
+		if tr == nil {
+			continue
+		}
+		for _, rec := range tr.Records {
+			for _, ge := range rec.Path.Edges() {
+				if id, ok := g.EdgeID(ge.U, ge.V); ok {
+					st.Edges.Add(id)
+				}
+			}
+		}
+	}
+	if opts == nil || !opts.CollectPaths {
+		st.Targets = nil
+	}
+	return st, nil
+}
+
+// BuildExhaustive constructs an f-failure FT-BFS structure for ANY f ≥ 0 as
+// the union of the canonical shortest-path trees of G \ F over every fault
+// set |F| ≤ f. This is the generic last-edge closure: each tree is exactly
+// {LastE(SP(s,v,G\F,W)) : v ∈ V}, so the union is a valid f-FT-BFS
+// structure, with size O(D_f(G)^f · n) on small-FT-diameter graphs
+// (Obs. 1.6). Cost: C(m,f) Dijkstras — use only on small instances for
+// f ≥ 2.
+func BuildExhaustive(g *graph.Graph, s int, f int, opts *Options) (*Structure, error) {
+	if s < 0 || s >= g.N() {
+		return nil, fmt.Errorf("core: source %d out of range [0,%d)", s, g.N())
+	}
+	if f < 0 || f > 3 {
+		return nil, fmt.Errorf("core: exhaustive builder supports 0 ≤ f ≤ 3, got %d", f)
+	}
+	w := wsp.NewAssignment(g.M(), opts.seed())
+	search := wsp.NewSearch(g, w)
+	st := &Structure{
+		G:       g,
+		Sources: []int{s},
+		Faults:  f,
+		Edges:   graph.NewEdgeSet(g.M()),
+	}
+	addTree := func(faults []int) {
+		search.Run(s, wsp.Options{Target: -1, DisabledEdges: faults})
+		st.Stats.Dijkstras++
+		for v := 0; v < g.N(); v++ {
+			if id := search.ParentEdgeOf(v); id >= 0 {
+				st.Edges.Add(id)
+			}
+		}
+	}
+	m := g.M()
+	switch f {
+	case 0:
+		addTree(nil)
+	case 1:
+		addTree(nil)
+		for a := 0; a < m; a++ {
+			addTree([]int{a})
+		}
+	case 2:
+		addTree(nil)
+		for a := 0; a < m; a++ {
+			addTree([]int{a})
+			for b := a + 1; b < m; b++ {
+				addTree([]int{a, b})
+			}
+		}
+	case 3:
+		addTree(nil)
+		for a := 0; a < m; a++ {
+			addTree([]int{a})
+			for b := a + 1; b < m; b++ {
+				addTree([]int{a, b})
+				for c := b + 1; c < m; c++ {
+					addTree([]int{a, b, c})
+				}
+			}
+		}
+	}
+	st.Stats.TieWarnings = search.TieWarnings
+	return st, nil
+}
+
+// BuildMultiSource composes per-source structures into an FT-MBFS structure
+// for the given source set by unioning their edge sets. build is invoked
+// once per source (e.g. BuildDual).
+func BuildMultiSource(g *graph.Graph, sources []int, opts *Options,
+	build func(*graph.Graph, int, *Options) (*Structure, error)) (*Structure, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("core: empty source set")
+	}
+	uniq := append([]int(nil), sources...)
+	sort.Ints(uniq)
+	out := &Structure{G: g, Edges: graph.NewEdgeSet(g.M())}
+	for i, s := range uniq {
+		if i > 0 && s == uniq[i-1] {
+			continue
+		}
+		st, err := build(g, s, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: source %d: %w", s, err)
+		}
+		out.Edges.Union(st.Edges)
+		out.Sources = append(out.Sources, s)
+		out.Faults = st.Faults
+		out.Stats.Dijkstras += st.Stats.Dijkstras
+		out.Stats.Fallbacks += st.Stats.Fallbacks
+		out.Stats.TieWarnings += st.Stats.TieWarnings
+		if st.Stats.MaxNewEdges > out.Stats.MaxNewEdges {
+			out.Stats.MaxNewEdges = st.Stats.MaxNewEdges
+		}
+	}
+	return out, nil
+}

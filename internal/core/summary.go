@@ -1,0 +1,44 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Summary renders a human-readable report of the structure: sizes against
+// the paper's envelopes, construction effort and anomaly counters.
+func (s *Structure) Summary() string {
+	var b strings.Builder
+	n := float64(s.G.N())
+	model := "edge"
+	if s.VertexFaults {
+		model = "vertex"
+	}
+	fmt.Fprintf(&b, "FT-BFS structure: sources=%v f=%d (%s faults)\n", s.Sources, s.Faults, model)
+	fmt.Fprintf(&b, "  graph: n=%d m=%d\n", s.G.N(), s.G.M())
+	fmt.Fprintf(&b, "  edges kept: %d (%.1f%% of G; spanning tree would be %d)\n",
+		s.NumEdges(), 100*float64(s.NumEdges())/float64(s.G.M()), s.G.N()-1)
+	switch s.Faults {
+	case 1:
+		fmt.Fprintf(&b, "  envelope: |H|/n^{3/2} = %.3f (paper bound O(n^{3/2}))\n",
+			float64(s.NumEdges())/math.Pow(n, 1.5))
+	case 2:
+		fmt.Fprintf(&b, "  envelope: |H|/n^{5/3} = %.3f (Theorem 1.1 bound O(n^{5/3}))\n",
+			float64(s.NumEdges())/math.Pow(n, 5.0/3.0))
+	}
+	if s.Stats.MaxNewEdges > 0 {
+		fmt.Fprintf(&b, "  max new edges per vertex: %d (bound O(n^{2/3}) = %.1f)\n",
+			s.Stats.MaxNewEdges, math.Pow(n, 2.0/3.0))
+	}
+	if s.Stats.MaxE1 > 0 || s.Stats.MaxE2 > 0 {
+		fmt.Fprintf(&b, "  max |E1(pi)|=%d, max |E2(pi)|=%d (bounds O(sqrt n) = %.1f)\n",
+			s.Stats.MaxE1, s.Stats.MaxE2, math.Sqrt(n))
+	}
+	fmt.Fprintf(&b, "  effort: %d shortest-path searches", s.Stats.Dijkstras)
+	if s.Stats.Fallbacks > 0 || s.Stats.TieWarnings > 0 {
+		fmt.Fprintf(&b, "; fallbacks=%d tieWarnings=%d", s.Stats.Fallbacks, s.Stats.TieWarnings)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,61 @@
+package dot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+func TestWritePlain(t *testing.T) {
+	g := gen.PathGraph(3)
+	var buf bytes.Buffer
+	if err := Write(&buf, g, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{`graph "G" {`, "0 -- 1;", "1 -- 2;", "}"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestWriteStructureAndFaults(t *testing.T) {
+	g := gen.Cycle(5)
+	st, err := core.BuildSingle(g, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err = Write(&buf, g, Options{Name: "demo", Structure: st, Faults: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, `graph "demo" {`) {
+		t.Fatal("name missing")
+	}
+	if !strings.Contains(s, "fillcolor=gold") {
+		t.Fatal("source highlight missing")
+	}
+	if !strings.Contains(s, "color=red") {
+		t.Fatal("fault styling missing")
+	}
+	// A cycle's single-failure structure keeps every edge, so no dotted
+	// edges here; confirm on a graph with discarded edges instead.
+	g2 := gen.Complete(5)
+	st2, err := core.BuildSingle(g2, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := Write(&buf, g2, Options{Structure: st2}); err != nil {
+		t.Fatal(err)
+	}
+	if st2.NumEdges() < g2.M() && !strings.Contains(buf.String(), "style=dotted") {
+		t.Fatal("discarded-edge styling missing")
+	}
+}

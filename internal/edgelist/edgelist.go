@@ -1,0 +1,120 @@
+// Package edgelist reads and writes the plain-text graph format used by the
+// command-line tools:
+//
+//	# comment
+//	n <vertexCount>
+//	<u> <v>
+//	<u> <v>
+//	...
+//
+// Vertices are 0-based integers; one edge per line; '#' starts a comment.
+// The "n" header is optional — without it the vertex count is one more than
+// the largest endpoint mentioned.
+package edgelist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Read parses a graph from r.
+func Read(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var n = -1
+	type pair struct{ u, v int }
+	var edges []pair
+	maxV := -1
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] == "n" {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("edgelist: line %d: want \"n <count>\"", lineNo)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("edgelist: line %d: bad vertex count %q", lineNo, fields[1])
+			}
+			n = v
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("edgelist: line %d: want \"<u> <v>\", got %q", lineNo, line)
+		}
+		u, err1 := strconv.Atoi(fields[0])
+		v, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("edgelist: line %d: bad endpoints %q", lineNo, line)
+		}
+		edges = append(edges, pair{u, v})
+		if u > maxV {
+			maxV = u
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("edgelist: %w", err)
+	}
+	if n < 0 {
+		n = maxV + 1
+	}
+	g := graph.New(n)
+	for _, e := range edges {
+		if _, err := g.AddEdge(e.u, e.v); err != nil {
+			return nil, fmt.Errorf("edgelist: %w", err)
+		}
+	}
+	return g, nil
+}
+
+// Write emits g in the package format (with the "n" header so isolated
+// vertices round-trip).
+func Write(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "n %d\n", g.N()); err != nil {
+		return err
+	}
+	for _, e := range g.SortedEdges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteSubset emits only the edges of g whose ID is in keep, preserving the
+// full vertex count (the structure-file format of the CLI tools).
+func WriteSubset(w io.Writer, g *graph.Graph, keep *graph.EdgeSet) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "n %d\n", g.N()); err != nil {
+		return err
+	}
+	var ferr error
+	keep.ForEach(func(id int) {
+		if ferr != nil {
+			return
+		}
+		e := g.EdgeAt(id)
+		_, ferr = fmt.Fprintf(bw, "%d %d\n", e.U, e.V)
+	})
+	if ferr != nil {
+		return ferr
+	}
+	return bw.Flush()
+}

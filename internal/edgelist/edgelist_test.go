@@ -1,0 +1,100 @@
+package edgelist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestReadBasic(t *testing.T) {
+	in := `
+# a comment
+n 5
+0 1
+1 2  # trailing comment
+3 4
+`
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 5 || g.M() != 3 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if !g.HasEdge(1, 2) || !g.HasEdge(3, 4) {
+		t.Fatal("edges missing")
+	}
+}
+
+func TestReadInfersN(t *testing.T) {
+	g, err := Read(strings.NewReader("0 1\n1 7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 8 {
+		t.Fatalf("inferred n = %d", g.N())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad n":        "n x\n",
+		"negative n":   "n -3\n",
+		"three fields": "0 1 2\n",
+		"non-numeric":  "a b\n",
+		"self-loop":    "1 1\n",
+		"duplicate":    "0 1\n1 0\n",
+		"out of range": "n 2\n0 5\n",
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(in)); err == nil {
+				t.Fatalf("input %q accepted", in)
+			}
+		})
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	g := gen.GNP(20, 0.2, 5)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != g.N() || back.M() != g.M() {
+		t.Fatalf("round trip changed size: %d/%d vs %d/%d", back.N(), back.M(), g.N(), g.M())
+	}
+	for _, e := range g.Edges() {
+		if !back.HasEdge(e.U, e.V) {
+			t.Fatalf("edge %v lost", e)
+		}
+	}
+}
+
+func TestWriteSubset(t *testing.T) {
+	g := graph.New(4)
+	a := g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	c := g.MustAddEdge(2, 3)
+	keep := graph.NewEdgeSet(g.M())
+	keep.Add(a)
+	keep.Add(c)
+	var buf bytes.Buffer
+	if err := WriteSubset(&buf, g, keep); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 4 || back.M() != 2 || back.HasEdge(1, 2) {
+		t.Fatalf("subset wrong: n=%d m=%d", back.N(), back.M())
+	}
+}

@@ -1,0 +1,281 @@
+// Package gen provides seeded, deterministic workload generators: the graph
+// families used by the experiment harness and the test suite. Every
+// generator returns a connected graph (generators that may produce
+// disconnected samples splice in a Hamiltonian backbone or retry).
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// GNP returns an Erdős–Rényi G(n, p) sample with a random Hamiltonian
+// backbone added first so the result is always connected. Vertices are
+// permuted so the backbone is not axis-aligned with vertex IDs.
+func GNP(n int, p float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	perm := rng.Perm(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(perm[i], perm[i+1])
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if g.HasEdge(u, v) {
+				continue
+			}
+			if rng.Float64() < p {
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// SparseGNP returns G(n, c/n): constant expected average degree c, plus a
+// connecting backbone.
+func SparseGNP(n int, avgDeg float64, seed int64) *graph.Graph {
+	return GNP(n, avgDeg/float64(n), seed)
+}
+
+// RandomRegular returns a (near-)d-regular graph via the pairing model:
+// stubs are matched in shuffled rounds, with colliding stubs (self-loops,
+// duplicate edges) re-shuffled and re-paired. On the rare instances where a
+// few stubs remain unmatched, those vertices end with degree slightly below
+// d; a connecting backbone is spliced in only if the result is
+// disconnected.
+func RandomRegular(n, d int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	const maxTries = 30
+	var best *graph.Graph
+	bestLeft := 1 << 30
+	for try := 0; try < maxTries; try++ {
+		g := graph.New(n)
+		stubs := make([]int, 0, n*d)
+		for v := 0; v < n; v++ {
+			for i := 0; i < d; i++ {
+				stubs = append(stubs, v)
+			}
+		}
+		for round := 0; round < 30 && len(stubs) > 1; round++ {
+			rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+			leftover := stubs[:0:0]
+			for i := 0; i+1 < len(stubs); i += 2 {
+				u, v := stubs[i], stubs[i+1]
+				if u == v || g.HasEdge(u, v) {
+					leftover = append(leftover, u, v)
+					continue
+				}
+				g.MustAddEdge(u, v)
+			}
+			if len(stubs)%2 == 1 {
+				leftover = append(leftover, stubs[len(stubs)-1])
+			}
+			stubs = leftover
+		}
+		if len(stubs) == 0 && g.ConnectedFrom(0) {
+			return g
+		}
+		if len(stubs) < bestLeft {
+			best, bestLeft = g, len(stubs)
+		}
+	}
+	if !best.ConnectedFrom(0) {
+		connect(best, rng)
+	}
+	return best
+}
+
+// connect splices a random spanning backbone into g in-place, adding only
+// missing edges.
+func connect(g *graph.Graph, rng *rand.Rand) {
+	n := g.N()
+	perm := rng.Perm(n)
+	for i := 0; i+1 < n; i++ {
+		if !g.HasEdge(perm[i], perm[i+1]) {
+			g.MustAddEdge(perm[i], perm[i+1])
+		}
+	}
+}
+
+// Grid returns the rows×cols grid graph. Vertex (r, c) has ID r*cols + c.
+func Grid(rows, cols int) *graph.Graph {
+	g := graph.New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.MustAddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				g.MustAddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// PathGraph returns the path 0-1-...-(n-1).
+func PathGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	return g
+}
+
+// Cycle returns the n-cycle (n ≥ 3).
+func Cycle(n int) *graph.Graph {
+	g := PathGraph(n)
+	if n >= 3 {
+		g.MustAddEdge(n-1, 0)
+	}
+	return g
+}
+
+// CompleteBipartite returns K_{a,b}: vertices 0..a-1 on one side,
+// a..a+b-1 on the other.
+func CompleteBipartite(a, b int) *graph.Graph {
+	g := graph.New(a + b)
+	for u := 0; u < a; u++ {
+		for v := 0; v < b; v++ {
+			g.MustAddEdge(u, a+v)
+		}
+	}
+	return g
+}
+
+// Complete returns K_n.
+func Complete(n int) *graph.Graph {
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Hypercube returns the dim-dimensional hypercube on 2^dim vertices.
+func Hypercube(dim int) *graph.Graph {
+	n := 1 << dim
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		for b := 0; b < dim; b++ {
+			u := v ^ (1 << b)
+			if u > v {
+				g.MustAddEdge(v, u)
+			}
+		}
+	}
+	return g
+}
+
+// Layered returns a graph of `layers` layers of `width` vertices each, with
+// every consecutive pair of layers joined by a random bipartite graph of the
+// given density (at least a perfect matching is always present, so the graph
+// is connected layer to layer). Vertex (l, i) has ID l*width + i. A source
+// vertex is typically placed at layer 0.
+func Layered(width, layers int, density float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(width * layers)
+	id := func(l, i int) int { return l*width + i }
+	for l := 0; l+1 < layers; l++ {
+		perm := rng.Perm(width)
+		for i := 0; i < width; i++ {
+			g.MustAddEdge(id(l, i), id(l+1, perm[i]))
+		}
+		for i := 0; i < width; i++ {
+			for j := 0; j < width; j++ {
+				if perm[i] == j {
+					continue
+				}
+				if rng.Float64() < density {
+					g.MustAddEdge(id(l, i), id(l+1, j))
+				}
+			}
+		}
+	}
+	// Connect layer 0 internally so a single source reaches all of it.
+	for i := 0; i+1 < width; i++ {
+		g.MustAddEdge(id(0, i), id(0, i+1))
+	}
+	return g
+}
+
+// TreePlusChords returns a random tree (random attachment) with `chords`
+// extra random non-tree edges. Good family for the approximation experiment:
+// the optimal FT-BFS is near-linear.
+func TreePlusChords(n, chords int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(v, rng.Intn(v))
+	}
+	added := 0
+	for tries := 0; added < chords && tries < 50*chords+100; tries++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.MustAddEdge(u, v)
+		added++
+	}
+	return g
+}
+
+// Family is a named graph generator taking (n, seed), used by sweeps.
+type Family struct {
+	Name string
+	Make func(n int, seed int64) *graph.Graph
+}
+
+// StandardFamilies returns the sweep families used across experiments.
+func StandardFamilies() []Family {
+	return []Family{
+		{Name: "gnp-dense", Make: func(n int, seed int64) *graph.Graph {
+			return GNP(n, 0.5, seed)
+		}},
+		{Name: "gnp-logn", Make: func(n int, seed int64) *graph.Graph {
+			return SparseGNP(n, 8, seed)
+		}},
+		{Name: "grid", Make: func(n int, seed int64) *graph.Graph {
+			side := isqrt(n)
+			return Grid(side, side)
+		}},
+		{Name: "layered", Make: func(n int, seed int64) *graph.Graph {
+			w := isqrt(n)
+			if w < 2 {
+				w = 2
+			}
+			return Layered(w, (n+w-1)/w, 0.3, seed)
+		}},
+		{Name: "tree+chords", Make: func(n int, seed int64) *graph.Graph {
+			return TreePlusChords(n, n/10+2, seed)
+		}},
+	}
+}
+
+func isqrt(n int) int {
+	if n < 0 {
+		return 0
+	}
+	x := 0
+	for (x+1)*(x+1) <= n {
+		x++
+	}
+	return x
+}
+
+// Validate sanity-checks a generated graph: connected, simple, right size.
+func Validate(g *graph.Graph) error {
+	if g.N() == 0 {
+		return fmt.Errorf("gen: empty graph")
+	}
+	if !g.ConnectedFrom(0) {
+		return fmt.Errorf("gen: graph disconnected")
+	}
+	return nil
+}

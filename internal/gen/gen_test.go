@@ -1,0 +1,162 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGNPConnectedAndSized(t *testing.T) {
+	for _, n := range []int{2, 10, 50} {
+		g := GNP(n, 0.2, 7)
+		if g.N() != n {
+			t.Fatalf("n=%d: got %d vertices", n, g.N())
+		}
+		if err := Validate(g); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if g.M() < n-1 {
+			t.Fatalf("n=%d: backbone missing (m=%d)", n, g.M())
+		}
+	}
+}
+
+func TestGNPDeterministic(t *testing.T) {
+	a := GNP(30, 0.3, 5)
+	b := GNP(30, 0.3, 5)
+	if a.M() != b.M() {
+		t.Fatalf("same seed, different edge counts: %d vs %d", a.M(), b.M())
+	}
+	for _, e := range a.Edges() {
+		if !b.HasEdge(e.U, e.V) {
+			t.Fatalf("same seed, different edges")
+		}
+	}
+	c := GNP(30, 0.3, 6)
+	if c.M() == a.M() {
+		same := true
+		for _, e := range a.Edges() {
+			if !c.HasEdge(e.U, e.V) {
+				same = false
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestSparseGNPDegree(t *testing.T) {
+	g := SparseGNP(200, 6, 3)
+	avg := 2 * float64(g.M()) / float64(g.N())
+	if avg < 4 || avg > 10 {
+		t.Fatalf("average degree %f far from target 6", avg)
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	g := RandomRegular(40, 4, 9)
+	if err := Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	h := g.DegreeHistogram()
+	if h[4] < 20 {
+		t.Fatalf("too few degree-4 vertices: %v", h)
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	g := Grid(3, 4)
+	if g.N() != 12 || g.M() != 3*3+2*4 {
+		t.Fatalf("3x4 grid: n=%d m=%d", g.N(), g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(0, 4) || g.HasEdge(3, 4) {
+		t.Fatal("grid adjacency wrong")
+	}
+}
+
+func TestPathCycleComplete(t *testing.T) {
+	if g := PathGraph(5); g.M() != 4 {
+		t.Fatalf("path m=%d", g.M())
+	}
+	if g := Cycle(5); g.M() != 5 || !g.HasEdge(4, 0) {
+		t.Fatalf("cycle wrong")
+	}
+	if g := Complete(6); g.M() != 15 {
+		t.Fatalf("K6 m=%d", g.M())
+	}
+	if g := CompleteBipartite(2, 3); g.M() != 6 || g.HasEdge(0, 1) || !g.HasEdge(0, 2) {
+		t.Fatalf("K23 wrong")
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	g := Hypercube(3)
+	if g.N() != 8 || g.M() != 12 {
+		t.Fatalf("Q3: n=%d m=%d", g.N(), g.M())
+	}
+	h := g.DegreeHistogram()
+	if h[3] != 8 {
+		t.Fatalf("Q3 not 3-regular: %v", h)
+	}
+}
+
+func TestLayeredConnected(t *testing.T) {
+	g := Layered(5, 6, 0.3, 4)
+	if g.N() != 30 {
+		t.Fatalf("n=%d", g.N())
+	}
+	if err := Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreePlusChords(t *testing.T) {
+	tree := TreePlusChords(30, 0, 2)
+	if tree.M() != 29 {
+		t.Fatalf("tree m=%d", tree.M())
+	}
+	g := TreePlusChords(30, 5, 2)
+	if g.M() != 34 {
+		t.Fatalf("chords m=%d", g.M())
+	}
+	if err := Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStandardFamilies(t *testing.T) {
+	for _, fam := range StandardFamilies() {
+		g := fam.Make(40, 1)
+		if err := Validate(g); err != nil {
+			t.Fatalf("%s: %v", fam.Name, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	if err := Validate(PathGraph(0)); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+	g := GNP(3, 0, 1)
+	// GNP always connects; build a disconnected one manually is covered in
+	// graph tests. Here just confirm Validate passes a connected graph.
+	if err := Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: all families produce connected simple graphs at random sizes.
+func TestQuickFamiliesAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 10 + int(seed%40+40)%40
+		for _, fam := range StandardFamilies() {
+			if Validate(fam.Make(n, seed)) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

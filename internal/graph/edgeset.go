@@ -1,0 +1,95 @@
+package graph
+
+import "math/bits"
+
+// EdgeSet is a bitset over edge IDs of a fixed graph. The zero value is an
+// empty set over zero edges; use NewEdgeSet to size it for a graph.
+type EdgeSet struct {
+	words []uint64
+	count int
+}
+
+// NewEdgeSet returns an empty set able to hold edge IDs in [0, m).
+func NewEdgeSet(m int) *EdgeSet {
+	return &EdgeSet{words: make([]uint64, (m+63)/64)}
+}
+
+// Add inserts id. Adding an ID already present is a no-op.
+func (s *EdgeSet) Add(id int) {
+	w, b := id/64, uint(id%64)
+	if s.words[w]&(1<<b) == 0 {
+		s.words[w] |= 1 << b
+		s.count++
+	}
+}
+
+// Remove deletes id. Removing an absent ID is a no-op.
+func (s *EdgeSet) Remove(id int) {
+	w, b := id/64, uint(id%64)
+	if s.words[w]&(1<<b) != 0 {
+		s.words[w] &^= 1 << b
+		s.count--
+	}
+}
+
+// Has reports whether id is in the set.
+func (s *EdgeSet) Has(id int) bool {
+	w, b := id/64, uint(id%64)
+	if w >= len(s.words) {
+		return false
+	}
+	return s.words[w]&(1<<b) != 0
+}
+
+// Len returns the number of IDs in the set.
+func (s *EdgeSet) Len() int { return s.count }
+
+// Clone returns a deep copy.
+func (s *EdgeSet) Clone() *EdgeSet {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return &EdgeSet{words: w, count: s.count}
+}
+
+// Union adds every ID of o to s.
+func (s *EdgeSet) Union(o *EdgeSet) {
+	for i, w := range o.words {
+		added := w &^ s.words[i]
+		s.words[i] |= w
+		s.count += bits.OnesCount64(added)
+	}
+}
+
+// IDs returns the members in increasing order.
+func (s *EdgeSet) IDs() []int {
+	out := make([]int, 0, s.count)
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*64+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// ForEach calls fn for every member in increasing order.
+func (s *EdgeSet) ForEach(fn func(id int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*64 + b)
+			w &= w - 1
+		}
+	}
+}
+
+// IntersectsList reports whether any of the given IDs is in the set.
+func (s *EdgeSet) IntersectsList(ids []int) bool {
+	for _, id := range ids {
+		if s.Has(id) {
+			return true
+		}
+	}
+	return false
+}

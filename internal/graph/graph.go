@@ -1,0 +1,241 @@
+// Package graph provides the undirected simple graph substrate used by every
+// other package in this repository.
+//
+// Vertices are dense integers in [0, N). Every edge has a stable integer ID
+// in [0, M) assigned in insertion order; all higher-level machinery
+// (fault sets, structures, weight assignments) refers to edges by ID.
+// Iteration order over neighbors is insertion order and therefore
+// deterministic, which the canonical shortest-path machinery relies on.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is an undirected edge given by its two endpoints. Edges are stored
+// normalized with U < V; Normalize returns the normalized form.
+type Edge struct {
+	U, V int
+}
+
+// Normalize returns e with endpoints ordered so that U < V.
+func (e Edge) Normalize() Edge {
+	if e.U > e.V {
+		return Edge{U: e.V, V: e.U}
+	}
+	return e
+}
+
+// Other returns the endpoint of e that is not w. It returns -1 when w is not
+// an endpoint of e.
+func (e Edge) Other(w int) int {
+	switch w {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	default:
+		return -1
+	}
+}
+
+// String implements fmt.Stringer.
+func (e Edge) String() string {
+	return fmt.Sprintf("(%d,%d)", e.U, e.V)
+}
+
+// Graph is an undirected simple graph with stable edge IDs.
+//
+// The zero value is an empty graph with no vertices; use New to create a
+// graph with a fixed vertex count.
+type Graph struct {
+	n     int
+	edges []Edge  // edge ID -> endpoints (normalized)
+	adj   [][]arc // adjacency lists, insertion order
+	index map[Edge]int32
+}
+
+// arc is one direction of an edge inside an adjacency list.
+type arc struct {
+	to int32 // neighbor vertex
+	id int32 // edge ID
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{
+		n:     n,
+		adj:   make([][]arc, n),
+		index: make(map[Edge]int32),
+	}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// AddEdge inserts the undirected edge {u, v} and returns its ID.
+// It returns an error if either endpoint is out of range, u == v, or the
+// edge already exists.
+func (g *Graph) AddEdge(u, v int) (int, error) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return -1, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	if u == v {
+		return -1, fmt.Errorf("graph: self-loop at %d", u)
+	}
+	e := Edge{U: u, V: v}.Normalize()
+	if _, ok := g.index[e]; ok {
+		return -1, fmt.Errorf("graph: duplicate edge %v", e)
+	}
+	id := int32(len(g.edges))
+	g.edges = append(g.edges, e)
+	g.index[e] = id
+	g.adj[u] = append(g.adj[u], arc{to: int32(v), id: id})
+	g.adj[v] = append(g.adj[v], arc{to: int32(u), id: id})
+	return int(id), nil
+}
+
+// MustAddEdge is AddEdge for construction code with statically valid input;
+// it panics on error. Generators and tests use it; library code does not.
+func (g *Graph) MustAddEdge(u, v int) int {
+	id, err := g.AddEdge(u, v)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// HasEdge reports whether the undirected edge {u, v} is present.
+func (g *Graph) HasEdge(u, v int) bool {
+	_, ok := g.index[Edge{U: u, V: v}.Normalize()]
+	return ok
+}
+
+// EdgeID returns the ID of edge {u, v} and whether it exists.
+func (g *Graph) EdgeID(u, v int) (int, bool) {
+	id, ok := g.index[Edge{U: u, V: v}.Normalize()]
+	return int(id), ok
+}
+
+// EdgeAt returns the endpoints of the edge with the given ID.
+func (g *Graph) EdgeAt(id int) Edge { return g.edges[id] }
+
+// Degree returns the number of edges incident to v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// ForNeighbors calls fn(neighbor, edgeID) for every edge incident to v, in
+// insertion order. Iteration stops early if fn returns false.
+func (g *Graph) ForNeighbors(v int, fn func(w, edgeID int) bool) {
+	for _, a := range g.adj[v] {
+		if !fn(int(a.to), int(a.id)) {
+			return
+		}
+	}
+}
+
+// Neighbors returns a fresh slice of the neighbors of v in insertion order.
+func (g *Graph) Neighbors(v int) []int {
+	out := make([]int, len(g.adj[v]))
+	for i, a := range g.adj[v] {
+		out[i] = int(a.to)
+	}
+	return out
+}
+
+// IncidentEdges returns a fresh slice of the IDs of edges incident to v.
+func (g *Graph) IncidentEdges(v int) []int {
+	out := make([]int, len(g.adj[v]))
+	for i, a := range g.adj[v] {
+		out[i] = int(a.id)
+	}
+	return out
+}
+
+// Edges returns a fresh slice of all edges indexed by edge ID.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// Clone returns a deep copy of g preserving vertex numbering and edge IDs.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	c.edges = make([]Edge, len(g.edges))
+	copy(c.edges, g.edges)
+	for v := range g.adj {
+		c.adj[v] = make([]arc, len(g.adj[v]))
+		copy(c.adj[v], g.adj[v])
+	}
+	for e, id := range g.index {
+		c.index[e] = id
+	}
+	return c
+}
+
+// Subgraph returns a new graph on the same vertex set containing exactly the
+// edges of g whose ID is set in keep. Edge IDs are NOT preserved in the
+// returned graph (they are renumbered densely); use EdgeSet-based views when
+// stable IDs are required.
+func (g *Graph) Subgraph(keep *EdgeSet) *Graph {
+	sub := New(g.n)
+	for id, e := range g.edges {
+		if keep.Has(id) {
+			sub.MustAddEdge(e.U, e.V)
+		}
+	}
+	return sub
+}
+
+// ConnectedFrom reports whether every vertex is reachable from src.
+func (g *Graph) ConnectedFrom(src int) bool {
+	if g.n == 0 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := make([]int, 0, g.n)
+	seen[src] = true
+	stack = append(stack, src)
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, a := range g.adj[v] {
+			if !seen[a.to] {
+				seen[a.to] = true
+				count++
+				stack = append(stack, int(a.to))
+			}
+		}
+	}
+	return count == g.n
+}
+
+// DegreeHistogram returns a map from degree to vertex count.
+func (g *Graph) DegreeHistogram() map[int]int {
+	h := make(map[int]int)
+	for v := 0; v < g.n; v++ {
+		h[len(g.adj[v])]++
+	}
+	return h
+}
+
+// SortedEdges returns all edges sorted lexicographically (useful for stable
+// text output).
+func (g *Graph) SortedEdges() []Edge {
+	out := g.Edges()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}

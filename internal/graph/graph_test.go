@@ -1,0 +1,328 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := New(4)
+	if g.N() != 4 || g.M() != 0 {
+		t.Fatalf("fresh graph: N=%d M=%d", g.N(), g.M())
+	}
+	id, err := g.AddEdge(2, 0)
+	if err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if id != 0 {
+		t.Fatalf("first edge ID = %d, want 0", id)
+	}
+	if !g.HasEdge(0, 2) || !g.HasEdge(2, 0) {
+		t.Fatalf("HasEdge should be orientation-insensitive")
+	}
+	if e := g.EdgeAt(0); e.U != 0 || e.V != 2 {
+		t.Fatalf("EdgeAt(0) = %v, want (0,2)", e)
+	}
+	if got, ok := g.EdgeID(0, 2); !ok || got != 0 {
+		t.Fatalf("EdgeID = %d,%v", got, ok)
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(3)
+	cases := []struct {
+		name string
+		u, v int
+	}{
+		{"self-loop", 1, 1},
+		{"u out of range", -1, 0},
+		{"v out of range", 0, 3},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := g.AddEdge(c.u, c.v); err == nil {
+				t.Fatalf("AddEdge(%d,%d) succeeded, want error", c.u, c.v)
+			}
+		})
+	}
+	if _, err := g.AddEdge(0, 1); err != nil {
+		t.Fatalf("valid AddEdge: %v", err)
+	}
+	if _, err := g.AddEdge(1, 0); err == nil {
+		t.Fatalf("duplicate edge accepted")
+	}
+}
+
+func TestEdgeNormalizeAndOther(t *testing.T) {
+	e := Edge{U: 5, V: 2}.Normalize()
+	if e.U != 2 || e.V != 5 {
+		t.Fatalf("Normalize: %v", e)
+	}
+	if e.Other(2) != 5 || e.Other(5) != 2 {
+		t.Fatalf("Other endpoints wrong")
+	}
+	if e.Other(7) != -1 {
+		t.Fatalf("Other(non-endpoint) = %d, want -1", e.Other(7))
+	}
+}
+
+func TestNeighborsOrderDeterministic(t *testing.T) {
+	g := New(5)
+	g.MustAddEdge(0, 3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 4)
+	want := []int{3, 1, 4}
+	got := g.Neighbors(0)
+	if len(got) != len(want) {
+		t.Fatalf("Neighbors len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Neighbors order = %v, want %v (insertion order)", got, want)
+		}
+	}
+}
+
+func TestForNeighborsEarlyStop(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(0, 3)
+	calls := 0
+	g.ForNeighbors(0, func(w, id int) bool {
+		calls++
+		return calls < 2
+	})
+	if calls != 2 {
+		t.Fatalf("early stop: %d calls, want 2", calls)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	c := g.Clone()
+	c.MustAddEdge(2, 3)
+	if g.M() != 2 || c.M() != 3 {
+		t.Fatalf("clone not independent: g.M=%d c.M=%d", g.M(), c.M())
+	}
+	if !c.HasEdge(0, 1) || !c.HasEdge(1, 2) {
+		t.Fatalf("clone missing original edges")
+	}
+	// Edge IDs preserved.
+	if id, _ := c.EdgeID(1, 2); id != 1 {
+		t.Fatalf("clone edge ID changed: %d", id)
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := New(4)
+	a := g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	c := g.MustAddEdge(2, 3)
+	keep := NewEdgeSet(g.M())
+	keep.Add(a)
+	keep.Add(c)
+	sub := g.Subgraph(keep)
+	if sub.M() != 2 || !sub.HasEdge(0, 1) || !sub.HasEdge(2, 3) || sub.HasEdge(1, 2) {
+		t.Fatalf("subgraph wrong: M=%d", sub.M())
+	}
+}
+
+func TestConnectedFrom(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	if g.ConnectedFrom(0) {
+		t.Fatalf("vertex 3 isolated but reported connected")
+	}
+	g.MustAddEdge(2, 3)
+	if !g.ConnectedFrom(0) {
+		t.Fatalf("path graph reported disconnected")
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(0, 3)
+	h := g.DegreeHistogram()
+	if h[3] != 1 || h[1] != 3 {
+		t.Fatalf("star histogram = %v", h)
+	}
+}
+
+func TestSortedEdges(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(2, 3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 3)
+	es := g.SortedEdges()
+	want := []Edge{{0, 1}, {0, 3}, {2, 3}}
+	for i := range want {
+		if es[i] != want[i] {
+			t.Fatalf("SortedEdges = %v", es)
+		}
+	}
+}
+
+func TestEdgeSetBasics(t *testing.T) {
+	s := NewEdgeSet(200)
+	if s.Len() != 0 || s.Has(5) {
+		t.Fatalf("fresh set not empty")
+	}
+	s.Add(5)
+	s.Add(130)
+	s.Add(5) // duplicate
+	if s.Len() != 2 || !s.Has(5) || !s.Has(130) {
+		t.Fatalf("set contents wrong: len=%d", s.Len())
+	}
+	s.Remove(5)
+	s.Remove(5) // absent
+	if s.Len() != 1 || s.Has(5) {
+		t.Fatalf("remove failed: len=%d", s.Len())
+	}
+	ids := s.IDs()
+	if len(ids) != 1 || ids[0] != 130 {
+		t.Fatalf("IDs = %v", ids)
+	}
+}
+
+func TestEdgeSetUnionAndClone(t *testing.T) {
+	a := NewEdgeSet(100)
+	b := NewEdgeSet(100)
+	a.Add(1)
+	a.Add(64)
+	b.Add(64)
+	b.Add(99)
+	c := a.Clone()
+	c.Union(b)
+	if c.Len() != 3 || !c.Has(1) || !c.Has(64) || !c.Has(99) {
+		t.Fatalf("union wrong: %v", c.IDs())
+	}
+	if a.Len() != 2 {
+		t.Fatalf("clone mutated original")
+	}
+}
+
+func TestEdgeSetIntersectsList(t *testing.T) {
+	s := NewEdgeSet(10)
+	s.Add(7)
+	if s.IntersectsList([]int{1, 2, 3}) {
+		t.Fatalf("false positive")
+	}
+	if !s.IntersectsList([]int{3, 7}) {
+		t.Fatalf("false negative")
+	}
+}
+
+func TestEdgeSetForEachOrder(t *testing.T) {
+	s := NewEdgeSet(300)
+	for _, id := range []int{250, 3, 64, 65} {
+		s.Add(id)
+	}
+	var got []int
+	s.ForEach(func(id int) { got = append(got, id) })
+	want := []int{3, 64, 65, 250}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order = %v", got)
+		}
+	}
+}
+
+// Property: the EdgeSet agrees with a reference map implementation under a
+// random operation sequence.
+func TestEdgeSetQuickAgainstMap(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		const m = 512
+		s := NewEdgeSet(m)
+		ref := make(map[int]bool)
+		rng := rand.New(rand.NewSource(seed))
+		for _, op := range ops {
+			id := int(op) % m
+			if rng.Intn(2) == 0 {
+				s.Add(id)
+				ref[id] = true
+			} else {
+				s.Remove(id)
+				delete(ref, id)
+			}
+		}
+		if s.Len() != len(ref) {
+			return false
+		}
+		for id := range ref {
+			if !s.Has(id) {
+				return false
+			}
+		}
+		for _, id := range s.IDs() {
+			if !ref[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AddEdge/HasEdge/EdgeID stay mutually consistent on random simple
+// graphs.
+func TestGraphQuickConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := New(n)
+		type pair struct{ u, v int }
+		added := make(map[pair]int)
+		for tries := 0; tries < 3*n; tries++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			p := pair{u, v}
+			if u > v {
+				p = pair{v, u}
+			}
+			id, err := g.AddEdge(u, v)
+			if _, dup := added[p]; dup {
+				if err == nil {
+					return false // duplicate must fail
+				}
+				continue
+			}
+			if err != nil {
+				return false
+			}
+			added[p] = id
+		}
+		if g.M() != len(added) {
+			return false
+		}
+		for p, id := range added {
+			got, ok := g.EdgeID(p.u, p.v)
+			if !ok || got != id {
+				return false
+			}
+			e := g.EdgeAt(id)
+			if e.U != p.u || e.V != p.v {
+				return false
+			}
+		}
+		// Degree sums to 2M.
+		total := 0
+		for v := 0; v < n; v++ {
+			total += g.Degree(v)
+		}
+		return total == 2*g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,194 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Instance is the adversarial single-source graph G*_f of Theorem 4.1
+// (σ = 1): a tower G_f(d), a hub v* adjacent to the tower's bottom vertex
+// and to every x ∈ X, and a complete bipartite graph between X and the
+// tower's leaves. Every bipartite edge is necessary in any f-failure FT-BFS
+// structure rooted at Source.
+type Instance struct {
+	G      *graph.Graph
+	F      int
+	Source int
+	Tower  Tower
+	VStar  int
+	X      []int
+	// Bipartite holds the IDs of the X×Leaves edges, grouped leaf-major:
+	// Bipartite[l*len(X)+x] is the edge between leaf l and X[x].
+	Bipartite []int
+}
+
+// NewInstance builds G*_f with roughly n vertices (never more). It chooses
+// the largest tower degree d such that the tower occupies at most half the
+// vertex budget, mirroring the paper's d = Θ((n/2c)^{1/(f+1)}).
+func NewInstance(f, n int) (*Instance, error) {
+	if f < 1 {
+		return nil, fmt.Errorf("lowerbound: f must be ≥ 1, got %d", f)
+	}
+	d := 2
+	for TowerSize(f, d+1) <= n/2 {
+		d++
+	}
+	if TowerSize(f, d) > n/2 {
+		return nil, fmt.Errorf("lowerbound: n=%d too small for f=%d (need ≥ %d)", n, f, 2*TowerSize(f, 2)+2)
+	}
+	return NewInstanceD(f, d, n)
+}
+
+// NewInstanceD builds G*_f with an explicit tower degree d; the remaining
+// vertex budget becomes X.
+func NewInstanceD(f, d, n int) (*Instance, error) {
+	if f < 1 || d < 2 {
+		return nil, fmt.Errorf("lowerbound: need f ≥ 1, d ≥ 2; got f=%d d=%d", f, d)
+	}
+	ts := TowerSize(f, d)
+	chi := n - ts - 1
+	if chi < 1 {
+		return nil, fmt.Errorf("lowerbound: n=%d leaves no room for X (tower %d vertices)", n, ts)
+	}
+	b := &builder{}
+	t := buildTower(b, f, d)
+	vstar := b.vertex()
+	b.edge(t.Last, vstar)
+	xs := make([]int, chi)
+	for i := range xs {
+		xs[i] = b.vertex()
+		b.edge(vstar, xs[i])
+	}
+	for _, lf := range t.Leaves {
+		for _, x := range xs {
+			b.edge(lf.V, x)
+		}
+	}
+	g, err := b.graph()
+	if err != nil {
+		return nil, err
+	}
+	inst := &Instance{G: g, F: f, Source: t.Root, Tower: t, VStar: vstar, X: xs}
+	inst.Bipartite = make([]int, 0, len(t.Leaves)*len(xs))
+	for _, lf := range t.Leaves {
+		for _, x := range xs {
+			id, ok := g.EdgeID(lf.V, x)
+			if !ok {
+				return nil, fmt.Errorf("lowerbound: missing bipartite edge (%d,%d)", lf.V, x)
+			}
+			inst.Bipartite = append(inst.Bipartite, id)
+		}
+	}
+	return inst, nil
+}
+
+// VStarEdgeID returns the ID of the (tower bottom, v*) edge.
+func (in *Instance) VStarEdgeID() int {
+	id, _ := in.G.EdgeID(in.Tower.Last, in.VStar)
+	return id
+}
+
+// FaultSetFor returns the fault set (edge IDs, |F| ≤ f) under which every
+// bipartite edge of the given leaf is necessary: the leaf's Lemma-4.3 label,
+// plus the v*-edge when the label does not already cut the top-level path.
+func (in *Instance) FaultSetFor(leafIdx int) []int {
+	lf := in.Tower.Leaves[leafIdx]
+	out := make([]int, 0, len(lf.Label)+1)
+	for _, e := range lf.Label {
+		id, ok := in.G.EdgeID(e.U, e.V)
+		if ok {
+			out = append(out, id)
+		}
+	}
+	if !lf.TopCut {
+		out = append(out, in.VStarEdgeID())
+	}
+	return out
+}
+
+// BipartiteEdge returns the edge ID between leaf leafIdx and X[xIdx].
+func (in *Instance) BipartiteEdge(leafIdx, xIdx int) int {
+	return in.Bipartite[leafIdx*len(in.X)+xIdx]
+}
+
+// MultiInstance is the σ-source construction of Theorem 4.1: σ towers
+// sharing one hub v* and one X block, with X completely joined to every
+// tower's leaves.
+type MultiInstance struct {
+	G       *graph.Graph
+	F       int
+	Sources []int
+	Towers  []Tower
+	VStar   int
+	X       []int
+	// BipartiteCount is the total number of X×leaf edges.
+	BipartiteCount int
+}
+
+// NewMultiInstance builds the σ-source instance with roughly n vertices,
+// sizing each tower to Θ((n/2σ)^{1/(f+1)}).
+func NewMultiInstance(f, sigma, n int) (*MultiInstance, error) {
+	if f < 1 || sigma < 1 {
+		return nil, fmt.Errorf("lowerbound: need f ≥ 1, σ ≥ 1; got f=%d σ=%d", f, sigma)
+	}
+	d := 2
+	for sigma*TowerSize(f, d+1) <= n/2 {
+		d++
+	}
+	if sigma*TowerSize(f, d) > n/2 {
+		return nil, fmt.Errorf("lowerbound: n=%d too small for f=%d σ=%d", n, f, sigma)
+	}
+	chi := n - sigma*TowerSize(f, d) - 1
+	b := &builder{}
+	towers := make([]Tower, sigma)
+	for i := range towers {
+		towers[i] = buildTower(b, f, d)
+	}
+	vstar := b.vertex()
+	for i := range towers {
+		b.edge(towers[i].Last, vstar)
+	}
+	xs := make([]int, chi)
+	for i := range xs {
+		xs[i] = b.vertex()
+		b.edge(vstar, xs[i])
+	}
+	count := 0
+	for i := range towers {
+		for _, lf := range towers[i].Leaves {
+			for _, x := range xs {
+				b.edge(lf.V, x)
+				count++
+			}
+		}
+	}
+	g, err := b.graph()
+	if err != nil {
+		return nil, err
+	}
+	mi := &MultiInstance{G: g, F: f, Towers: towers, VStar: vstar, X: xs, BipartiteCount: count}
+	for i := range towers {
+		mi.Sources = append(mi.Sources, towers[i].Root)
+	}
+	return mi, nil
+}
+
+// FaultSetFor returns the necessity fault set for the given tower and leaf,
+// relative to that tower's source.
+func (mi *MultiInstance) FaultSetFor(tower, leafIdx int) []int {
+	t := &mi.Towers[tower]
+	lf := t.Leaves[leafIdx]
+	out := make([]int, 0, len(lf.Label)+1)
+	for _, e := range lf.Label {
+		if id, ok := mi.G.EdgeID(e.U, e.V); ok {
+			out = append(out, id)
+		}
+	}
+	if !lf.TopCut {
+		if id, ok := mi.G.EdgeID(t.Last, mi.VStar); ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}

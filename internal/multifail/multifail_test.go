@@ -1,0 +1,165 @@
+package multifail
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/verify"
+)
+
+func TestBuildErrors(t *testing.T) {
+	g := gen.PathGraph(4)
+	if _, err := Build(g, -1, 2, nil); err == nil {
+		t.Fatal("bad source accepted")
+	}
+	if _, err := Build(g, 0, -1, nil); err == nil {
+		t.Fatal("negative f accepted")
+	}
+}
+
+func TestBuildVerifiesAllF(t *testing.T) {
+	g := gen.GNP(14, 0.25, 6)
+	for f := 0; f <= 3; f++ {
+		st, err := Build(g, 0, f, &core.Options{Seed: 3})
+		if err != nil {
+			t.Fatalf("f=%d: %v", f, err)
+		}
+		rep := verify.Structure(g, st, []int{0}, f, nil)
+		if !rep.OK {
+			t.Fatalf("f=%d: %v", f, rep.Violations)
+		}
+		if st.Faults != f {
+			t.Fatalf("faults field = %d", st.Faults)
+		}
+	}
+}
+
+// TestBuildAcrossFamiliesF3 runs f=3 builds on small graphs where the
+// exhaustive f=3 verification is feasible.
+func TestBuildAcrossFamiliesF3(t *testing.T) {
+	t.Run("cycle9", func(t *testing.T) {
+		g := gen.Cycle(9)
+		st, err := Build(g, 0, 3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.NumEdges() != g.M() {
+			t.Fatalf("cycle f=3 must keep all edges, got %d", st.NumEdges())
+		}
+		rep := verify.Structure(g, st, []int{0}, 3, nil)
+		if !rep.OK {
+			t.Fatalf("verify: %v", rep.Violations)
+		}
+	})
+	t.Run("grid3x4", func(t *testing.T) {
+		g := gen.Grid(3, 4)
+		st, err := Build(g, 0, 3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := verify.Structure(g, st, []int{0}, 3, nil)
+		if !rep.OK {
+			t.Fatalf("verify: %v", rep.Violations)
+		}
+	})
+	t.Run("chords", func(t *testing.T) {
+		g := gen.TreePlusChords(14, 4, 7)
+		st, err := Build(g, 0, 3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := verify.Structure(g, st, []int{0}, 3, nil)
+		if !rep.OK {
+			t.Fatalf("verify: %v", rep.Violations)
+		}
+	})
+}
+
+// TestMatchesExhaustiveDistances: the relevant-tree structure and the full
+// m^f closure both verify; the relevant tree must not be larger (it keeps a
+// subset of canonical last edges).
+func TestSubsetOfExhaustive(t *testing.T) {
+	g := gen.GNP(12, 0.3, 9)
+	for f := 1; f <= 2; f++ {
+		rel, err := Build(g, 0, f, &core.Options{Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exh, err := core.BuildExhaustive(g, 0, f, &core.Options{Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel.Edges.ForEach(func(id int) {
+			if !exh.Edges.Has(id) {
+				t.Fatalf("f=%d: relevant-tree edge %d not in exhaustive closure", f, id)
+			}
+		})
+		if rel.Stats.Dijkstras >= exh.Stats.Dijkstras && f == 2 {
+			t.Fatalf("f=2: relevant tree used %d searches, exhaustive %d — no savings",
+				rel.Stats.Dijkstras, exh.Stats.Dijkstras)
+		}
+	}
+}
+
+func TestComparableToConsDual(t *testing.T) {
+	g := gen.SparseGNP(30, 4, 11)
+	rel, err := Build(g, 0, 2, &core.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dual, err := core.BuildDual(g, 0, &core.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := verify.Structure(g, rel, []int{0}, 2, nil)
+	if !rep.OK {
+		t.Fatalf("verify: %v", rep.Violations)
+	}
+	// Both correct dual structures; sizes should be in the same ballpark
+	// (the Cons2FTBFS selection rules only shave constants).
+	lo, hi := dual.NumEdges()/2, dual.NumEdges()*2
+	if rel.NumEdges() < lo || rel.NumEdges() > hi {
+		t.Fatalf("relevant-tree size %d far from Cons2FTBFS %d", rel.NumEdges(), dual.NumEdges())
+	}
+}
+
+// Property: the builder stays correct across random sparse graphs at f=2
+// (verified exhaustively) and f=3 (verified by sampling).
+func TestQuickRandomGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(10)
+		g := gen.SparseGNP(n, 3, seed)
+		st, err := Build(g, 0, 2, &core.Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		if !verify.Structure(g, st, []int{0}, 2, nil).OK {
+			return false
+		}
+		st3, err := Build(g, 0, 3, &core.Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		return verify.Sampled(g, st3.DisabledEdges(), []int{0}, 3, 150, seed, nil).OK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisconnectedGraph(t *testing.T) {
+	g := gen.PathGraph(6)
+	// Split the path: remove nothing, but build from an end; f=2 on a path
+	// keeps the whole path (only structure possible).
+	st, err := Build(g, 0, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumEdges() != g.M() {
+		t.Fatalf("path structure = %d edges", st.NumEdges())
+	}
+}

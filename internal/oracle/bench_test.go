@@ -1,0 +1,63 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/bfs"
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// BenchmarkOracleQueryCached measures the memoized path: all targets under
+// one failure event cost one BFS over the sparse structure.
+func BenchmarkOracleQueryCached(b *testing.B) {
+	g := gen.SparseGNP(400, 8, 1)
+	st, err := core.BuildSingle(g, 0, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o, err := New(st)
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := []int{3}
+	if _, err := o.Dist(0, 1, faults); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.Dist(0, i%g.N(), faults); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOracleVsFullGraphBFS contrasts answering a fresh failure event
+// inside the structure with BFS over the full graph.
+func BenchmarkOracleVsFullGraphBFS(b *testing.B) {
+	g := gen.SparseGNP(400, 8, 1)
+	st, err := core.BuildSingle(g, 0, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("structure", func(b *testing.B) {
+		o, err := New(st)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := o.Dists(0, []int{i % g.M()}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full-graph", func(b *testing.B) {
+		r := bfs.NewRunner(g)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Run(0, []int{i % g.M()}, nil)
+		}
+	})
+}

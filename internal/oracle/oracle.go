@@ -1,0 +1,173 @@
+// Package oracle answers fault-tolerant distance and routing queries on a
+// built FT-BFS structure: given a target v and a fault set F (|F| ≤ f),
+// it returns dist(s, v, G \ F) and a realizing path, computed entirely
+// inside the structure H — which is the point of the structure: H \ F
+// provably contains such a path (the paper's motivating routing scenario).
+//
+// Queries run one BFS over H per distinct fault set and are memoized, so
+// answering all targets under one failure event costs a single traversal
+// of the sparse structure rather than of G.
+package oracle
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bfs"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/path"
+)
+
+// maxCacheEntries bounds the memo table; on overflow the cache resets
+// (queries stay correct, just uncached).
+const maxCacheEntries = 4096
+
+// Oracle wraps a structure for querying. It is not safe for concurrent
+// use; create one per goroutine (they can share the structure).
+//
+// The oracle materializes the structure as its own compact graph once, so
+// every query traverses only H's edges — on sparse structures this is the
+// whole point of buying H instead of G.
+type Oracle struct {
+	st     *core.Structure
+	sub    *graph.Graph
+	gToSub []int32 // G edge ID -> sub edge ID, -1 when absent from H
+	runner *bfs.Runner
+	cache  map[string][]int32
+	faults []int // scratch: translated fault IDs
+}
+
+// New returns an oracle over st.
+func New(st *core.Structure) (*Oracle, error) {
+	if len(st.Sources) == 0 {
+		return nil, fmt.Errorf("oracle: structure has no sources")
+	}
+	o := &Oracle{
+		st:     st,
+		sub:    graph.New(st.G.N()),
+		gToSub: make([]int32, st.G.M()),
+		cache:  make(map[string][]int32),
+	}
+	for id := range o.gToSub {
+		o.gToSub[id] = -1
+	}
+	var err error
+	st.Edges.ForEach(func(id int) {
+		if err != nil {
+			return
+		}
+		e := st.G.EdgeAt(id)
+		var subID int
+		subID, err = o.sub.AddEdge(e.U, e.V)
+		o.gToSub[id] = int32(subID)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("oracle: %w", err)
+	}
+	o.runner = bfs.NewRunner(o.sub)
+	return o, nil
+}
+
+// Faults returns the structure's fault budget.
+func (o *Oracle) Faults() int { return o.st.Faults }
+
+// Sources returns the sources the oracle can answer for.
+func (o *Oracle) Sources() []int { return append([]int(nil), o.st.Sources...) }
+
+func (o *Oracle) validate(s int, faults []int) error {
+	ok := false
+	for _, src := range o.st.Sources {
+		if src == s {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return fmt.Errorf("oracle: %d is not a structure source %v", s, o.st.Sources)
+	}
+	if len(faults) > o.st.Faults {
+		return fmt.Errorf("oracle: %d faults exceed budget %d", len(faults), o.st.Faults)
+	}
+	m := o.st.G.M()
+	for _, id := range faults {
+		if id < 0 || id >= m {
+			return fmt.Errorf("oracle: fault edge %d out of range [0,%d)", id, m)
+		}
+	}
+	return nil
+}
+
+func cacheKey(s int, faults []int) string {
+	f := append([]int(nil), faults...)
+	sort.Ints(f)
+	buf := make([]byte, 0, 4*(len(f)+1))
+	for _, id := range append(f, s) {
+		buf = append(buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return string(buf)
+}
+
+// translate maps G fault IDs into sub-graph IDs, dropping faults on edges
+// H never kept (removing an absent edge is a no-op).
+func (o *Oracle) translate(faults []int) []int {
+	o.faults = o.faults[:0]
+	for _, id := range faults {
+		if sid := o.gToSub[id]; sid >= 0 {
+			o.faults = append(o.faults, int(sid))
+		}
+	}
+	return o.faults
+}
+
+// run executes (or recalls) the BFS for (s, faults) and returns the
+// distance table over H \ F.
+func (o *Oracle) run(s int, faults []int) []int32 {
+	k := cacheKey(s, faults)
+	if d, ok := o.cache[k]; ok {
+		return d
+	}
+	o.runner.Run(s, o.translate(faults), nil)
+	d := make([]int32, o.sub.N())
+	copy(d, o.runner.Dists())
+	if len(o.cache) >= maxCacheEntries {
+		o.cache = make(map[string][]int32)
+	}
+	o.cache[k] = d
+	return d
+}
+
+// Dist returns dist(s, v, G \ F) answered inside the structure
+// (bfs.Unreachable when v is cut off in G \ F as well).
+func (o *Oracle) Dist(s, v int, faults []int) (int32, error) {
+	if err := o.validate(s, faults); err != nil {
+		return bfs.Unreachable, err
+	}
+	if v < 0 || v >= o.st.G.N() {
+		return bfs.Unreachable, fmt.Errorf("oracle: target %d out of range", v)
+	}
+	return o.run(s, faults)[v], nil
+}
+
+// Dists returns the full distance table for one failure event (the slice
+// is owned by the oracle's cache; callers must not mutate it).
+func (o *Oracle) Dists(s int, faults []int) ([]int32, error) {
+	if err := o.validate(s, faults); err != nil {
+		return nil, err
+	}
+	return o.run(s, faults), nil
+}
+
+// Route returns an optimal s→v path inside H \ F (nil when disconnected).
+// Unlike Dist it always re-runs the BFS (paths are not memoized). Vertex
+// IDs on the returned path are G's (the structure preserves them).
+func (o *Oracle) Route(s, v int, faults []int) (path.Path, error) {
+	if err := o.validate(s, faults); err != nil {
+		return nil, err
+	}
+	if v < 0 || v >= o.st.G.N() {
+		return nil, fmt.Errorf("oracle: target %d out of range", v)
+	}
+	o.runner.Run(s, o.translate(faults), nil)
+	return o.runner.PathTo(v), nil
+}

@@ -1,0 +1,171 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/bfs"
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+func TestNewRequiresSources(t *testing.T) {
+	g := gen.PathGraph(3)
+	st := &core.Structure{G: g}
+	if _, err := New(st); err == nil {
+		t.Fatal("sourceless structure accepted")
+	}
+}
+
+// TestOracleMatchesGroundTruth compares every oracle answer against BFS on
+// G \ F for all |F| ≤ 2.
+func TestOracleMatchesGroundTruth(t *testing.T) {
+	g := gen.GNP(16, 0.25, 8)
+	st, err := core.BuildDual(g, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := New(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := bfs.NewRunner(g)
+	check := func(faults []int) {
+		t.Helper()
+		truth.Run(0, faults, nil)
+		d, err := o.Dists(0, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.N(); v++ {
+			if d[v] != truth.Dist(v) {
+				t.Fatalf("faults %v target %d: oracle %d, truth %d", faults, v, d[v], truth.Dist(v))
+			}
+		}
+	}
+	check(nil)
+	for a := 0; a < g.M(); a++ {
+		check([]int{a})
+		for b := a + 1; b < g.M(); b += 7 { // stride keeps the test fast
+			check([]int{a, b})
+		}
+	}
+}
+
+func TestOracleRouteValid(t *testing.T) {
+	g := gen.Grid(4, 4)
+	st, err := core.BuildDual(g, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := New(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := bfs.NewRunner(g)
+	for a := 0; a < g.M(); a++ {
+		faults := []int{a}
+		truth.Run(0, faults, nil)
+		for v := 1; v < g.N(); v++ {
+			p, err := o.Route(0, v, faults)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := truth.Dist(v)
+			if want == bfs.Unreachable {
+				if p != nil {
+					t.Fatalf("route to unreachable %d", v)
+				}
+				continue
+			}
+			if p == nil || int32(p.Len()) != want || !p.ValidIn(g) {
+				t.Fatalf("route faults %v → %d wrong: %v (want len %d)", faults, v, p, want)
+			}
+			// The route must avoid the faults and stay inside H.
+			for _, e := range p.Edges() {
+				id, ok := g.EdgeID(e.U, e.V)
+				if !ok || !st.Edges.Has(id) {
+					t.Fatalf("route uses edge outside structure: %v", e)
+				}
+				if id == a {
+					t.Fatalf("route uses failed edge")
+				}
+			}
+		}
+	}
+}
+
+func TestOracleValidation(t *testing.T) {
+	g := gen.PathGraph(5)
+	st, err := core.BuildDual(g, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := New(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Dist(3, 1, nil); err == nil {
+		t.Fatal("non-source accepted")
+	}
+	if _, err := o.Dist(0, 1, []int{0, 1, 2}); err == nil {
+		t.Fatal("fault budget ignored")
+	}
+	if _, err := o.Dist(0, 99, nil); err == nil {
+		t.Fatal("bad target accepted")
+	}
+	if _, err := o.Dist(0, 1, []int{99}); err == nil {
+		t.Fatal("bad fault edge accepted")
+	}
+	if _, err := o.Route(0, 99, nil); err == nil {
+		t.Fatal("route bad target accepted")
+	}
+	if o.Faults() != 2 || len(o.Sources()) != 1 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestOracleCacheReuse(t *testing.T) {
+	g := gen.Cycle(8)
+	st, err := core.BuildDual(g, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := New(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := o.Dists(0, []int{1, 0}) // unsorted on purpose
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := o.Dists(0, []int{0, 1}) // same set, canonical order
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &d1[0] != &d2[0] {
+		t.Fatal("cache missed an order-insensitive hit")
+	}
+}
+
+func TestOracleMultiSource(t *testing.T) {
+	g := gen.GNP(14, 0.3, 5)
+	st, err := core.BuildMultiSource(g, []int{0, 7}, nil, core.BuildDual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := New(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := bfs.NewRunner(g)
+	for _, s := range []int{0, 7} {
+		truth.Run(s, []int{2}, nil)
+		d, err := o.Dist(s, 5, []int{2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != truth.Dist(5) {
+			t.Fatalf("source %d: oracle %d, truth %d", s, d, truth.Dist(5))
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Package path provides simple-path values over dense-integer vertices, with
+// the segment operations the paper's analysis uses constantly: subpaths,
+// concatenation, last edges, position maps and divergence points.
+package path
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Path is a sequence of vertices; consecutive entries are assumed adjacent in
+// the underlying graph. A nil Path means "no path" (e.g. disconnected).
+// A single-vertex Path has zero edges.
+type Path []int
+
+// Len returns the number of edges on the path (|P| in the paper).
+func (p Path) Len() int {
+	if len(p) == 0 {
+		return 0
+	}
+	return len(p) - 1
+}
+
+// First returns the first vertex; it panics on an empty path.
+func (p Path) First() int { return p[0] }
+
+// Last returns the last vertex; it panics on an empty path.
+func (p Path) Last() int { return p[len(p)-1] }
+
+// LastEdge returns the final edge of the path (LastE(P) in the paper) and
+// false when the path has no edges.
+func (p Path) LastEdge() (graph.Edge, bool) {
+	if len(p) < 2 {
+		return graph.Edge{}, false
+	}
+	return graph.Edge{U: p[len(p)-2], V: p[len(p)-1]}.Normalize(), true
+}
+
+// Sub returns the subpath between positions i and j inclusive (0-based
+// indices into the vertex sequence, i ≤ j). The returned path shares backing
+// storage with p.
+func (p Path) Sub(i, j int) Path { return p[i : j+1] }
+
+// Concat returns p ∘ q. The last vertex of p must equal the first vertex of
+// q; it returns nil if they differ.
+func (p Path) Concat(q Path) Path {
+	if len(p) == 0 {
+		out := make(Path, len(q))
+		copy(out, q)
+		return out
+	}
+	if len(q) == 0 {
+		out := make(Path, len(p))
+		copy(out, p)
+		return out
+	}
+	if p.Last() != q.First() {
+		return nil
+	}
+	out := make(Path, 0, len(p)+len(q)-1)
+	out = append(out, p...)
+	out = append(out, q[1:]...)
+	return out
+}
+
+// Clone returns a copy with fresh backing storage.
+func (p Path) Clone() Path {
+	out := make(Path, len(p))
+	copy(out, p)
+	return out
+}
+
+// Reverse returns the reversed path as a fresh value.
+func (p Path) Reverse() Path {
+	out := make(Path, len(p))
+	for i, v := range p {
+		out[len(p)-1-i] = v
+	}
+	return out
+}
+
+// Pos returns a map from vertex to its position on the path. Paths here are
+// simple, so positions are unique.
+func (p Path) Pos() map[int]int {
+	m := make(map[int]int, len(p))
+	for i, v := range p {
+		m[v] = i
+	}
+	return m
+}
+
+// IsSimple reports whether no vertex repeats.
+func (p Path) IsSimple() bool {
+	seen := make(map[int]bool, len(p))
+	for _, v := range p {
+		if seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// Edges returns the path's edges in order (fresh slice, normalized).
+func (p Path) Edges() []graph.Edge {
+	if len(p) < 2 {
+		return nil
+	}
+	out := make([]graph.Edge, 0, len(p)-1)
+	for i := 0; i+1 < len(p); i++ {
+		out = append(out, graph.Edge{U: p[i], V: p[i+1]}.Normalize())
+	}
+	return out
+}
+
+// ContainsEdge reports whether the undirected edge e appears on the path.
+func (p Path) ContainsEdge(e graph.Edge) bool {
+	e = e.Normalize()
+	for i := 0; i+1 < len(p); i++ {
+		if (graph.Edge{U: p[i], V: p[i+1]}).Normalize() == e {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsAnyEdgeID reports whether any edge of the path has an ID in ids,
+// resolving IDs via g.
+func (p Path) ContainsAnyEdgeID(g *graph.Graph, ids []int) bool {
+	for _, id := range ids {
+		if p.ContainsEdge(g.EdgeAt(id)) {
+			return true
+		}
+	}
+	return false
+}
+
+// ValidIn reports whether every consecutive pair is an edge of g.
+func (p Path) ValidIn(g *graph.Graph) bool {
+	for i := 0; i+1 < len(p); i++ {
+		if !g.HasEdge(p[i], p[i+1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// FirstDivergence returns the position (index into p) of the first
+// divergence point of p from q: the last position i such that p[0..i] is a
+// prefix of q as well, with p[i+1] ≠ q[i+1] or q ending. It returns -1 when
+// the paths differ already at position 0 or p is empty. If p is a prefix of q
+// (or equal), it returns len(p)-1.
+//
+// This matches the paper's notion for paths sharing their origin: the vertex
+// where P departs from π.
+func (p Path) FirstDivergence(q Path) int {
+	if len(p) == 0 || len(q) == 0 || p[0] != q[0] {
+		return -1
+	}
+	i := 0
+	for i+1 < len(p) && i+1 < len(q) && p[i+1] == q[i+1] {
+		i++
+	}
+	return i
+}
+
+// String renders the path as "v0-v1-...-vk".
+func (p Path) String() string {
+	if len(p) == 0 {
+		return "<nil>"
+	}
+	var b strings.Builder
+	for i, v := range p {
+		if i > 0 {
+			b.WriteByte('-')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	return b.String()
+}

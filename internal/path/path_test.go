@@ -1,0 +1,143 @@
+package path
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestLenFirstLast(t *testing.T) {
+	p := Path{3, 5, 7}
+	if p.Len() != 2 || p.First() != 3 || p.Last() != 7 {
+		t.Fatalf("Len/First/Last wrong: %v", p)
+	}
+	if Path(nil).Len() != 0 {
+		t.Fatalf("nil path Len != 0")
+	}
+	if (Path{9}).Len() != 0 {
+		t.Fatalf("single-vertex path Len != 0")
+	}
+}
+
+func TestLastEdge(t *testing.T) {
+	p := Path{3, 5, 2}
+	e, ok := p.LastEdge()
+	if !ok || e != (graph.Edge{U: 2, V: 5}) {
+		t.Fatalf("LastEdge = %v,%v", e, ok)
+	}
+	if _, ok := (Path{1}).LastEdge(); ok {
+		t.Fatalf("single vertex has no last edge")
+	}
+}
+
+func TestSubAndConcat(t *testing.T) {
+	p := Path{0, 1, 2, 3, 4}
+	sub := p.Sub(1, 3)
+	if sub.String() != "1-2-3" {
+		t.Fatalf("Sub = %v", sub)
+	}
+	q := Path{3, 9}
+	joined := sub.Concat(q)
+	if joined.String() != "1-2-3-9" {
+		t.Fatalf("Concat = %v", joined)
+	}
+	if bad := sub.Concat(Path{8, 9}); bad != nil {
+		t.Fatalf("mismatched Concat should be nil")
+	}
+	// Concat with empty operands copies.
+	if got := (Path{}).Concat(p); got.String() != p.String() {
+		t.Fatalf("empty.Concat = %v", got)
+	}
+	if got := p.Concat(Path{}); got.String() != p.String() {
+		t.Fatalf("Concat(empty) = %v", got)
+	}
+}
+
+func TestCloneReverse(t *testing.T) {
+	p := Path{1, 2, 3}
+	c := p.Clone()
+	c[0] = 99
+	if p[0] != 1 {
+		t.Fatalf("Clone shares storage")
+	}
+	r := p.Reverse()
+	if r.String() != "3-2-1" {
+		t.Fatalf("Reverse = %v", r)
+	}
+}
+
+func TestPosIsSimple(t *testing.T) {
+	p := Path{4, 6, 8}
+	pos := p.Pos()
+	if pos[4] != 0 || pos[6] != 1 || pos[8] != 2 {
+		t.Fatalf("Pos = %v", pos)
+	}
+	if !p.IsSimple() {
+		t.Fatalf("simple path misreported")
+	}
+	if (Path{1, 2, 1}).IsSimple() {
+		t.Fatalf("non-simple path misreported")
+	}
+}
+
+func TestEdgesContains(t *testing.T) {
+	p := Path{0, 2, 1}
+	es := p.Edges()
+	if len(es) != 2 || es[0] != (graph.Edge{U: 0, V: 2}) || es[1] != (graph.Edge{U: 1, V: 2}) {
+		t.Fatalf("Edges = %v", es)
+	}
+	if !p.ContainsEdge(graph.Edge{U: 1, V: 2}) || p.ContainsEdge(graph.Edge{U: 0, V: 1}) {
+		t.Fatalf("ContainsEdge wrong")
+	}
+}
+
+func TestContainsAnyEdgeIDAndValidIn(t *testing.T) {
+	g := graph.New(4)
+	e01 := g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	e23 := g.MustAddEdge(2, 3)
+	p := Path{0, 1, 2}
+	if !p.ValidIn(g) {
+		t.Fatalf("valid path misreported")
+	}
+	if (Path{0, 2}).ValidIn(g) {
+		t.Fatalf("invalid path accepted")
+	}
+	if !p.ContainsAnyEdgeID(g, []int{e23, e01}) {
+		t.Fatalf("should contain edge 0-1")
+	}
+	if p.ContainsAnyEdgeID(g, []int{e23}) {
+		t.Fatalf("should not contain edge 2-3")
+	}
+}
+
+func TestFirstDivergence(t *testing.T) {
+	cases := []struct {
+		name string
+		p, q Path
+		want int
+	}{
+		{"diverge mid", Path{0, 1, 2, 3}, Path{0, 1, 5, 6}, 1},
+		{"diverge at source", Path{0, 1}, Path{0, 2}, 0},
+		{"different origin", Path{1, 2}, Path{0, 2}, -1},
+		{"p prefix of q", Path{0, 1}, Path{0, 1, 2}, 1},
+		{"equal", Path{0, 1, 2}, Path{0, 1, 2}, 2},
+		{"empty", nil, Path{0}, -1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.p.FirstDivergence(c.q); got != c.want {
+				t.Fatalf("FirstDivergence(%v,%v) = %d, want %d", c.p, c.q, got, c.want)
+			}
+		})
+	}
+}
+
+func TestString(t *testing.T) {
+	if Path(nil).String() != "<nil>" {
+		t.Fatalf("nil String = %q", Path(nil).String())
+	}
+	if (Path{1, 2}).String() != "1-2" {
+		t.Fatalf("String = %q", (Path{1, 2}).String())
+	}
+}

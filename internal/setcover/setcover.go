@@ -1,0 +1,51 @@
+// Package setcover implements the greedy set-cover approximation used by the
+// Minimum FT-MBFS algorithm (Section 5). Greedy achieves an H_n ≤ ln n + 1
+// approximation factor, which is what Theorem 1.3's O(log n) bound relies
+// on.
+package setcover
+
+// Greedy covers the universe {0, ..., universe-1} using the given sets
+// (each a list of element indices; out-of-range entries are ignored). It
+// returns the indices of the chosen sets in selection order, and ok = false
+// when the union of all sets does not cover the universe (the partial cover
+// built so far is still returned).
+//
+// Ties between equally-covering sets break toward the lower set index, so
+// the algorithm is deterministic.
+func Greedy(universe int, sets [][]int) (chosen []int, ok bool) {
+	covered := make([]bool, universe)
+	remaining := universe
+	used := make([]bool, len(sets))
+	marginal := func(i int) int {
+		c := 0
+		for _, el := range sets[i] {
+			if el >= 0 && el < universe && !covered[el] {
+				c++
+			}
+		}
+		return c
+	}
+	for remaining > 0 {
+		best, bestGain := -1, 0
+		for i := range sets {
+			if used[i] {
+				continue
+			}
+			if g := marginal(i); g > bestGain {
+				best, bestGain = i, g
+			}
+		}
+		if best == -1 {
+			return chosen, false
+		}
+		used[best] = true
+		chosen = append(chosen, best)
+		for _, el := range sets[best] {
+			if el >= 0 && el < universe && !covered[el] {
+				covered[el] = true
+				remaining--
+			}
+		}
+	}
+	return chosen, true
+}

@@ -1,0 +1,105 @@
+package setcover
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGreedyBasics(t *testing.T) {
+	sets := [][]int{{0, 1}, {1, 2}, {2, 3}, {0, 1, 2, 3}}
+	chosen, ok := Greedy(4, sets)
+	if !ok {
+		t.Fatal("cover exists but not found")
+	}
+	if len(chosen) != 1 || chosen[0] != 3 {
+		t.Fatalf("greedy should pick the full set: %v", chosen)
+	}
+}
+
+func TestGreedyEmptyUniverse(t *testing.T) {
+	chosen, ok := Greedy(0, [][]int{{1, 2}})
+	if !ok || len(chosen) != 0 {
+		t.Fatalf("empty universe: %v %v", chosen, ok)
+	}
+}
+
+func TestGreedyInfeasible(t *testing.T) {
+	_, ok := Greedy(3, [][]int{{0}, {1}})
+	if ok {
+		t.Fatal("infeasible cover reported ok")
+	}
+}
+
+func TestGreedyIgnoresOutOfRange(t *testing.T) {
+	chosen, ok := Greedy(2, [][]int{{0, 5, -1}, {1, 99}})
+	if !ok || len(chosen) != 2 {
+		t.Fatalf("out-of-range handling: %v %v", chosen, ok)
+	}
+}
+
+func TestGreedyDeterministicTieBreak(t *testing.T) {
+	sets := [][]int{{0, 1}, {0, 1}, {2}}
+	chosen, ok := Greedy(3, sets)
+	if !ok || chosen[0] != 0 {
+		t.Fatalf("tie should break to lower index: %v", chosen)
+	}
+}
+
+// Property: greedy output is a valid cover, uses each set at most once, and
+// respects the H_n bound against a known optimum on instances where the
+// optimum is planted (k disjoint blocks).
+func TestGreedyQuickPlantedOptimum(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(5)       // optimum size
+		blockSz := 1 + rng.Intn(6) // elements per planted set
+		universe := k * blockSz
+		var sets [][]int
+		// Planted optimum: k disjoint blocks.
+		for b := 0; b < k; b++ {
+			s := make([]int, 0, blockSz)
+			for e := 0; e < blockSz; e++ {
+				s = append(s, b*blockSz+e)
+			}
+			sets = append(sets, s)
+		}
+		// Noise sets: random subsets.
+		for j := 0; j < 10; j++ {
+			var s []int
+			for e := 0; e < universe; e++ {
+				if rng.Intn(3) == 0 {
+					s = append(s, e)
+				}
+			}
+			sets = append(sets, s)
+		}
+		chosen, ok := Greedy(universe, sets)
+		if !ok {
+			return false
+		}
+		seenSet := make(map[int]bool)
+		covered := make([]bool, universe)
+		for _, i := range chosen {
+			if seenSet[i] {
+				return false
+			}
+			seenSet[i] = true
+			for _, el := range sets[i] {
+				covered[el] = true
+			}
+		}
+		for _, c := range covered {
+			if !c {
+				return false
+			}
+		}
+		// H_n guarantee against the planted optimum.
+		bound := float64(k) * (math.Log(float64(universe)) + 1)
+		return float64(len(chosen)) <= bound+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+// Package spdag builds the shortest-path DAG of a (possibly fault-
+// restricted) graph from a source: the directed acyclic graph of all edges
+// that lie on some shortest path. It can count shortest paths and
+// enumerate all of them up to a cap.
+//
+// The test suite uses it as an independent ground truth for the paper's
+// selection rules: "the replacement path with the earliest divergence
+// point" is checked against a full enumeration of every shortest path.
+package spdag
+
+import (
+	"math"
+
+	"repro/internal/bfs"
+	"repro/internal/graph"
+	"repro/internal/path"
+)
+
+// DAG is the shortest-path DAG from a fixed source under a fault set.
+type DAG struct {
+	g    *graph.Graph
+	src  int
+	dist []int32
+	// preds[v] lists the DAG predecessors of v (neighbors u with
+	// dist(u) + 1 = dist(v), fault edges excluded).
+	preds [][]int32
+}
+
+// New builds the DAG of g from src with the given edges removed.
+func New(g *graph.Graph, src int, disabledEdges []int) *DAG {
+	off := make(map[int]bool, len(disabledEdges))
+	for _, id := range disabledEdges {
+		off[id] = true
+	}
+	r := bfs.NewRunner(g)
+	r.Run(src, disabledEdges, nil)
+	d := &DAG{
+		g:     g,
+		src:   src,
+		dist:  make([]int32, g.N()),
+		preds: make([][]int32, g.N()),
+	}
+	copy(d.dist, r.Dists())
+	for v := 0; v < g.N(); v++ {
+		if d.dist[v] <= 0 {
+			continue
+		}
+		g.ForNeighbors(v, func(u, eid int) bool {
+			if !off[eid] && d.dist[u] == d.dist[v]-1 {
+				d.preds[v] = append(d.preds[v], int32(u))
+			}
+			return true
+		})
+	}
+	return d
+}
+
+// Dist returns the distance from the source (bfs.Unreachable if cut off).
+func (d *DAG) Dist(v int) int32 { return d.dist[v] }
+
+// CountPaths returns the number of distinct shortest source→v paths,
+// saturating at math.MaxInt64 (counts grow exponentially on dense DAGs).
+func (d *DAG) CountPaths(v int) int64 {
+	memo := make([]int64, d.g.N())
+	for i := range memo {
+		memo[i] = -1
+	}
+	var count func(int) int64
+	count = func(u int) int64 {
+		if u == d.src {
+			return 1
+		}
+		if d.dist[u] == bfs.Unreachable {
+			return 0
+		}
+		if memo[u] >= 0 {
+			return memo[u]
+		}
+		var total int64
+		for _, p := range d.preds[u] {
+			c := count(int(p))
+			if total > math.MaxInt64-c {
+				total = math.MaxInt64
+				break
+			}
+			total += c
+		}
+		memo[u] = total
+		return total
+	}
+	return count(v)
+}
+
+// AllPaths enumerates every shortest source→v path, stopping after max
+// paths (0 means no cap; beware exponential counts). Paths are returned
+// source-first.
+func (d *DAG) AllPaths(v int, max int) []path.Path {
+	if d.dist[v] == bfs.Unreachable {
+		return nil
+	}
+	var out []path.Path
+	buf := make([]int, 0, d.dist[v]+1)
+	var walk func(u int) bool
+	walk = func(u int) bool {
+		buf = append(buf, u)
+		defer func() { buf = buf[:len(buf)-1] }()
+		if u == d.src {
+			p := make(path.Path, len(buf))
+			for i, w := range buf {
+				p[len(buf)-1-i] = w
+			}
+			out = append(out, p)
+			return max == 0 || len(out) < max
+		}
+		for _, pr := range d.preds[u] {
+			if !walk(int(pr)) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(v)
+	return out
+}
+
+// EarliestDivergence returns, among all shortest source→v paths, the
+// maximal position k such that SOME shortest path shares the prefix
+// ref[0..k] and then leaves ref... more precisely: the minimal first-
+// divergence position from the reference path achievable by any shortest
+// path, together with whether any shortest path exists. The reference must
+// start at the source.
+//
+// This is the quantity the paper's Step-1/Step-3 selection minimizes; the
+// engine's choices are tested against it.
+func (d *DAG) EarliestDivergence(v int, ref path.Path) (int, bool) {
+	paths := d.AllPaths(v, 0)
+	if len(paths) == 0 {
+		return -1, false
+	}
+	best := 1 << 30
+	for _, p := range paths {
+		div := p.FirstDivergence(ref)
+		if div < 0 {
+			continue
+		}
+		// A path identical to a ref prefix up to its end diverges at its
+		// final position only if ref continues; treat "p follows ref
+		// fully" (p == ref) as divergence at len(p)-1.
+		if div < best {
+			best = div
+		}
+	}
+	if best == 1<<30 {
+		return -1, false
+	}
+	return best, true
+}

@@ -1,0 +1,119 @@
+package spdag
+
+import (
+	"testing"
+
+	"repro/internal/bfs"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/path"
+)
+
+func TestCountPathsGrid(t *testing.T) {
+	// In an a×b grid the number of shortest corner-to-corner paths is the
+	// binomial coefficient C(a+b-2, a-1).
+	g := gen.Grid(3, 4) // C(5,2) = 10
+	d := New(g, 0, nil)
+	if got := d.CountPaths(11); got != 10 {
+		t.Fatalf("grid path count = %d, want 10", got)
+	}
+	if d.Dist(11) != 5 {
+		t.Fatalf("dist = %d", d.Dist(11))
+	}
+}
+
+func TestCountPathsUnderFaults(t *testing.T) {
+	g := gen.Cycle(6)
+	d := New(g, 0, nil)
+	// Opposite vertex: two shortest routes around the cycle.
+	if got := d.CountPaths(3); got != 2 {
+		t.Fatalf("cycle count = %d, want 2", got)
+	}
+	e01, _ := g.EdgeID(0, 1)
+	d = New(g, 0, []int{e01})
+	if got := d.CountPaths(3); got != 1 {
+		t.Fatalf("faulted cycle count = %d, want 1", got)
+	}
+	if got := d.CountPaths(1); got != 1 { // the long way round
+		t.Fatalf("count to 1 = %d", got)
+	}
+	if d.Dist(1) != 5 {
+		t.Fatalf("dist to 1 = %d", d.Dist(1))
+	}
+}
+
+func TestCountPathsUnreachable(t *testing.T) {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1)
+	d := New(g, 0, nil)
+	if d.CountPaths(2) != 0 {
+		t.Fatalf("unreachable should count 0")
+	}
+	if d.Dist(2) != bfs.Unreachable {
+		t.Fatalf("unreachable dist wrong")
+	}
+}
+
+func TestAllPathsMatchCount(t *testing.T) {
+	g := gen.Grid(3, 3)
+	d := New(g, 0, nil)
+	for v := 1; v < g.N(); v++ {
+		ps := d.AllPaths(v, 0)
+		if int64(len(ps)) != d.CountPaths(v) {
+			t.Fatalf("v=%d: enumerated %d, counted %d", v, len(ps), d.CountPaths(v))
+		}
+		seen := map[string]bool{}
+		for _, p := range ps {
+			if int32(p.Len()) != d.Dist(v) || !p.ValidIn(g) || !p.IsSimple() {
+				t.Fatalf("invalid enumerated path %v", p)
+			}
+			if p.First() != 0 || p.Last() != v {
+				t.Fatalf("endpoints wrong: %v", p)
+			}
+			if seen[p.String()] {
+				t.Fatalf("duplicate path %v", p)
+			}
+			seen[p.String()] = true
+		}
+	}
+}
+
+func TestAllPathsCap(t *testing.T) {
+	g := gen.Grid(4, 4)
+	d := New(g, 0, nil)
+	ps := d.AllPaths(15, 3)
+	if len(ps) != 3 {
+		t.Fatalf("cap ignored: %d", len(ps))
+	}
+	if d.AllPaths(15, 0) == nil {
+		t.Fatal("uncapped enumeration empty")
+	}
+}
+
+func TestEarliestDivergence(t *testing.T) {
+	// Diamond with a pendant: ref path 0-1-3; alternative 0-2-3 diverges
+	// at position 0.
+	g := graph.New(5)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(1, 3)
+	g.MustAddEdge(2, 3)
+	g.MustAddEdge(3, 4)
+	d := New(g, 0, nil)
+	ref := path.Path{0, 1, 3, 4}
+	div, ok := d.EarliestDivergence(3, ref)
+	if !ok || div != 0 {
+		t.Fatalf("divergence = %d,%v want 0", div, ok)
+	}
+	// To vertex 4 every path converges again; earliest divergence still 0.
+	div, ok = d.EarliestDivergence(4, ref)
+	if !ok || div != 0 {
+		t.Fatalf("divergence to 4 = %d,%v", div, ok)
+	}
+	// Unreachable target.
+	g2 := graph.New(2)
+	d2 := New(g2, 0, nil)
+	if _, ok := d2.EarliestDivergence(1, path.Path{0}); ok {
+		t.Fatal("unreachable should report !ok")
+	}
+}

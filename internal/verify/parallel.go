@@ -1,0 +1,156 @@
+package verify
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/bfs"
+	"repro/internal/graph"
+)
+
+// ftbfsParallel is the multi-goroutine exhaustive pass behind FTBFS when
+// Options.Parallelism > 1. The base (fault-free) check runs first to
+// license pruning; then the outer fault index is striped across workers,
+// each with private BFS runners. Violations are merged and sorted so the
+// report is deterministic regardless of scheduling.
+func ftbfsParallel(g *graph.Graph, offH []int, sources []int, f int, opts *Options) Report {
+	rep := Report{OK: true}
+	inH := make([]bool, g.M())
+	for i := range inH {
+		inH[i] = true
+	}
+	for _, id := range offH {
+		inH[id] = false
+	}
+	maxV := opts.maxViol()
+	workers := opts.workers()
+
+	type local struct {
+		violations []Violation
+		checked    int
+		pruned     int
+	}
+
+	runRange := func(s int, prune bool, wi int, loc *local) {
+		rg := bfs.NewRunner(g)
+		rh := bfs.NewRunner(g)
+		all := make([]int, 0, len(offH)+3)
+		check := func(faults []int) {
+			all = all[:0]
+			all = append(all, offH...)
+			all = append(all, faults...)
+			rg.Run(s, faults, nil)
+			rh.Run(s, all, nil)
+			loc.checked++
+			dg, dh := rg.Dists(), rh.Dists()
+			for v := 0; v < g.N(); v++ {
+				if dg[v] != dh[v] && len(loc.violations) < maxV {
+					loc.violations = append(loc.violations, Violation{
+						Source: s,
+						Faults: append([]int(nil), faults...),
+						V:      v,
+						GotH:   dh[v],
+						WantG:  dg[v],
+					})
+				}
+			}
+		}
+		m := g.M()
+		for a := wi; a < m; a += workers {
+			if len(loc.violations) >= maxV {
+				return
+			}
+			if prune && !inH[a] && f < 2 {
+				loc.pruned++
+				continue
+			}
+			if prune && !inH[a] {
+				loc.pruned++ // the singleton {a} is prunable even when pairs are not
+			} else {
+				check([]int{a})
+			}
+			if f >= 2 {
+				for b := a + 1; b < m; b++ {
+					if prune && !inH[a] && !inH[b] {
+						loc.pruned++
+					} else {
+						check([]int{a, b})
+					}
+					if f >= 3 {
+						for c := b + 1; c < m; c++ {
+							if prune && !inH[a] && !inH[b] && !inH[c] {
+								loc.pruned++
+								continue
+							}
+							check([]int{a, b, c})
+							if len(loc.violations) >= maxV {
+								return
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	for _, s := range sources {
+		// Fault-free pass (licenses pruning for this source).
+		base := &local{}
+		func() {
+			rg := bfs.NewRunner(g)
+			rh := bfs.NewRunner(g)
+			rg.Run(s, nil, nil)
+			rh.Run(s, offH, nil)
+			base.checked++
+			dg, dh := rg.Dists(), rh.Dists()
+			for v := 0; v < g.N(); v++ {
+				if dg[v] != dh[v] && len(base.violations) < maxV {
+					base.violations = append(base.violations, Violation{
+						Source: s, V: v, GotH: dh[v], WantG: dg[v],
+					})
+				}
+			}
+		}()
+		prune := !opts.noPrune() && len(base.violations) == 0
+		rep.FaultSetsChecked += base.checked
+		rep.Violations = append(rep.Violations, base.violations...)
+
+		if f >= 1 {
+			locals := make([]local, workers)
+			var wg sync.WaitGroup
+			for wi := 0; wi < workers; wi++ {
+				wg.Add(1)
+				go func(wi int) {
+					defer wg.Done()
+					runRange(s, prune, wi, &locals[wi])
+				}(wi)
+			}
+			wg.Wait()
+			for i := range locals {
+				rep.FaultSetsChecked += locals[i].checked
+				rep.FaultSetsPruned += locals[i].pruned
+				rep.Violations = append(rep.Violations, locals[i].violations...)
+			}
+		}
+	}
+	sort.Slice(rep.Violations, func(i, j int) bool {
+		a, b := rep.Violations[i], rep.Violations[j]
+		if a.Source != b.Source {
+			return a.Source < b.Source
+		}
+		for k := 0; k < len(a.Faults) && k < len(b.Faults); k++ {
+			if a.Faults[k] != b.Faults[k] {
+				return a.Faults[k] < b.Faults[k]
+			}
+		}
+		if len(a.Faults) != len(b.Faults) {
+			return len(a.Faults) < len(b.Faults)
+		}
+		return a.V < b.V
+	})
+	if len(rep.Violations) > maxV {
+		rep.Violations = rep.Violations[:maxV]
+	}
+	rep.OK = len(rep.Violations) == 0
+	return rep
+}

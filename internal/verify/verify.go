@@ -1,0 +1,252 @@
+// Package verify checks fault-tolerant BFS structures against their
+// definition: H ⊆ G is an f-failure FT-MBFS structure for sources S iff
+// dist(s, v, H \ F) = dist(s, v, G \ F) for every s ∈ S, v ∈ V and every
+// fault set F ⊆ E with |F| ≤ f.
+//
+// For f ≤ 3 the check is exhaustive. A pruning lemma cuts the work
+// dramatically: once fault-free distances are verified, any F disjoint from
+// H satisfies dist(s,v,H\F) = dist(s,v,H) = dist(s,v,G) ≤ dist(s,v,G\F) ≤
+// dist(s,v,H\F), so all four quantities coincide and F need not be checked.
+// Only fault sets intersecting H are enumerated. Full (unpruned)
+// enumeration is available for cross-validation, as is a sampled mode for
+// larger f or graphs.
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bfs"
+	"repro/internal/graph"
+)
+
+// Violation is one counterexample: a source, fault set and target whose
+// distance in H \ F exceeds the distance in G \ F.
+type Violation struct {
+	Source int
+	Faults []int // edge IDs
+	V      int
+	GotH   int32 // dist(s, v, H \ F); -1 = unreachable
+	WantG  int32 // dist(s, v, G \ F)
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("source %d, faults %v, target %d: dist_H=%d dist_G=%d",
+		v.Source, v.Faults, v.V, v.GotH, v.WantG)
+}
+
+// Report is the outcome of a verification pass.
+type Report struct {
+	OK bool
+	// Violations holds up to MaxViolations counterexamples.
+	Violations []Violation
+	// FaultSetsChecked counts the fault sets actually compared (after
+	// pruning, when enabled).
+	FaultSetsChecked int
+	// FaultSetsPruned counts fault sets skipped by the disjointness
+	// lemma.
+	FaultSetsPruned int
+}
+
+// Options tunes a verification pass. The zero value gives an exhaustive,
+// pruned check collecting at most 8 violations.
+type Options struct {
+	// NoPrune disables the F ∩ H = ∅ pruning (for cross-validation).
+	NoPrune bool
+	// MaxViolations caps collected counterexamples (0 means 8); the scan
+	// stops early when reached.
+	MaxViolations int
+	// Parallelism > 1 splits the fault-set enumeration of FTBFS across
+	// that many goroutines. Violations are reported in deterministic
+	// order; the early-exit cap becomes per-worker.
+	Parallelism int
+}
+
+func (o *Options) workers() int {
+	if o == nil || o.Parallelism < 2 {
+		return 1
+	}
+	return o.Parallelism
+}
+
+func (o *Options) maxViol() int {
+	if o == nil || o.MaxViolations == 0 {
+		return 8
+	}
+	return o.MaxViolations
+}
+
+func (o *Options) noPrune() bool { return o != nil && o.NoPrune }
+
+// structureEdges is the minimal view of a structure the verifier needs.
+type structureEdges interface {
+	DisabledEdges() []int
+}
+
+// MaxExhaustiveFaultSets caps the work of an exhaustive f = 3 pass; larger
+// instances must use Sampled.
+const MaxExhaustiveFaultSets = 5_000_000
+
+// FTBFS exhaustively verifies that the subgraph of g formed by removing
+// offH (the edge IDs NOT in H) is an f-failure FT-MBFS structure for the
+// given sources. f must be 0, 1, 2 or 3 (f = 3 only below
+// MaxExhaustiveFaultSets fault sets).
+func FTBFS(g *graph.Graph, offH []int, sources []int, f int, opts *Options) Report {
+	rep := Report{OK: true}
+	if f < 0 || f > 3 {
+		rep.OK = false
+		rep.Violations = append(rep.Violations, Violation{Source: -1, V: -1})
+		return rep
+	}
+	if f == 3 {
+		m := g.M()
+		if total := m * (m - 1) * (m - 2) / 6; total > MaxExhaustiveFaultSets {
+			rep.OK = false
+			rep.Violations = append(rep.Violations, Violation{Source: -1, V: -1})
+			return rep
+		}
+	}
+	if opts.workers() > 1 {
+		return ftbfsParallel(g, offH, sources, f, opts)
+	}
+	inH := make([]bool, g.M())
+	for i := range inH {
+		inH[i] = true
+	}
+	for _, id := range offH {
+		inH[id] = false
+	}
+	rg := bfs.NewRunner(g)
+	rh := bfs.NewRunner(g)
+	maxV := opts.maxViol()
+
+	check := func(s int, faults []int) bool {
+		// H \ F realized as g minus (offH ∪ F).
+		all := make([]int, 0, len(offH)+len(faults))
+		all = append(all, offH...)
+		all = append(all, faults...)
+		rg.Run(s, faults, nil)
+		rh.Run(s, all, nil)
+		rep.FaultSetsChecked++
+		dg, dh := rg.Dists(), rh.Dists()
+		ok := true
+		for v := 0; v < g.N(); v++ {
+			if dg[v] != dh[v] {
+				ok = false
+				rep.OK = false
+				if len(rep.Violations) < maxV {
+					rep.Violations = append(rep.Violations, Violation{
+						Source: s,
+						Faults: append([]int(nil), faults...),
+						V:      v,
+						GotH:   dh[v],
+						WantG:  dg[v],
+					})
+				}
+			}
+		}
+		return ok
+	}
+
+	for _, s := range sources {
+		// Fault-free pass first: it both verifies F = ∅ and licenses the
+		// pruning lemma.
+		baseOK := check(s, nil)
+		prune := !opts.noPrune() && baseOK
+		m := g.M()
+		if f >= 1 {
+			for a := 0; a < m; a++ {
+				if prune && !inH[a] {
+					rep.FaultSetsPruned++
+				} else {
+					check(s, []int{a})
+				}
+				if len(rep.Violations) >= maxV {
+					return rep
+				}
+				if f >= 2 {
+					for b := a + 1; b < m; b++ {
+						if prune && !inH[a] && !inH[b] {
+							rep.FaultSetsPruned++
+						} else {
+							check(s, []int{a, b})
+							if len(rep.Violations) >= maxV {
+								return rep
+							}
+						}
+						if f >= 3 {
+							for c := b + 1; c < m; c++ {
+								if prune && !inH[a] && !inH[b] && !inH[c] {
+									rep.FaultSetsPruned++
+									continue
+								}
+								check(s, []int{a, b, c})
+								if len(rep.Violations) >= maxV {
+									return rep
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return rep
+}
+
+// Structure verifies a structure exposing DisabledEdges (e.g.
+// core.Structure) for the given sources and f.
+func Structure(g *graph.Graph, st structureEdges, sources []int, f int, opts *Options) Report {
+	return FTBFS(g, st.DisabledEdges(), sources, f, opts)
+}
+
+// Sampled draws `trials` random fault sets of size ≤ f and compares
+// distances; it supports any f ≥ 0 and is meant for instances too large for
+// the exhaustive pass.
+func Sampled(g *graph.Graph, offH []int, sources []int, f int, trials int, seed int64, opts *Options) Report {
+	rep := Report{OK: true}
+	rng := rand.New(rand.NewSource(seed))
+	rg := bfs.NewRunner(g)
+	rh := bfs.NewRunner(g)
+	maxV := opts.maxViol()
+	m := g.M()
+	for t := 0; t < trials; t++ {
+		k := rng.Intn(f + 1)
+		faults := make([]int, 0, k)
+		seen := make(map[int]bool, k)
+		for len(faults) < k {
+			id := rng.Intn(m)
+			if !seen[id] {
+				seen[id] = true
+				faults = append(faults, id)
+			}
+		}
+		all := make([]int, 0, len(offH)+len(faults))
+		all = append(all, offH...)
+		all = append(all, faults...)
+		for _, s := range sources {
+			rg.Run(s, faults, nil)
+			rh.Run(s, all, nil)
+			rep.FaultSetsChecked++
+			dg, dh := rg.Dists(), rh.Dists()
+			for v := 0; v < g.N(); v++ {
+				if dg[v] != dh[v] {
+					rep.OK = false
+					if len(rep.Violations) < maxV {
+						rep.Violations = append(rep.Violations, Violation{
+							Source: s,
+							Faults: append([]int(nil), faults...),
+							V:      v,
+							GotH:   dh[v],
+							WantG:  dg[v],
+						})
+					} else {
+						return rep
+					}
+				}
+			}
+		}
+	}
+	return rep
+}

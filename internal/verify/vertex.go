@@ -1,0 +1,81 @@
+package verify
+
+import (
+	"repro/internal/bfs"
+	"repro/internal/graph"
+)
+
+// VertexFTBFS exhaustively verifies the vertex-failure model: for every
+// vertex set V' with |V'| ≤ f that excludes the sources,
+// dist(s, v, H \ V') = dist(s, v, G \ V') for all v ∉ V'. f must be ≤ 2.
+func VertexFTBFS(g *graph.Graph, offH []int, sources []int, f int, opts *Options) Report {
+	rep := Report{OK: true}
+	if f < 0 || f > 2 {
+		rep.OK = false
+		rep.Violations = append(rep.Violations, Violation{Source: -1, V: -1})
+		return rep
+	}
+	rg := bfs.NewRunner(g)
+	rh := bfs.NewRunner(g)
+	maxV := opts.maxViol()
+
+	check := func(s int, faults []int) {
+		rg.Run(s, nil, faults)
+		rh.Run(s, offH, faults)
+		rep.FaultSetsChecked++
+		dg, dh := rg.Dists(), rh.Dists()
+		failed := make(map[int]bool, len(faults))
+		for _, x := range faults {
+			failed[x] = true
+		}
+		for v := 0; v < g.N(); v++ {
+			if failed[v] {
+				continue
+			}
+			if dg[v] != dh[v] {
+				rep.OK = false
+				if len(rep.Violations) < maxV {
+					rep.Violations = append(rep.Violations, Violation{
+						Source: s,
+						Faults: append([]int(nil), faults...),
+						V:      v,
+						GotH:   dh[v],
+						WantG:  dg[v],
+					})
+				}
+			}
+		}
+	}
+
+	isSource := make(map[int]bool, len(sources))
+	for _, s := range sources {
+		isSource[s] = true
+	}
+	n := g.N()
+	for _, s := range sources {
+		check(s, nil)
+		if f >= 1 {
+			for a := 0; a < n; a++ {
+				if isSource[a] {
+					continue
+				}
+				check(s, []int{a})
+				if len(rep.Violations) >= maxV {
+					return rep
+				}
+				if f >= 2 {
+					for b := a + 1; b < n; b++ {
+						if isSource[b] {
+							continue
+						}
+						check(s, []int{a, b})
+						if len(rep.Violations) >= maxV {
+							return rep
+						}
+					}
+				}
+			}
+		}
+	}
+	return rep
+}

@@ -1,0 +1,44 @@
+package wsp
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func BenchmarkSearchFull(b *testing.B) {
+	for _, n := range []int{100, 400, 1600} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := gen.SparseGNP(n, 8, 1)
+			s := NewSearch(g, NewAssignment(g.M(), 1))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Run(0, Options{Target: -1})
+			}
+		})
+	}
+}
+
+func BenchmarkSearchEarlyExit(b *testing.B) {
+	g := gen.SparseGNP(1600, 8, 1)
+	s := NewSearch(g, NewAssignment(g.M(), 1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Run(0, Options{Target: i % g.N()})
+	}
+}
+
+func BenchmarkSearchMasked(b *testing.B) {
+	g := gen.SparseGNP(400, 8, 1)
+	s := NewSearch(g, NewAssignment(g.M(), 1))
+	faults := []int{1, 5}
+	off := []int{7, 9, 11}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Run(0, Options{Target: -1, DisabledEdges: faults, DisabledVertices: off})
+	}
+}

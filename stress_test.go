@@ -1,0 +1,94 @@
+package ftbfs_test
+
+import (
+	"fmt"
+	"testing"
+
+	ftbfs "repro"
+)
+
+// TestStressMediumGraphs pushes the dual builder to n = 150–240 across
+// families and verifies exhaustively (hundreds of thousands of fault sets).
+// Skipped with -short.
+func TestStressMediumGraphs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	cases := []struct {
+		name string
+		g    *ftbfs.Graph
+		src  int
+	}{
+		{"sparse150", ftbfs.SparseGNP(150, 5, 1), 0},
+		{"grid12x12", ftbfs.Grid(12, 12), 0},
+		{"layered8x20", ftbfs.Layered(8, 20, 0.3, 2), 0},
+		{"regular200", ftbfs.RandomRegular(200, 4, 3), 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			st, err := ftbfs.BuildDualFTBFS(c.g, c.src, &ftbfs.Options{Seed: 1, Parallelism: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Stats.TieWarnings != 0 {
+				t.Errorf("tie warnings: %d", st.Stats.TieWarnings)
+			}
+			rep := ftbfs.VerifyWithOptions(c.g, st, []int{c.src}, 2,
+				&ftbfs.VerifyOptions{Parallelism: 4})
+			if !rep.OK {
+				t.Fatalf("verification failed: %v", rep.Violations[0])
+			}
+			t.Logf("%s: n=%d m=%d |H|=%d checked=%d pruned=%d",
+				c.name, c.g.N(), c.g.M(), st.NumEdges(),
+				rep.FaultSetsChecked, rep.FaultSetsPruned)
+		})
+	}
+}
+
+// TestStressAdversarialLarge builds on the largest adversarial instance we
+// can exhaustively verify and confirms every forced edge is kept.
+func TestStressAdversarialLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	inst, err := ftbfs.LowerBound(2, 220)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ftbfs.BuildDualFTBFS(inst.G, inst.Source, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range inst.Bipartite {
+		if !st.Edges.Has(id) {
+			t.Fatalf("forced edge %v dropped", inst.G.EdgeAt(id))
+		}
+	}
+	rep := ftbfs.Verify(inst.G, st, []int{inst.Source}, 2)
+	if !rep.OK {
+		t.Fatalf("verification failed: %v", rep.Violations[0])
+	}
+}
+
+// TestStressSampledLarge runs the sampled verifier on an n = 500 build —
+// beyond exhaustive reach but representative of real deployments.
+func TestStressSampledLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	g := ftbfs.SparseGNP(500, 5, 7)
+	st, err := ftbfs.BuildDualFTBFS(g, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := ftbfs.VerifySampled(g, st, []int{0}, 2, 2000, 3)
+	if !rep.OK {
+		t.Fatalf("sampled verification failed: %v", rep.Violations[0])
+	}
+	ratio := float64(st.NumEdges()) / float64(g.N())
+	if ratio > 10 {
+		t.Errorf("suspiciously dense structure: %.1f edges/vertex", ratio)
+	}
+	fmt.Printf("stress n=500: m=%d |H|=%d (%.2f edges/vertex), %d searches\n",
+		g.M(), st.NumEdges(), ratio, st.Stats.Dijkstras)
+}
