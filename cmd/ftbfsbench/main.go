@@ -1,4 +1,4 @@
-// Command ftbfsbench runs the paper-reproduction experiment suite (E1–E11
+// Command ftbfsbench runs the paper-reproduction experiment suite (E1–E13
 // in DESIGN.md) and prints the resulting tables. This is the full-scale
 // companion to the quick `go test -bench .` harness.
 //

@@ -1,0 +1,93 @@
+// Command ftbfsd serves fault-tolerant BFS distance and routing queries
+// over HTTP — the paper's motivating scenario (routing under failures) as
+// a long-lived concurrent service.
+//
+// Usage:
+//
+//	ftbfsd -addr :8080
+//	ftbfsd -addr :8080 -demo        # also registers graph "demo" (gnp n=200)
+//
+// Quick start against a running daemon:
+//
+//	curl -s -X POST localhost:8080/v1/graphs \
+//	  -d '{"name":"demo","gen":{"family":"gnp","n":200,"p":0.05,"seed":7}}'
+//	curl -s -X POST localhost:8080/v1/graphs/demo/builds \
+//	  -d '{"mode":"dual","sources":[0]}'
+//	curl -s 'localhost:8080/v1/graphs/demo/builds/b1'            # poll until "ready"
+//	curl -s 'localhost:8080/v1/graphs/demo/builds/b1/dist?source=0&target=17&faults=3,9'
+//
+// See DESIGN.md for the full API.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ftbfsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ftbfsd", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", ":8080", "listen address")
+		builds    = fs.Int("builds", 0, "max concurrent structure builds (0 = GOMAXPROCS)")
+		cache     = fs.Int("cache", 0, "cached failure events per build (0 = default 4096, <0 = disable)")
+		demo      = fs.Bool("demo", false, "register a demo graph (gnp n=200 p=0.05 seed=7) at startup")
+		rtimeout  = fs.Duration("read-timeout", 30*time.Second, "HTTP read timeout")
+		wtimeout  = fs.Duration("write-timeout", 60*time.Second, "HTTP write timeout")
+		idleLimit = fs.Duration("idle-timeout", 2*time.Minute, "HTTP idle timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := &server.Config{MaxConcurrentBuilds: *builds, CacheEntries: *cache}
+	srv := server.New(cfg)
+	if *demo {
+		if err := srv.RegisterDemo(); err != nil {
+			return err
+		}
+		log.Printf("registered demo graph %q", "demo")
+	}
+	httpSrv := &http.Server{
+		Addr:         *addr,
+		Handler:      srv.Handler(),
+		ReadTimeout:  *rtimeout,
+		WriteTimeout: *wtimeout,
+		IdleTimeout:  *idleLimit,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("ftbfsd listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case sig := <-sigc:
+		log.Printf("received %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return httpSrv.Shutdown(ctx)
+	}
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+// TestDaemonEndToEnd boots the daemon on a free port with the demo graph,
+// drives the quickstart sequence over real HTTP, and shuts it down with
+// SIGTERM.
+func TestDaemonEndToEnd(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	done := make(chan error, 1)
+	go func() { done <- run([]string{"-addr", addr, "-demo"}) }()
+
+	base := "http://" + addr
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, b
+	}
+
+	// Wait for the daemon to come up.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon did not come up: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The -demo graph is pre-registered; build and query it.
+	resp, err := http.Post(base+"/v1/graphs/demo/builds", "application/json",
+		strings.NewReader(`{"mode":"dual","sources":[0]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var build struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&build); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for build.Status == "building" {
+		if time.Now().After(deadline) {
+			t.Fatal("build did not finish")
+		}
+		time.Sleep(20 * time.Millisecond)
+		_, body := get("/v1/graphs/demo/builds/" + build.ID)
+		if err := json.Unmarshal(body, &build); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if build.Status != "ready" {
+		t.Fatalf("build status %q", build.Status)
+	}
+	code, body := get(fmt.Sprintf("/v1/graphs/demo/builds/%s/dist?source=0&target=17&faults=3,9", build.ID))
+	if code != http.StatusOK {
+		t.Fatalf("dist: %d %s", code, body)
+	}
+	var dr struct {
+		Dist      int32 `json:"dist"`
+		Reachable bool  `json:"reachable"`
+	}
+	if err := json.Unmarshal(body, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if !dr.Reachable || dr.Dist <= 0 {
+		t.Fatalf("unexpected answer: %+v", dr)
+	}
+
+	// Graceful shutdown on SIGTERM.
+	p, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}

@@ -12,6 +12,9 @@
 //	// st.NumEdges() ≤ O(n^{5/3}); dist(s,v,H\F) = dist(s,v,G\F) ∀|F| ≤ 2
 //	rep := ftbfs.Verify(g, st, []int{0}, 2)
 //
+// For concurrent query serving, share one NewOracleSet across goroutines
+// (or run the whole thing as a network service: cmd/ftbfsd).
+//
 // The package is a facade over the internal implementation; see DESIGN.md
 // for the module map and EXPERIMENTS.md for the reproduction results.
 package ftbfs
@@ -24,6 +27,7 @@ import (
 	"repro/internal/lowerbound"
 	"repro/internal/multifail"
 	"repro/internal/oracle"
+	"repro/internal/server"
 	"repro/internal/verify"
 )
 
@@ -137,11 +141,46 @@ func VerifySampled(g *Graph, st *Structure, sources []int, f, trials int, seed i
 }
 
 // Oracle answers fault-tolerant distance and routing queries on a built
-// structure (one memoized BFS over H per distinct failure event).
+// structure (one memoized BFS over H per distinct failure event). An
+// Oracle is a cheap per-goroutine handle; concurrent clients share an
+// OracleSet.
 type Oracle = oracle.Oracle
 
-// NewOracle wraps a structure for querying.
+// OracleSet is the shared immutable query state over one structure —
+// materialized subgraph, edge-ID translation and a bounded LRU of
+// per-failure-event distance tables — safe for concurrent use through
+// per-goroutine handles (Handle) or the built-in pool (Acquire/Release).
+type OracleSet = oracle.OracleSet
+
+// OracleCacheStats is a snapshot of an OracleSet's memo counters.
+type OracleCacheStats = oracle.CacheStats
+
+// NewOracle wraps a structure for single-goroutine querying.
 func NewOracle(st *Structure) (*Oracle, error) { return oracle.New(st) }
+
+// NewOracleSet builds the shared concurrent query state for a structure.
+func NewOracleSet(st *Structure) (*OracleSet, error) { return oracle.NewSet(st) }
+
+// NewOracleSetCapacity is NewOracleSet with an explicit bound on cached
+// failure events (≤ 0 disables memoization).
+func NewOracleSetCapacity(st *Structure, cacheEntries int) (*OracleSet, error) {
+	return oracle.NewSetCapacity(st, cacheEntries)
+}
+
+// Server is the ftbfsd registry: named graphs, asynchronous structure
+// builds and pooled fault-tolerant query serving over HTTP JSON (see
+// cmd/ftbfsd and DESIGN.md for the API).
+type Server = server.Server
+
+// ServerConfig tunes a Server; the zero value is ready to use.
+type ServerConfig = server.Config
+
+// ServerGenSpec describes a synthetic graph for Server.RegisterGraph.
+type ServerGenSpec = server.GenSpec
+
+// NewServer returns an empty ftbfsd registry (nil config for defaults);
+// serve its Handler with net/http.
+func NewServer(cfg *ServerConfig) *Server { return server.New(cfg) }
 
 // LowerBound builds the adversarial instance G*_f of Theorem 1.2 with
 // roughly n vertices: every bipartite edge (Ω(n^{2-1/(f+1)}) of them) is

@@ -1,6 +1,6 @@
 // Package exp is the experiment harness: it regenerates every theorem,
 // observation and constructive figure of the paper as a measured table
-// (experiments E1–E11 in DESIGN.md §4) and renders the results as aligned
+// (experiments E1–E13 in DESIGN.md §4) and renders the results as aligned
 // text. Benchmarks and cmd/ftbfsbench drive it at different scales.
 package exp
 

@@ -33,6 +33,43 @@ func BenchmarkOracleQueryCached(b *testing.B) {
 	}
 }
 
+// BenchmarkOracleSetParallel measures the concurrent hot path: many
+// goroutines answering cached failure events through pooled handles over
+// one shared set (the ftbfsd serving shape). Allocations should be zero
+// after warmup.
+func BenchmarkOracleSetParallel(b *testing.B) {
+	g := gen.SparseGNP(400, 8, 1)
+	st, err := core.BuildSingle(g, 0, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	set, err := NewSet(st)
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm := set.Handle()
+	events := [][]int{{3}, {9}, {21}, {30}}
+	for _, f := range events {
+		if _, err := warm.Dist(0, 1, f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		o := set.Acquire()
+		defer set.Release(o)
+		i := 0
+		for pb.Next() {
+			if _, err := o.Dist(0, i%g.N(), events[i%len(events)]); err != nil {
+				b.Error(err) // Fatal must not be called off the main goroutine
+				return
+			}
+			i++
+		}
+	})
+}
+
 // BenchmarkOracleVsFullGraphBFS contrasts answering a fresh failure event
 // inside the structure with BFS over the full graph.
 func BenchmarkOracleVsFullGraphBFS(b *testing.B) {

@@ -1,0 +1,170 @@
+package oracle
+
+import "sync"
+
+// The shared memo: a mutex-guarded LRU of per-failure-event distance
+// tables. Keys are (source, canonicalized fault set), hashed to a uint64
+// with the full key retained per entry, so lookups compare against the
+// stored key and a 64-bit hash collision degrades to a miss, never to a
+// wrong answer. The hot lookup path performs no allocation: the caller
+// hashes into scratch buffers and the cache only copies the key on insert.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashKey mixes the source and the sorted fault IDs (FNV-1a over their
+// little-endian bytes).
+func hashKey(src int, canon []int32) uint64 {
+	h := uint64(fnvOffset64)
+	mix := func(v uint32) {
+		h = (h ^ uint64(v&0xff)) * fnvPrime64
+		h = (h ^ uint64(v>>8&0xff)) * fnvPrime64
+		h = (h ^ uint64(v>>16&0xff)) * fnvPrime64
+		h = (h ^ uint64(v>>24&0xff)) * fnvPrime64
+	}
+	mix(uint32(src))
+	for _, id := range canon {
+		mix(uint32(id))
+	}
+	return h
+}
+
+// CacheStats is a snapshot of the shared memo's counters.
+type CacheStats struct {
+	Len       int   // entries currently cached
+	Capacity  int   // configured bound (0 = caching disabled)
+	Hits      int64 // lookups answered from the cache
+	Misses    int64 // lookups that ran a BFS
+	Evictions int64 // entries dropped to stay within Capacity
+}
+
+type cacheEntry struct {
+	hash       uint64
+	src        int32
+	faults     []int32 // canonical (sorted) fault IDs; the true key
+	dist       []int32 // immutable once inserted
+	prev, next *cacheEntry
+}
+
+// lruCache is an intrusively-linked LRU protected by a single mutex. A nil
+// or zero-capacity cache is valid and caches nothing.
+type lruCache struct {
+	mu        sync.Mutex
+	capacity  int
+	entries   map[uint64]*cacheEntry
+	head      cacheEntry // sentinel; head.next is most recent
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+func newLRUCache(capacity int) *lruCache {
+	c := &lruCache{capacity: capacity}
+	if capacity > 0 {
+		c.entries = make(map[uint64]*cacheEntry, capacity)
+	}
+	c.head.prev = &c.head
+	c.head.next = &c.head
+	return c
+}
+
+func keyEqual(e *cacheEntry, src int32, canon []int32) bool {
+	if e.src != src || len(e.faults) != len(canon) {
+		return false
+	}
+	for i, id := range canon {
+		if e.faults[i] != id {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *lruCache) moveToFront(e *cacheEntry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	c.pushFront(e)
+}
+
+// get returns the cached distance table for the key, moving it to the
+// front. It never allocates.
+func (c *lruCache) get(hash uint64, src int32, canon []int32) ([]int32, bool) {
+	if c.capacity <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	e, ok := c.entries[hash]
+	if !ok || !keyEqual(e, src, canon) {
+		c.misses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.moveToFront(e)
+	c.hits++
+	d := e.dist
+	c.mu.Unlock()
+	return d, true
+}
+
+// add inserts dist under the key, evicting the least-recently-used entry
+// when full, and returns the table now cached for the key (dist itself, or
+// the winner of a concurrent insert race so all clients share one table).
+func (c *lruCache) add(hash uint64, src int32, canon []int32, dist []int32) []int32 {
+	if c.capacity <= 0 {
+		return dist
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[hash]; ok {
+		if keyEqual(e, src, canon) {
+			// Another handle inserted the same event concurrently; keep
+			// the incumbent so every client shares one table.
+			c.moveToFront(e)
+			return e.dist
+		}
+		// True 64-bit hash collision: replace the incumbent (the map can
+		// hold one entry per hash; correctness is preserved either way).
+		c.unlink(e)
+	}
+	for len(c.entries) >= c.capacity {
+		lru := c.head.prev
+		c.unlink(lru)
+		c.evictions++
+	}
+	e := &cacheEntry{
+		hash:   hash,
+		src:    src,
+		faults: append([]int32(nil), canon...),
+		dist:   dist,
+	}
+	c.entries[hash] = e
+	c.pushFront(e)
+	return dist
+}
+
+func (c *lruCache) pushFront(e *cacheEntry) {
+	e.next = c.head.next
+	e.prev = &c.head
+	e.next.prev = e
+	c.head.next = e
+}
+
+func (c *lruCache) unlink(e *cacheEntry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	delete(c.entries, e.hash)
+}
+
+func (c *lruCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Len:       len(c.entries),
+		Capacity:  c.capacity,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

@@ -4,14 +4,19 @@
 // inside the structure H — which is the point of the structure: H \ F
 // provably contains such a path (the paper's motivating routing scenario).
 //
-// Queries run one BFS over H per distinct fault set and are memoized, so
-// answering all targets under one failure event costs a single traversal
-// of the sparse structure rather than of G.
+// The package is organized for concurrent serving. An OracleSet holds the
+// shared immutable state — the materialized subgraph H, the G→H edge-ID
+// mapping, and a bounded LRU memo of per-failure-event distance tables —
+// built once per structure. Per-goroutine Oracle handles carry only BFS
+// scratch and are cheap to create (or recycle through Acquire/Release), so
+// one failure event's BFS is computed once and shared across every
+// concurrent client.
 package oracle
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 
 	"repro/internal/bfs"
 	"repro/internal/core"
@@ -19,38 +24,47 @@ import (
 	"repro/internal/path"
 )
 
-// maxCacheEntries bounds the memo table; on overflow the cache resets
-// (queries stay correct, just uncached).
-const maxCacheEntries = 4096
+// DefaultCacheEntries bounds the shared memo table when NewSet is used;
+// least-recently-used failure events are evicted first (queries stay
+// correct, just uncached).
+const DefaultCacheEntries = 4096
 
-// Oracle wraps a structure for querying. It is not safe for concurrent
-// use; create one per goroutine (they can share the structure).
+// OracleSet is the shared, immutable query state over one structure: the
+// materialized subgraph H, the G→H edge-ID translation, and a
+// concurrency-safe bounded LRU of distance tables keyed by canonicalized
+// fault sets. It is safe for concurrent use; obtain per-goroutine handles
+// with Handle or Acquire.
 //
-// The oracle materializes the structure as its own compact graph once, so
+// The set materializes the structure as its own compact graph once, so
 // every query traverses only H's edges — on sparse structures this is the
 // whole point of buying H instead of G.
-type Oracle struct {
+type OracleSet struct {
 	st     *core.Structure
 	sub    *graph.Graph
 	gToSub []int32 // G edge ID -> sub edge ID, -1 when absent from H
-	runner *bfs.Runner
-	cache  map[string][]int32
-	faults []int // scratch: translated fault IDs
+	cache  *lruCache
+	pool   sync.Pool
 }
 
-// New returns an oracle over st.
-func New(st *core.Structure) (*Oracle, error) {
+// NewSet builds the shared query state for st with the default cache bound.
+func NewSet(st *core.Structure) (*OracleSet, error) {
+	return NewSetCapacity(st, DefaultCacheEntries)
+}
+
+// NewSetCapacity is NewSet with an explicit bound on cached failure events
+// (cacheEntries ≤ 0 disables memoization).
+func NewSetCapacity(st *core.Structure, cacheEntries int) (*OracleSet, error) {
 	if len(st.Sources) == 0 {
 		return nil, fmt.Errorf("oracle: structure has no sources")
 	}
-	o := &Oracle{
+	s := &OracleSet{
 		st:     st,
 		sub:    graph.New(st.G.N()),
 		gToSub: make([]int32, st.G.M()),
-		cache:  make(map[string][]int32),
+		cache:  newLRUCache(cacheEntries),
 	}
-	for id := range o.gToSub {
-		o.gToSub[id] = -1
+	for id := range s.gToSub {
+		s.gToSub[id] = -1
 	}
 	var err error
 	st.Edges.ForEach(func(id int) {
@@ -59,37 +73,93 @@ func New(st *core.Structure) (*Oracle, error) {
 		}
 		e := st.G.EdgeAt(id)
 		var subID int
-		subID, err = o.sub.AddEdge(e.U, e.V)
-		o.gToSub[id] = int32(subID)
+		subID, err = s.sub.AddEdge(e.U, e.V)
+		s.gToSub[id] = int32(subID)
 	})
 	if err != nil {
 		return nil, fmt.Errorf("oracle: %w", err)
 	}
-	o.runner = bfs.NewRunner(o.sub)
-	return o, nil
+	s.pool.New = func() any { return s.Handle() }
+	return s, nil
 }
 
-// Faults returns the structure's fault budget.
-func (o *Oracle) Faults() int { return o.st.Faults }
+// Structure returns the underlying structure.
+func (s *OracleSet) Structure() *core.Structure { return s.st }
 
-// Sources returns the sources the oracle can answer for.
-func (o *Oracle) Sources() []int { return append([]int(nil), o.st.Sources...) }
+// Faults returns the structure's fault budget.
+func (s *OracleSet) Faults() int { return s.st.Faults }
+
+// Sources returns a copy of the sources the set can answer for.
+func (s *OracleSet) Sources() []int { return append([]int(nil), s.st.Sources...) }
+
+// CacheStats returns a snapshot of the shared memo's counters.
+func (s *OracleSet) CacheStats() CacheStats { return s.cache.stats() }
+
+// Handle returns a fresh per-goroutine query handle over the shared state.
+// Handles are not safe for concurrent use; the set they share is.
+func (s *OracleSet) Handle() *Oracle {
+	return &Oracle{set: s, runner: bfs.NewRunner(s.sub)}
+}
+
+// Acquire returns a pooled handle; pair with Release on the hot serving
+// path to avoid re-allocating BFS scratch per request.
+func (s *OracleSet) Acquire() *Oracle { return s.pool.Get().(*Oracle) }
+
+// Release returns a handle obtained from Acquire to the pool. The handle
+// must not be used afterwards.
+func (s *OracleSet) Release(o *Oracle) {
+	if o.set != s {
+		panic("oracle: Release of a handle from a different set")
+	}
+	s.pool.Put(o)
+}
+
+// Oracle is a per-goroutine query handle over a shared OracleSet: BFS
+// scratch plus key-canonicalization buffers. It is not safe for concurrent
+// use; create one per goroutine with OracleSet.Handle (they share the
+// set's materialized subgraph and memo).
+type Oracle struct {
+	set    *OracleSet
+	runner *bfs.Runner
+	faults []int   // scratch: fault IDs translated into sub-graph IDs
+	canon  []int32 // scratch: sorted G fault IDs forming the cache key
+}
+
+// New returns a single-handle oracle over st — NewSet + Handle for callers
+// that do not need to share the set across goroutines.
+func New(st *core.Structure) (*Oracle, error) {
+	s, err := NewSet(st)
+	if err != nil {
+		return nil, err
+	}
+	return s.Handle(), nil
+}
+
+// Set returns the shared state this handle queries.
+func (o *Oracle) Set() *OracleSet { return o.set }
+
+// Faults returns the structure's fault budget.
+func (o *Oracle) Faults() int { return o.set.st.Faults }
+
+// Sources returns a copy of the sources the oracle can answer for.
+func (o *Oracle) Sources() []int { return o.set.Sources() }
 
 func (o *Oracle) validate(s int, faults []int) error {
+	st := o.set.st
 	ok := false
-	for _, src := range o.st.Sources {
+	for _, src := range st.Sources {
 		if src == s {
 			ok = true
 			break
 		}
 	}
 	if !ok {
-		return fmt.Errorf("oracle: %d is not a structure source %v", s, o.st.Sources)
+		return fmt.Errorf("oracle: %d is not a structure source %v", s, st.Sources)
 	}
-	if len(faults) > o.st.Faults {
-		return fmt.Errorf("oracle: %d faults exceed budget %d", len(faults), o.st.Faults)
+	if len(faults) > st.Faults {
+		return fmt.Errorf("oracle: %d faults exceed budget %d", len(faults), st.Faults)
 	}
-	m := o.st.G.M()
+	m := st.G.M()
 	for _, id := range faults {
 		if id < 0 || id >= m {
 			return fmt.Errorf("oracle: fault edge %d out of range [0,%d)", id, m)
@@ -98,14 +168,15 @@ func (o *Oracle) validate(s int, faults []int) error {
 	return nil
 }
 
-func cacheKey(s int, faults []int) string {
-	f := append([]int(nil), faults...)
-	sort.Ints(f)
-	buf := make([]byte, 0, 4*(len(f)+1))
-	for _, id := range append(f, s) {
-		buf = append(buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+// canonicalize fills o.canon with the sorted fault IDs — the canonical
+// per-failure-event key — without allocating once the scratch has grown.
+func (o *Oracle) canonicalize(faults []int) []int32 {
+	o.canon = o.canon[:0]
+	for _, id := range faults {
+		o.canon = append(o.canon, int32(id))
 	}
-	return string(buf)
+	slices.Sort(o.canon)
+	return o.canon
 }
 
 // translate maps G fault IDs into sub-graph IDs, dropping faults on edges
@@ -113,7 +184,7 @@ func cacheKey(s int, faults []int) string {
 func (o *Oracle) translate(faults []int) []int {
 	o.faults = o.faults[:0]
 	for _, id := range faults {
-		if sid := o.gToSub[id]; sid >= 0 {
+		if sid := o.set.gToSub[id]; sid >= 0 {
 			o.faults = append(o.faults, int(sid))
 		}
 	}
@@ -121,20 +192,18 @@ func (o *Oracle) translate(faults []int) []int {
 }
 
 // run executes (or recalls) the BFS for (s, faults) and returns the
-// distance table over H \ F.
+// distance table over H \ F. Cached tables are immutable and shared across
+// every handle of the set.
 func (o *Oracle) run(s int, faults []int) []int32 {
-	k := cacheKey(s, faults)
-	if d, ok := o.cache[k]; ok {
+	canon := o.canonicalize(faults)
+	h := hashKey(s, canon)
+	if d, ok := o.set.cache.get(h, int32(s), canon); ok {
 		return d
 	}
 	o.runner.Run(s, o.translate(faults), nil)
-	d := make([]int32, o.sub.N())
+	d := make([]int32, o.set.sub.N())
 	copy(d, o.runner.Dists())
-	if len(o.cache) >= maxCacheEntries {
-		o.cache = make(map[string][]int32)
-	}
-	o.cache[k] = d
-	return d
+	return o.set.cache.add(h, int32(s), canon, d)
 }
 
 // Dist returns dist(s, v, G \ F) answered inside the structure
@@ -143,14 +212,15 @@ func (o *Oracle) Dist(s, v int, faults []int) (int32, error) {
 	if err := o.validate(s, faults); err != nil {
 		return bfs.Unreachable, err
 	}
-	if v < 0 || v >= o.st.G.N() {
+	if v < 0 || v >= o.set.st.G.N() {
 		return bfs.Unreachable, fmt.Errorf("oracle: target %d out of range", v)
 	}
 	return o.run(s, faults)[v], nil
 }
 
 // Dists returns the full distance table for one failure event (the slice
-// is owned by the oracle's cache; callers must not mutate it).
+// is owned by the set's cache and shared between clients; callers must not
+// mutate it).
 func (o *Oracle) Dists(s int, faults []int) ([]int32, error) {
 	if err := o.validate(s, faults); err != nil {
 		return nil, err
@@ -165,7 +235,7 @@ func (o *Oracle) Route(s, v int, faults []int) (path.Path, error) {
 	if err := o.validate(s, faults); err != nil {
 		return nil, err
 	}
-	if v < 0 || v >= o.st.G.N() {
+	if v < 0 || v >= o.set.st.G.N() {
 		return nil, fmt.Errorf("oracle: target %d out of range", v)
 	}
 	o.runner.Run(s, o.translate(faults), nil)

@@ -1,0 +1,112 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// benchServer stands up a server with one ready dual build over gnp
+// n=400 and returns the handler plus the build's query path prefix.
+func benchServer(b *testing.B) (http.Handler, string) {
+	b.Helper()
+	s := New(nil)
+	if err := s.RegisterGraph("bench", &GenSpec{Family: "sparse", N: 400, AvgDeg: 8, Seed: 1}); err != nil {
+		b.Fatal(err)
+	}
+	h := s.Handler()
+	body := `{"mode":"dual","sources":[0],"parallelism":4}`
+	req := httptest.NewRequest("POST", "/v1/graphs/bench/builds", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusAccepted {
+		b.Fatalf("build start: %d %s", rec.Code, rec.Body)
+	}
+	var info buildInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		b.Fatal(err)
+	}
+	prefix := "/v1/graphs/bench/builds/" + info.ID
+	deadline := time.Now().Add(time.Minute)
+	for {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", prefix, nil))
+		if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+			b.Fatal(err)
+		}
+		if info.Status == StatusReady {
+			return h, prefix
+		}
+		if info.Status == StatusFailed || time.Now().After(deadline) {
+			b.Fatalf("bench build: %+v", info)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// BenchmarkServerDist measures end-to-end handler throughput on the hot
+// query path (cached failure events, rotating targets): the server-side
+// queries/sec number reported in CHANGES.md.
+func BenchmarkServerDist(b *testing.B) {
+	h, prefix := benchServer(b)
+	faults := []string{"3", "9", "21", "30"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		url := fmt.Sprintf("%s/dist?source=0&target=%d&faults=%s", prefix, i%400, faults[i%len(faults)])
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("code %d: %s", rec.Code, rec.Body)
+		}
+	}
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "queries/s")
+}
+
+// BenchmarkServerDistParallel is BenchmarkServerDist across GOMAXPROCS
+// client goroutines — the concurrent serving shape ftbfsd targets.
+func BenchmarkServerDistParallel(b *testing.B) {
+	h, prefix := benchServer(b)
+	faults := []string{"3", "9", "21", "30"}
+	var ctr atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(ctr.Add(1))
+			url := fmt.Sprintf("%s/dist?source=0&target=%d&faults=%s", prefix, i%400, faults[i%len(faults)])
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+			if rec.Code != http.StatusOK {
+				b.Errorf("code %d: %s", rec.Code, rec.Body) // Fatal must not be called off the main goroutine
+				return
+			}
+		}
+	})
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "queries/s")
+}
+
+// BenchmarkServerRoute measures the uncached routing path (every route
+// re-runs a BFS over the sparse structure).
+func BenchmarkServerRoute(b *testing.B) {
+	h, prefix := benchServer(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		url := fmt.Sprintf("%s/route?source=0&target=%d&faults=%d", prefix, i%400, i%50)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("code %d: %s", rec.Code, rec.Body)
+		}
+	}
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "queries/s")
+}

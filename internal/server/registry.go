@@ -1,0 +1,161 @@
+package server
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/edgelist"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/oracle"
+)
+
+// GenSpec describes a synthetic graph to generate from the gen families.
+type GenSpec struct {
+	Family  string  `json:"family"`
+	N       int     `json:"n,omitempty"`
+	P       float64 `json:"p,omitempty"`
+	AvgDeg  float64 `json:"avgDeg,omitempty"`
+	Rows    int     `json:"rows,omitempty"`
+	Cols    int     `json:"cols,omitempty"`
+	Dim     int     `json:"dim,omitempty"`
+	Width   int     `json:"width,omitempty"`
+	Layers  int     `json:"layers,omitempty"`
+	Density float64 `json:"density,omitempty"`
+	Chords  int     `json:"chords,omitempty"`
+	Degree  int     `json:"degree,omitempty"`
+	Seed    int64   `json:"seed,omitempty"`
+}
+
+// generate materializes the spec. Families mirror the ftbfs facade
+// generators.
+func (sp *GenSpec) generate() (*graph.Graph, error) {
+	switch strings.ToLower(sp.Family) {
+	case "gnp":
+		if sp.N < 2 {
+			return nil, fmt.Errorf("gnp needs n ≥ 2")
+		}
+		return gen.GNP(sp.N, sp.P, sp.Seed), nil
+	case "sparse":
+		if sp.N < 2 {
+			return nil, fmt.Errorf("sparse needs n ≥ 2")
+		}
+		return gen.SparseGNP(sp.N, sp.AvgDeg, sp.Seed), nil
+	case "grid":
+		if sp.Rows < 1 || sp.Cols < 1 {
+			return nil, fmt.Errorf("grid needs rows,cols ≥ 1")
+		}
+		return gen.Grid(sp.Rows, sp.Cols), nil
+	case "path":
+		if sp.N < 1 {
+			return nil, fmt.Errorf("path needs n ≥ 1")
+		}
+		return gen.PathGraph(sp.N), nil
+	case "cycle":
+		if sp.N < 3 {
+			return nil, fmt.Errorf("cycle needs n ≥ 3")
+		}
+		return gen.Cycle(sp.N), nil
+	case "complete":
+		if sp.N < 1 {
+			return nil, fmt.Errorf("complete needs n ≥ 1")
+		}
+		return gen.Complete(sp.N), nil
+	case "hypercube":
+		if sp.Dim < 1 || sp.Dim > 20 {
+			return nil, fmt.Errorf("hypercube needs 1 ≤ dim ≤ 20")
+		}
+		return gen.Hypercube(sp.Dim), nil
+	case "layered":
+		if sp.Width < 1 || sp.Layers < 1 {
+			return nil, fmt.Errorf("layered needs width,layers ≥ 1")
+		}
+		return gen.Layered(sp.Width, sp.Layers, sp.Density, sp.Seed), nil
+	case "tree":
+		if sp.N < 1 {
+			return nil, fmt.Errorf("tree needs n ≥ 1")
+		}
+		return gen.TreePlusChords(sp.N, sp.Chords, sp.Seed), nil
+	case "regular":
+		if sp.N < 2 || sp.Degree < 1 {
+			return nil, fmt.Errorf("regular needs n ≥ 2 and degree ≥ 1")
+		}
+		return gen.RandomRegular(sp.N, sp.Degree, sp.Seed), nil
+	default:
+		return nil, fmt.Errorf("unknown family %q (gnp, sparse, grid, path, cycle, complete, hypercube, layered, tree, regular)", sp.Family)
+	}
+}
+
+// Build lifecycle states.
+const (
+	StatusBuilding = "building"
+	StatusReady    = "ready"
+	StatusFailed   = "failed"
+)
+
+// buildEntry is one (possibly in-flight) structure build over a registered
+// graph. Fields other than status/err/st/set/elapsed are immutable after
+// creation; the mutable ones are written exactly once by the build
+// goroutine under the server lock.
+type buildEntry struct {
+	id      string
+	mode    string
+	sources []int
+	seed    int64
+	status  string
+	errMsg  string
+	started time.Time
+	elapsed time.Duration
+	st      *core.Structure
+	set     *oracle.OracleSet
+}
+
+// graphEntry is one registered graph plus its builds.
+type graphEntry struct {
+	name    string
+	g       *graph.Graph
+	created time.Time
+	builds  map[string]*buildEntry
+	order   []string // build IDs in creation order
+}
+
+var nameRe = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
+
+// parseEdgeList wraps edgelist.Read for uploaded graph bodies.
+func parseEdgeList(text string) (*graph.Graph, error) {
+	return edgelist.Read(strings.NewReader(text))
+}
+
+// builderFor maps an API mode to a structure builder. Modes follow the
+// facade: dual (Theorem 1.1), single (ESA'13 baseline), multi (per-source
+// dual structures unioned into an FT-MBFS structure).
+func builderFor(mode string, sources []int) (func(*graph.Graph, *core.Options) (*core.Structure, error), error) {
+	switch mode {
+	case "dual":
+		if len(sources) != 1 {
+			return nil, fmt.Errorf("mode dual needs exactly one source")
+		}
+		return func(g *graph.Graph, opts *core.Options) (*core.Structure, error) {
+			return core.BuildDual(g, sources[0], opts)
+		}, nil
+	case "single":
+		if len(sources) != 1 {
+			return nil, fmt.Errorf("mode single needs exactly one source")
+		}
+		return func(g *graph.Graph, opts *core.Options) (*core.Structure, error) {
+			return core.BuildSingle(g, sources[0], opts)
+		}, nil
+	case "multi":
+		if len(sources) == 0 {
+			return nil, fmt.Errorf("mode multi needs at least one source")
+		}
+		return func(g *graph.Graph, opts *core.Options) (*core.Structure, error) {
+			return core.BuildMultiSource(g, sources, opts, core.BuildDual)
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown mode %q (dual, single, multi)", mode)
+	}
+}

@@ -1,0 +1,593 @@
+// Package server implements ftbfsd, a long-lived HTTP JSON service that
+// serves fault-tolerant distance and routing queries at scale — the
+// paper's motivating scenario (answering queries under failures) exposed
+// as a network service instead of one-shot CLIs.
+//
+// The API is versioned under /v1:
+//
+//	POST   /v1/graphs                       register a graph (gen spec or edge list)
+//	GET    /v1/graphs                       list graphs
+//	GET    /v1/graphs/{graph}               graph info + build IDs
+//	DELETE /v1/graphs/{graph}               unregister
+//	POST   /v1/graphs/{graph}/builds        start an async structure build
+//	GET    /v1/graphs/{graph}/builds/{build}        build status, stats, cache counters
+//	GET    /v1/graphs/{graph}/builds/{build}/dist   ?source&target&faults=3,9
+//	GET    /v1/graphs/{graph}/builds/{build}/dists  ?source&faults
+//	GET    /v1/graphs/{graph}/builds/{build}/route  ?source&target&faults
+//	GET    /healthz
+//
+// Builds run asynchronously (poll the build resource until "ready"); the
+// query path is served by a pool of per-goroutine oracles over one shared
+// immutable OracleSet, so concurrent clients asking about one failure
+// event share a single BFS over the sparse structure.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bfs"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/oracle"
+)
+
+// Config tunes the service. The zero value is ready to use.
+type Config struct {
+	// MaxConcurrentBuilds bounds simultaneously running structure builds
+	// (default: GOMAXPROCS; builds beyond it queue).
+	MaxConcurrentBuilds int
+	// CacheEntries bounds each build's shared failure-event memo
+	// (default oracle.DefaultCacheEntries).
+	CacheEntries int
+	// CacheBytes additionally bounds each build's memo by memory: the
+	// entry cap is clamped so cached distance tables stay under this
+	// many bytes (default 256 MiB). Untrusted clients can force one
+	// table per distinct fault set, so the bound must not scale with n.
+	CacheBytes int64
+	// MaxBodyBytes bounds request bodies (default 32 MiB).
+	MaxBodyBytes int64
+}
+
+// Server is the ftbfsd registry and HTTP handler factory. It is safe for
+// concurrent use.
+type Server struct {
+	cfg      Config
+	mu       sync.RWMutex
+	graphs   map[string]*graphEntry
+	buildSeq int
+	buildSem chan struct{}
+}
+
+// New returns a Server with the given config (nil for defaults).
+func New(cfg *Config) *Server {
+	s := &Server{graphs: make(map[string]*graphEntry)}
+	if cfg != nil {
+		s.cfg = *cfg
+	}
+	if s.cfg.MaxConcurrentBuilds <= 0 {
+		s.cfg.MaxConcurrentBuilds = runtime.GOMAXPROCS(0)
+	}
+	if s.cfg.CacheEntries == 0 {
+		s.cfg.CacheEntries = oracle.DefaultCacheEntries
+	}
+	if s.cfg.CacheBytes <= 0 {
+		s.cfg.CacheBytes = 256 << 20
+	}
+	if s.cfg.MaxBodyBytes <= 0 {
+		s.cfg.MaxBodyBytes = 32 << 20
+	}
+	s.buildSem = make(chan struct{}, s.cfg.MaxConcurrentBuilds)
+	return s
+}
+
+// RegisterGraph registers a generated graph programmatically (the
+// daemon's -demo flag and tests use it; HTTP clients use POST /v1/graphs).
+func (s *Server) RegisterGraph(name string, spec *GenSpec) error {
+	if !nameRe.MatchString(name) {
+		return fmt.Errorf("server: bad graph name %q", name)
+	}
+	g, err := spec.generate()
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.graphs[name]; exists {
+		return fmt.Errorf("server: graph %q already exists", name)
+	}
+	s.graphs[name] = &graphEntry{name: name, g: g, created: time.Now(), builds: make(map[string]*buildEntry)}
+	return nil
+}
+
+// RegisterDemo registers the quickstart graph "demo": gnp n=200 p=0.05
+// seed=7, matching the curl walkthrough in DESIGN.md.
+func (s *Server) RegisterDemo() error {
+	return s.RegisterGraph("demo", &GenSpec{Family: "gnp", N: 200, P: 0.05, Seed: 7})
+}
+
+// Handler returns the route table as an http.Handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("POST /v1/graphs", s.handleCreateGraph)
+	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
+	mux.HandleFunc("GET /v1/graphs/{graph}", s.handleGetGraph)
+	mux.HandleFunc("DELETE /v1/graphs/{graph}", s.handleDeleteGraph)
+	mux.HandleFunc("POST /v1/graphs/{graph}/builds", s.handleCreateBuild)
+	mux.HandleFunc("GET /v1/graphs/{graph}/builds/{build}", s.handleGetBuild)
+	mux.HandleFunc("GET /v1/graphs/{graph}/builds/{build}/dist", s.handleDist)
+	mux.HandleFunc("GET /v1/graphs/{graph}/builds/{build}/dists", s.handleDists)
+	mux.HandleFunc("GET /v1/graphs/{graph}/builds/{build}/route", s.handleRoute)
+	return mux
+}
+
+// ---- JSON plumbing ----
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// ---- graph registry ----
+
+type createGraphRequest struct {
+	Name     string   `json:"name"`
+	Gen      *GenSpec `json:"gen,omitempty"`
+	EdgeList string   `json:"edgeList,omitempty"`
+}
+
+type graphInfo struct {
+	Name   string   `json:"name"`
+	N      int      `json:"n"`
+	M      int      `json:"m"`
+	Builds []string `json:"builds"`
+}
+
+func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
+	var req createGraphRequest
+	if err := decodeBody(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		writeErr(w, bodyErrStatus(err), "bad request body: %v", err)
+		return
+	}
+	if !nameRe.MatchString(req.Name) {
+		writeErr(w, http.StatusBadRequest, "bad graph name %q (want %s)", req.Name, nameRe)
+		return
+	}
+	if (req.Gen == nil) == (req.EdgeList == "") {
+		writeErr(w, http.StatusBadRequest, "provide exactly one of \"gen\" or \"edgeList\"")
+		return
+	}
+	// Reject duplicate names before paying for generation/parsing (the
+	// insert below re-checks under the same lock, so a racing create is
+	// still caught).
+	s.mu.RLock()
+	_, exists := s.graphs[req.Name]
+	s.mu.RUnlock()
+	if exists {
+		writeErr(w, http.StatusConflict, "graph %q already exists", req.Name)
+		return
+	}
+	var g *graphEntry
+	if req.Gen != nil {
+		gg, err := req.Gen.generate()
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "gen: %v", err)
+			return
+		}
+		g = &graphEntry{name: req.Name, g: gg}
+	} else {
+		gg, err := parseEdgeList(req.EdgeList)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "edge list: %v", err)
+			return
+		}
+		g = &graphEntry{name: req.Name, g: gg}
+	}
+	g.created = time.Now()
+	g.builds = make(map[string]*buildEntry)
+	s.mu.Lock()
+	if _, exists := s.graphs[req.Name]; exists {
+		s.mu.Unlock()
+		writeErr(w, http.StatusConflict, "graph %q already exists", req.Name)
+		return
+	}
+	s.graphs[req.Name] = g
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, graphInfo{Name: g.name, N: g.g.N(), M: g.g.M(), Builds: []string{}})
+}
+
+func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	out := make([]graphInfo, 0, len(s.graphs))
+	for _, g := range s.graphs {
+		out = append(out, graphInfo{Name: g.name, N: g.g.N(), M: g.g.M(), Builds: append([]string{}, g.order...)})
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": out})
+}
+
+func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	g, ok := s.graphs[r.PathValue("graph")]
+	var info graphInfo
+	if ok {
+		info = graphInfo{Name: g.name, N: g.g.N(), M: g.g.M(), Builds: append([]string{}, g.order...)}
+	}
+	s.mu.RUnlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no graph %q", r.PathValue("graph"))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleDeleteGraph unregisters a graph. In-flight builds of the graph
+// are not cancelled (the builders are not interruptible): each keeps its
+// semaphore slot until done, publishes into the now-unreachable entry and
+// is then garbage-collected with it.
+func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("graph")
+	s.mu.Lock()
+	_, ok := s.graphs[name]
+	delete(s.graphs, name)
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no graph %q", name)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ---- builds ----
+
+type createBuildRequest struct {
+	Mode        string `json:"mode"`
+	Sources     []int  `json:"sources"`
+	Seed        int64  `json:"seed,omitempty"`
+	Parallelism int    `json:"parallelism,omitempty"`
+}
+
+type buildStats struct {
+	Dijkstras    int `json:"dijkstras"`
+	Fallbacks    int `json:"fallbacks"`
+	TieWarnings  int `json:"tieWarnings"`
+	MaxNewEdges  int `json:"maxNewEdges"`
+	MaxE1        int `json:"maxE1"`
+	MaxE2        int `json:"maxE2"`
+	NewEndingPiD int `json:"newEndingPiD"`
+}
+
+type cacheInfo struct {
+	Len       int   `json:"len"`
+	Capacity  int   `json:"capacity"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+type buildInfo struct {
+	ID        string      `json:"id"`
+	Graph     string      `json:"graph"`
+	Mode      string      `json:"mode"`
+	Sources   []int       `json:"sources"`
+	Seed      int64       `json:"seed"`
+	Status    string      `json:"status"`
+	Error     string      `json:"error,omitempty"`
+	ElapsedMS float64     `json:"elapsedMs,omitempty"`
+	Faults    int         `json:"faults,omitempty"`
+	Edges     int         `json:"edges,omitempty"`
+	GraphM    int         `json:"graphEdges,omitempty"`
+	Stats     *buildStats `json:"stats,omitempty"`
+	Cache     *cacheInfo  `json:"cache,omitempty"`
+}
+
+func (s *Server) handleCreateBuild(w http.ResponseWriter, r *http.Request) {
+	var req createBuildRequest
+	if err := decodeBody(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		writeErr(w, bodyErrStatus(err), "bad request body: %v", err)
+		return
+	}
+	name := r.PathValue("graph")
+	s.mu.Lock()
+	g, ok := s.graphs[name]
+	if !ok {
+		s.mu.Unlock()
+		writeErr(w, http.StatusNotFound, "no graph %q", name)
+		return
+	}
+	for _, src := range req.Sources {
+		if src < 0 || src >= g.g.N() {
+			s.mu.Unlock()
+			writeErr(w, http.StatusBadRequest, "source %d out of range [0,%d)", src, g.g.N())
+			return
+		}
+	}
+	build, err := builderFor(req.Mode, req.Sources)
+	if err != nil {
+		s.mu.Unlock()
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.buildSeq++
+	be := &buildEntry{
+		id:      fmt.Sprintf("b%d", s.buildSeq),
+		mode:    req.Mode,
+		sources: append([]int(nil), req.Sources...),
+		seed:    req.Seed,
+		status:  StatusBuilding,
+		started: time.Now(),
+	}
+	g.builds[be.id] = be
+	g.order = append(g.order, be.id)
+	gg := g.g
+	s.mu.Unlock()
+
+	go s.runBuild(gg, be, build, req.Parallelism)
+	writeJSON(w, http.StatusAccepted, buildInfo{
+		ID: be.id, Graph: name, Mode: be.mode, Sources: be.sources,
+		Seed: be.seed, Status: StatusBuilding,
+	})
+}
+
+// cacheEntriesFor clamps the configured memo entry cap so one build's
+// cached distance tables (4 bytes × n each) stay within Config.CacheBytes.
+func (s *Server) cacheEntriesFor(n int) int {
+	entries := s.cfg.CacheEntries
+	if entries <= 0 || n <= 0 {
+		return entries
+	}
+	if byBytes := int(s.cfg.CacheBytes / (4 * int64(n))); byBytes < entries {
+		if byBytes < 1 {
+			byBytes = 1
+		}
+		return byBytes
+	}
+	return entries
+}
+
+// runBuild executes one structure build under the concurrency semaphore
+// and publishes the result (or failure) under the server lock.
+func (s *Server) runBuild(g2 *graph.Graph, be *buildEntry,
+	build func(*graph.Graph, *core.Options) (*core.Structure, error), parallelism int) {
+	s.buildSem <- struct{}{}
+	defer func() { <-s.buildSem }()
+	opts := &core.Options{Seed: be.seed, Parallelism: parallelism}
+	st, err := build(g2, opts)
+	var set *oracle.OracleSet
+	if err == nil {
+		set, err = oracle.NewSetCapacity(st, s.cacheEntriesFor(g2.N()))
+	}
+	s.mu.Lock()
+	be.elapsed = time.Since(be.started)
+	if err != nil {
+		be.status = StatusFailed
+		be.errMsg = err.Error()
+	} else {
+		be.st = st
+		be.set = set
+		be.status = StatusReady
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) buildInfoLocked(graphName string, be *buildEntry) buildInfo {
+	info := buildInfo{
+		ID: be.id, Graph: graphName, Mode: be.mode, Sources: be.sources,
+		Seed: be.seed, Status: be.status, Error: be.errMsg,
+		ElapsedMS: float64(be.elapsed.Microseconds()) / 1000,
+	}
+	if be.status == StatusReady {
+		info.Faults = be.st.Faults
+		info.Edges = be.st.NumEdges()
+		info.GraphM = be.st.G.M()
+		info.Stats = &buildStats{
+			Dijkstras:    be.st.Stats.Dijkstras,
+			Fallbacks:    be.st.Stats.Fallbacks,
+			TieWarnings:  be.st.Stats.TieWarnings,
+			MaxNewEdges:  be.st.Stats.MaxNewEdges,
+			MaxE1:        be.st.Stats.MaxE1,
+			MaxE2:        be.st.Stats.MaxE2,
+			NewEndingPiD: be.st.Stats.NewEndingPiD,
+		}
+		cs := be.set.CacheStats()
+		info.Cache = &cacheInfo{Len: cs.Len, Capacity: cs.Capacity, Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions}
+	}
+	return info
+}
+
+func (s *Server) handleGetBuild(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	g, be, err := s.resolveLocked(r)
+	var info buildInfo
+	if err == nil {
+		info = s.buildInfoLocked(g.name, be)
+	}
+	s.mu.RUnlock()
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// resolveLocked looks up the graph and build named in the request path.
+// Callers must hold s.mu (read suffices).
+func (s *Server) resolveLocked(r *http.Request) (*graphEntry, *buildEntry, error) {
+	g, ok := s.graphs[r.PathValue("graph")]
+	if !ok {
+		return nil, nil, fmt.Errorf("no graph %q", r.PathValue("graph"))
+	}
+	be, ok := g.builds[r.PathValue("build")]
+	if !ok {
+		return nil, nil, fmt.Errorf("no build %q of graph %q", r.PathValue("build"), g.name)
+	}
+	return g, be, nil
+}
+
+// readySet resolves the request's build and returns its oracle set, or
+// writes the error response and returns nil.
+func (s *Server) readySet(w http.ResponseWriter, r *http.Request) *oracle.OracleSet {
+	s.mu.RLock()
+	_, be, err := s.resolveLocked(r)
+	var (
+		set    *oracle.OracleSet
+		status string
+	)
+	if err == nil {
+		status = be.status
+		set = be.set
+	}
+	s.mu.RUnlock()
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return nil
+	}
+	if status != StatusReady {
+		writeErr(w, http.StatusConflict, "build is %s, not ready", status)
+		return nil
+	}
+	return set
+}
+
+// ---- queries ----
+
+type distResponse struct {
+	Dist      int32 `json:"dist"`
+	Reachable bool  `json:"reachable"`
+}
+
+func parseFaults(q string) ([]int, error) {
+	if q == "" {
+		return nil, nil
+	}
+	parts := strings.Split(q, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		id, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad fault edge ID %q", p)
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+func queryInt(r *http.Request, key string) (int, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return 0, fmt.Errorf("missing query parameter %q", key)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad %q: %q", key, raw)
+	}
+	return v, nil
+}
+
+// withOracle parses common query parameters, checks out a pooled handle
+// and invokes fn with it.
+func (s *Server) withOracle(w http.ResponseWriter, r *http.Request,
+	needTarget bool, fn func(o *oracle.Oracle, src, target int, faults []int) error) {
+	set := s.readySet(w, r)
+	if set == nil {
+		return
+	}
+	src, err := queryInt(r, "source")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	target := -1
+	if needTarget {
+		if target, err = queryInt(r, "target"); err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	faults, err := parseFaults(r.URL.Query().Get("faults"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	o := set.Acquire()
+	defer set.Release(o)
+	if err := fn(o, src, target, faults); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+func (s *Server) handleDist(w http.ResponseWriter, r *http.Request) {
+	s.withOracle(w, r, true, func(o *oracle.Oracle, src, target int, faults []int) error {
+		d, err := o.Dist(src, target, faults)
+		if err != nil {
+			return err
+		}
+		writeJSON(w, http.StatusOK, distResponse{Dist: d, Reachable: d != bfs.Unreachable})
+		return nil
+	})
+}
+
+func (s *Server) handleDists(w http.ResponseWriter, r *http.Request) {
+	s.withOracle(w, r, false, func(o *oracle.Oracle, src, _ int, faults []int) error {
+		d, err := o.Dists(src, faults)
+		if err != nil {
+			return err
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"dists": d})
+		return nil
+	})
+}
+
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	s.withOracle(w, r, true, func(o *oracle.Oracle, src, target int, faults []int) error {
+		p, err := o.Route(src, target, faults)
+		if err != nil {
+			return err
+		}
+		if p == nil {
+			writeJSON(w, http.StatusOK, map[string]any{"reachable": false})
+			return nil
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"reachable": true, "dist": p.Len(), "path": []int(p)})
+		return nil
+	})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// bodyErrStatus distinguishes an oversized body (413) from a malformed
+// one (400).
+func bodyErrStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}

@@ -1,0 +1,444 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bfs"
+	"repro/internal/gen"
+)
+
+// testClient wraps an httptest server with JSON helpers.
+type testClient struct {
+	t   *testing.T
+	srv *httptest.Server
+}
+
+func newTestClient(t *testing.T, cfg *Config) *testClient {
+	t.Helper()
+	ts := httptest.NewServer(New(cfg).Handler())
+	t.Cleanup(ts.Close)
+	return &testClient{t: t, srv: ts}
+}
+
+func (c *testClient) do(method, path string, body any) (int, []byte) {
+	c.t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			c.t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.srv.URL+path, rd)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	resp, err := c.srv.Client().Do(req)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func (c *testClient) decode(method, path string, body any, wantCode int, into any) {
+	c.t.Helper()
+	code, out := c.do(method, path, body)
+	if code != wantCode {
+		c.t.Fatalf("%s %s: code %d (want %d): %s", method, path, code, wantCode, out)
+	}
+	if into != nil {
+		if err := json.Unmarshal(out, into); err != nil {
+			c.t.Fatalf("%s %s: bad JSON %q: %v", method, path, out, err)
+		}
+	}
+}
+
+// waitReady polls the build resource until it leaves "building".
+func (c *testClient) waitReady(graph, build string) buildInfo {
+	c.t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var info buildInfo
+		c.decode("GET", "/v1/graphs/"+graph+"/builds/"+build, nil, http.StatusOK, &info)
+		if info.Status != StatusBuilding {
+			return info
+		}
+		if time.Now().After(deadline) {
+			c.t.Fatalf("build %s/%s still building after 30s", graph, build)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func (c *testClient) createGraph(name string, spec GenSpec) graphInfo {
+	c.t.Helper()
+	var info graphInfo
+	c.decode("POST", "/v1/graphs", createGraphRequest{Name: name, Gen: &spec}, http.StatusCreated, &info)
+	return info
+}
+
+func (c *testClient) startBuild(graph string, req createBuildRequest) string {
+	c.t.Helper()
+	var info buildInfo
+	c.decode("POST", "/v1/graphs/"+graph+"/builds", req, http.StatusAccepted, &info)
+	return info.ID
+}
+
+func faultsParam(faults []int) string {
+	parts := make([]string, len(faults))
+	for i, f := range faults {
+		parts[i] = fmt.Sprint(f)
+	}
+	return strings.Join(parts, ",")
+}
+
+// TestServerLifecycle walks the whole API: register, build, inspect,
+// query, delete.
+func TestServerLifecycle(t *testing.T) {
+	c := newTestClient(t, nil)
+	gi := c.createGraph("g1", GenSpec{Family: "gnp", N: 24, P: 0.2, Seed: 11})
+	if gi.N != 24 || gi.M <= 0 {
+		t.Fatalf("bad graph info: %+v", gi)
+	}
+	id := c.startBuild("g1", createBuildRequest{Mode: "dual", Sources: []int{0}})
+	info := c.waitReady("g1", id)
+	if info.Status != StatusReady {
+		t.Fatalf("build failed: %+v", info)
+	}
+	if info.Faults != 2 || info.Edges <= 0 || info.Edges > info.GraphM || info.Stats == nil {
+		t.Fatalf("bad build info: %+v", info)
+	}
+
+	var dr distResponse
+	c.decode("GET", "/v1/graphs/g1/builds/"+id+"/dist?source=0&target=5&faults=1,2", nil, http.StatusOK, &dr)
+	if !dr.Reachable {
+		t.Fatalf("expected reachable answer: %+v", dr)
+	}
+
+	// Listing includes the graph and its build.
+	var list struct {
+		Graphs []graphInfo `json:"graphs"`
+	}
+	c.decode("GET", "/v1/graphs", nil, http.StatusOK, &list)
+	if len(list.Graphs) != 1 || len(list.Graphs[0].Builds) != 1 {
+		t.Fatalf("bad listing: %+v", list)
+	}
+
+	if code, _ := c.do("DELETE", "/v1/graphs/g1", nil); code != http.StatusNoContent {
+		t.Fatalf("delete code %d", code)
+	}
+	if code, _ := c.do("GET", "/v1/graphs/g1", nil); code != http.StatusNotFound {
+		t.Fatalf("deleted graph still resolves: %d", code)
+	}
+}
+
+// TestServerMatchesGroundTruth replays every single-fault event (and a
+// spread of dual-fault events) through the HTTP API and compares each
+// answer with BFS over G \ F.
+func TestServerMatchesGroundTruth(t *testing.T) {
+	seed := int64(8)
+	g := gen.GNP(16, 0.25, seed) // must match the server-side spec below
+	c := newTestClient(t, nil)
+	c.createGraph("gt", GenSpec{Family: "gnp", N: 16, P: 0.25, Seed: seed})
+	id := c.startBuild("gt", createBuildRequest{Mode: "dual", Sources: []int{0}})
+	if info := c.waitReady("gt", id); info.Status != StatusReady {
+		t.Fatalf("build failed: %+v", info)
+	}
+	truth := bfs.NewRunner(g)
+	check := func(faults []int) {
+		t.Helper()
+		truth.Run(0, faults, nil)
+		var resp struct {
+			Dists []int32 `json:"dists"`
+		}
+		c.decode("GET", "/v1/graphs/gt/builds/"+id+"/dists?source=0&faults="+faultsParam(faults),
+			nil, http.StatusOK, &resp)
+		if len(resp.Dists) != g.N() {
+			t.Fatalf("faults %v: %d dists for %d vertices", faults, len(resp.Dists), g.N())
+		}
+		for v := 0; v < g.N(); v++ {
+			if resp.Dists[v] != truth.Dist(v) {
+				t.Fatalf("faults %v target %d: server %d, truth %d", faults, v, resp.Dists[v], truth.Dist(v))
+			}
+		}
+	}
+	check(nil)
+	for a := 0; a < g.M(); a++ {
+		check([]int{a})
+		for b := a + 1; b < g.M(); b += 9 {
+			check([]int{a, b})
+		}
+	}
+}
+
+// TestServerRouteValid checks routes returned under failures: right
+// length, valid edges, fault avoidance.
+func TestServerRouteValid(t *testing.T) {
+	g := gen.Grid(4, 4)
+	c := newTestClient(t, nil)
+	c.createGraph("grid", GenSpec{Family: "grid", Rows: 4, Cols: 4})
+	id := c.startBuild("grid", createBuildRequest{Mode: "dual", Sources: []int{0}})
+	if info := c.waitReady("grid", id); info.Status != StatusReady {
+		t.Fatalf("build failed: %+v", info)
+	}
+	truth := bfs.NewRunner(g)
+	for a := 0; a < g.M(); a += 3 {
+		truth.Run(0, []int{a}, nil)
+		for v := 1; v < g.N(); v += 5 {
+			var resp struct {
+				Reachable bool  `json:"reachable"`
+				Dist      int   `json:"dist"`
+				Path      []int `json:"path"`
+			}
+			c.decode("GET", fmt.Sprintf("/v1/graphs/grid/builds/%s/route?source=0&target=%d&faults=%d", id, v, a),
+				nil, http.StatusOK, &resp)
+			want := truth.Dist(v)
+			if (want == bfs.Unreachable) == resp.Reachable {
+				t.Fatalf("fault %d target %d: reachable=%v want dist %d", a, v, resp.Reachable, want)
+			}
+			if !resp.Reachable {
+				continue
+			}
+			if int32(resp.Dist) != want || len(resp.Path) != resp.Dist+1 {
+				t.Fatalf("fault %d target %d: dist %d path %v (want %d)", a, v, resp.Dist, resp.Path, want)
+			}
+			for i := 0; i+1 < len(resp.Path); i++ {
+				id2, ok := g.EdgeID(resp.Path[i], resp.Path[i+1])
+				if !ok {
+					t.Fatalf("path uses non-edge %d-%d", resp.Path[i], resp.Path[i+1])
+				}
+				if id2 == a {
+					t.Fatalf("path uses failed edge %d", a)
+				}
+			}
+		}
+	}
+}
+
+// TestServerEdgeListUpload registers a graph from an uploaded edge list.
+func TestServerEdgeListUpload(t *testing.T) {
+	c := newTestClient(t, nil)
+	var info graphInfo
+	c.decode("POST", "/v1/graphs",
+		createGraphRequest{Name: "up", EdgeList: "n 4\n0 1\n1 2\n2 3\n0 3\n"},
+		http.StatusCreated, &info)
+	if info.N != 4 || info.M != 4 {
+		t.Fatalf("bad uploaded graph: %+v", info)
+	}
+	id := c.startBuild("up", createBuildRequest{Mode: "single", Sources: []int{0}})
+	if info := c.waitReady("up", id); info.Status != StatusReady {
+		t.Fatalf("build failed: %+v", info)
+	}
+	var dr distResponse
+	c.decode("GET", "/v1/graphs/up/builds/"+id+"/dist?source=0&target=2&faults=0", nil, http.StatusOK, &dr)
+	// 4-cycle with edge 0-1 failed: 0→2 via 3 still takes 2 hops.
+	if !dr.Reachable || dr.Dist != 2 {
+		t.Fatalf("want dist 2, got %+v", dr)
+	}
+}
+
+// TestServerMultiSource builds an FT-MBFS structure and queries both
+// sources.
+func TestServerMultiSource(t *testing.T) {
+	g := gen.GNP(14, 0.3, 5)
+	c := newTestClient(t, nil)
+	c.createGraph("ms", GenSpec{Family: "gnp", N: 14, P: 0.3, Seed: 5})
+	id := c.startBuild("ms", createBuildRequest{Mode: "multi", Sources: []int{0, 7}})
+	if info := c.waitReady("ms", id); info.Status != StatusReady {
+		t.Fatalf("build failed: %+v", info)
+	}
+	truth := bfs.NewRunner(g)
+	for _, s := range []int{0, 7} {
+		truth.Run(s, []int{2}, nil)
+		var dr distResponse
+		c.decode("GET", fmt.Sprintf("/v1/graphs/ms/builds/%s/dist?source=%d&target=5&faults=2", id, s),
+			nil, http.StatusOK, &dr)
+		if dr.Dist != truth.Dist(5) {
+			t.Fatalf("source %d: server %d, truth %d", s, dr.Dist, truth.Dist(5))
+		}
+	}
+}
+
+// TestServerErrors exercises the failure paths.
+func TestServerErrors(t *testing.T) {
+	c := newTestClient(t, nil)
+	c.createGraph("e", GenSpec{Family: "path", N: 5})
+	id := c.startBuild("e", createBuildRequest{Mode: "dual", Sources: []int{0}})
+	c.waitReady("e", id)
+
+	cases := []struct {
+		method, path string
+		body         any
+		wantCode     int
+	}{
+		{"POST", "/v1/graphs", createGraphRequest{Name: "bad name!", Gen: &GenSpec{Family: "path", N: 3}}, http.StatusBadRequest},
+		{"POST", "/v1/graphs", createGraphRequest{Name: "e", Gen: &GenSpec{Family: "path", N: 3}}, http.StatusConflict},
+		{"POST", "/v1/graphs", createGraphRequest{Name: "both", Gen: &GenSpec{Family: "path", N: 3}, EdgeList: "0 1"}, http.StatusBadRequest},
+		{"POST", "/v1/graphs", createGraphRequest{Name: "neither"}, http.StatusBadRequest},
+		{"POST", "/v1/graphs", createGraphRequest{Name: "badfam", Gen: &GenSpec{Family: "nope", N: 3}}, http.StatusBadRequest},
+		{"POST", "/v1/graphs", createGraphRequest{Name: "badlist", EdgeList: "0 x"}, http.StatusBadRequest},
+		{"POST", "/v1/graphs/missing/builds", createBuildRequest{Mode: "dual", Sources: []int{0}}, http.StatusNotFound},
+		{"POST", "/v1/graphs/e/builds", createBuildRequest{Mode: "nope", Sources: []int{0}}, http.StatusBadRequest},
+		{"POST", "/v1/graphs/e/builds", createBuildRequest{Mode: "dual", Sources: []int{0, 1}}, http.StatusBadRequest},
+		{"POST", "/v1/graphs/e/builds", createBuildRequest{Mode: "dual", Sources: []int{99}}, http.StatusBadRequest},
+		{"POST", "/v1/graphs/e/builds", createBuildRequest{Mode: "multi"}, http.StatusBadRequest},
+		{"GET", "/v1/graphs/missing", nil, http.StatusNotFound},
+		{"DELETE", "/v1/graphs/missing", nil, http.StatusNotFound},
+		{"GET", "/v1/graphs/e/builds/zzz", nil, http.StatusNotFound},
+		{"GET", "/v1/graphs/e/builds/" + id + "/dist?source=0&target=1&faults=0,1,2", nil, http.StatusBadRequest}, // budget
+		{"GET", "/v1/graphs/e/builds/" + id + "/dist?source=3&target=1", nil, http.StatusBadRequest},              // non-source
+		{"GET", "/v1/graphs/e/builds/" + id + "/dist?source=0&target=99", nil, http.StatusBadRequest},
+		{"GET", "/v1/graphs/e/builds/" + id + "/dist?source=0", nil, http.StatusBadRequest}, // no target
+		{"GET", "/v1/graphs/e/builds/" + id + "/dist?source=0&target=1&faults=x", nil, http.StatusBadRequest},
+		{"GET", "/v1/graphs/e/builds/" + id + "/dist?source=0&target=1&faults=999", nil, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		code, out := c.do(tc.method, tc.path, tc.body)
+		if code != tc.wantCode {
+			t.Errorf("%s %s: code %d (want %d): %s", tc.method, tc.path, code, tc.wantCode, out)
+		}
+	}
+}
+
+// TestCacheEntriesClamp checks the per-build memo cap is clamped by the
+// memory budget so large graphs cannot pin CacheEntries × n × 4 bytes.
+func TestCacheEntriesClamp(t *testing.T) {
+	s := New(&Config{CacheEntries: 4096, CacheBytes: 1 << 20}) // 1 MiB budget
+	cases := []struct{ n, want int }{
+		{0, 4096},    // degenerate: no clamp basis
+		{10, 4096},   // tiny graph: entry cap wins
+		{1 << 20, 1}, // 4 MiB per table: floor at 1 entry
+		{1024, 256},  // 4 KiB per table: 1 MiB / 4 KiB
+	}
+	for _, tc := range cases {
+		if got := s.cacheEntriesFor(tc.n); got != tc.want {
+			t.Errorf("cacheEntriesFor(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+	disabled := New(&Config{CacheEntries: -1})
+	if got := disabled.cacheEntriesFor(1000); got != -1 {
+		t.Errorf("disabled cache clamped to %d", got)
+	}
+}
+
+// TestServerBodyTooLarge checks oversized uploads get 413, not 400.
+func TestServerBodyTooLarge(t *testing.T) {
+	c := newTestClient(t, &Config{MaxBodyBytes: 256})
+	big := strings.Repeat("0 1\n", 200)
+	code, out := c.do("POST", "/v1/graphs", createGraphRequest{Name: "big", EdgeList: big})
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: code %d (want 413): %s", code, out)
+	}
+}
+
+// TestServerHealthz smoke-checks the liveness endpoint.
+func TestServerHealthz(t *testing.T) {
+	c := newTestClient(t, nil)
+	code, out := c.do("GET", "/healthz", nil)
+	if code != http.StatusOK || !strings.Contains(string(out), "ok") {
+		t.Fatalf("healthz: %d %s", code, out)
+	}
+}
+
+// TestServerConcurrentClients hammers one ready build with ≥ 8 concurrent
+// clients mixing dist, dists and route queries; under -race this
+// exercises the shared registry, oracle pool and LRU. Answers are checked
+// against precomputed ground truth.
+func TestServerConcurrentClients(t *testing.T) {
+	seed := int64(21)
+	g := gen.GNP(24, 0.2, seed)
+	c := newTestClient(t, &Config{CacheEntries: 16}) // small memo: force eviction under load
+	c.createGraph("cc", GenSpec{Family: "gnp", N: 24, P: 0.2, Seed: seed})
+	id := c.startBuild("cc", createBuildRequest{Mode: "dual", Sources: []int{0}})
+	if info := c.waitReady("cc", id); info.Status != StatusReady {
+		t.Fatalf("build failed: %+v", info)
+	}
+	events := make([][]int, 0, 40)
+	truth := make([][]int32, 0, 40)
+	for a := 0; a < g.M() && len(events) < 40; a += 2 {
+		f := []int{a, (a + 11) % g.M()}
+		if f[0] == f[1] {
+			f = f[:1]
+		}
+		events = append(events, f)
+		truth = append(truth, bfs.Distances(g, 0, f))
+	}
+
+	const clients = 10
+	var wg sync.WaitGroup
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			for round := 0; round < 2; round++ {
+				for i := range events {
+					idx := (i + cl*7) % len(events)
+					target := (cl*5 + i) % g.N()
+					url := fmt.Sprintf("%s/v1/graphs/cc/builds/%s/dist?source=0&target=%d&faults=%s",
+						c.srv.URL, id, target, faultsParam(events[idx]))
+					resp, err := c.srv.Client().Get(url)
+					if err != nil {
+						t.Errorf("client %d: %v", cl, err)
+						return
+					}
+					body, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						t.Errorf("client %d: code %d: %s", cl, resp.StatusCode, body)
+						return
+					}
+					var dr distResponse
+					if err := json.Unmarshal(body, &dr); err != nil {
+						t.Errorf("client %d: %v", cl, err)
+						return
+					}
+					if dr.Dist != truth[idx][target] {
+						t.Errorf("client %d faults %v target %d: got %d want %d",
+							cl, events[idx], target, dr.Dist, truth[idx][target])
+						return
+					}
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+
+	// While queries ran, concurrent builds on the same graph must also be
+	// safe; verify the build is still inspectable and the cache saw traffic.
+	info := c.waitReady("cc", id)
+	if info.Cache == nil || info.Cache.Hits == 0 {
+		t.Fatalf("cache saw no traffic: %+v", info)
+	}
+}
+
+// TestServerBuildNotReady checks querying a build mid-flight returns 409.
+func TestServerBuildNotReady(t *testing.T) {
+	c := newTestClient(t, &Config{MaxConcurrentBuilds: 1})
+	c.createGraph("slow", GenSpec{Family: "gnp", N: 120, P: 0.3, Seed: 3})
+	// Queue two builds; query the second immediately — it is either still
+	// building (409) or, if this machine is fast, already ready (200).
+	c.startBuild("slow", createBuildRequest{Mode: "dual", Sources: []int{0}})
+	id2 := c.startBuild("slow", createBuildRequest{Mode: "dual", Sources: []int{1}})
+	code, out := c.do("GET", "/v1/graphs/slow/builds/"+id2+"/dist?source=1&target=2", nil)
+	if code != http.StatusConflict && code != http.StatusOK {
+		t.Fatalf("mid-build query: code %d: %s", code, out)
+	}
+	if info := c.waitReady("slow", id2); info.Status != StatusReady {
+		t.Fatalf("queued build failed: %+v", info)
+	}
+}
