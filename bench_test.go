@@ -93,6 +93,14 @@ func BenchmarkBuildExhaustiveF2(b *testing.B) {
 	})
 }
 
+// BenchmarkBuildExhaustiveF2Parallel exercises the fan-out path of the
+// exhaustive builder (identical output, private engine per worker).
+func BenchmarkBuildExhaustiveF2Parallel(b *testing.B) {
+	benchBuild(b, 30, func(g *ftbfs.Graph) (*ftbfs.Structure, error) {
+		return ftbfs.BuildExhaustiveFTBFS(g, 0, 2, &ftbfs.Options{Parallelism: 4})
+	})
+}
+
 func BenchmarkBuildApproxF1(b *testing.B) {
 	benchBuild(b, 40, func(g *ftbfs.Graph) (*ftbfs.Structure, error) {
 		return ftbfs.BuildApproxFTMBFS(g, []int{0}, 1, nil)

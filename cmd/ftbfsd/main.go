@@ -13,10 +13,12 @@
 //	  -d '{"name":"demo","gen":{"family":"gnp","n":200,"p":0.05,"seed":7}}'
 //	curl -s -X POST localhost:8080/v1/graphs/demo/builds \
 //	  -d '{"mode":"dual","sources":[0]}'
-//	curl -s 'localhost:8080/v1/graphs/demo/builds/b1'            # poll until "ready"
+//	curl -s 'localhost:8080/v1/graphs/demo/builds/b1'            # poll "queued"/"building" until "ready"
 //	curl -s 'localhost:8080/v1/graphs/demo/builds/b1/dist?source=0&target=17&faults=3,9'
+//	curl -s -X POST localhost:8080/v1/graphs/demo/builds/b1/query \
+//	  -d '{"queries":[{"source":0,"target":17,"faults":[3,9]},{"source":0,"faults":[3]}]}'
 //
-// See DESIGN.md for the full API.
+// See DESIGN.md for the full API (including NDJSON batch streaming).
 package main
 
 import (
@@ -47,6 +49,8 @@ func run(args []string) error {
 		addr      = fs.String("addr", ":8080", "listen address")
 		builds    = fs.Int("builds", 0, "max concurrent structure builds (0 = GOMAXPROCS)")
 		cache     = fs.Int("cache", 0, "cached failure events per build (0 = default 4096, <0 = disable)")
+		shards    = fs.Int("cache-shards", 0, "memo shards per build (0 = auto: ~GOMAXPROCS, power of two)")
+		maxBatch  = fs.Int("max-batch", 0, "max queries per batch request (0 = default 65536)")
 		demo      = fs.Bool("demo", false, "register a demo graph (gnp n=200 p=0.05 seed=7) at startup")
 		rtimeout  = fs.Duration("read-timeout", 30*time.Second, "HTTP read timeout")
 		wtimeout  = fs.Duration("write-timeout", 60*time.Second, "HTTP write timeout")
@@ -55,7 +59,12 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := &server.Config{MaxConcurrentBuilds: *builds, CacheEntries: *cache}
+	cfg := &server.Config{
+		MaxConcurrentBuilds: *builds,
+		CacheEntries:        *cache,
+		CacheShards:         *shards,
+		MaxBatchQueries:     *maxBatch,
+	}
 	srv := server.New(cfg)
 	if *demo {
 		if err := srv.RegisterDemo(); err != nil {

@@ -73,7 +73,7 @@ func TestDaemonEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	for build.Status == "building" {
+	for build.Status == "queued" || build.Status == "building" {
 		if time.Now().After(deadline) {
 			t.Fatal("build did not finish")
 		}

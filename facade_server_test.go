@@ -89,7 +89,7 @@ func TestFacadeServer(t *testing.T) {
 	}
 	resp.Body.Close()
 	deadline := time.Now().Add(10 * time.Second)
-	for build.Status == "building" && time.Now().Before(deadline) {
+	for (build.Status == "queued" || build.Status == "building") && time.Now().Before(deadline) {
 		time.Sleep(5 * time.Millisecond)
 		r, err := http.Get(ts.URL + "/v1/graphs/f/builds/" + build.ID)
 		if err != nil {

@@ -148,7 +148,8 @@ type Oracle = oracle.Oracle
 
 // OracleSet is the shared immutable query state over one structure —
 // materialized subgraph, edge-ID translation and a bounded LRU of
-// per-failure-event distance tables — safe for concurrent use through
+// per-failure-event distance tables, sharded by key hash across
+// independently-locked shards — safe for concurrent use through
 // per-goroutine handles (Handle) or the built-in pool (Acquire/Release).
 type OracleSet = oracle.OracleSet
 
@@ -162,9 +163,17 @@ func NewOracle(st *Structure) (*Oracle, error) { return oracle.New(st) }
 func NewOracleSet(st *Structure) (*OracleSet, error) { return oracle.NewSet(st) }
 
 // NewOracleSetCapacity is NewOracleSet with an explicit bound on cached
-// failure events (≤ 0 disables memoization).
+// failure events (≤ 0 disables memoization). The memo is split across
+// ~GOMAXPROCS independently-locked shards.
 func NewOracleSetCapacity(st *Structure, cacheEntries int) (*OracleSet, error) {
 	return oracle.NewSetCapacity(st, cacheEntries)
+}
+
+// NewOracleSetSharded is NewOracleSetCapacity with an explicit memo shard
+// count (rounded down to a power of two; 1 restores a single global LRU
+// with strict global recency order).
+func NewOracleSetSharded(st *Structure, cacheEntries, shards int) (*OracleSet, error) {
+	return oracle.NewSetSharded(st, cacheEntries, shards)
 }
 
 // Server is the ftbfsd registry: named graphs, asynchronous structure

@@ -79,11 +79,23 @@ type Options struct {
 	// CollectPaths retains every replacement path in Structure.Targets
 	// (memory-heavy; analysis and tests only).
 	CollectPaths bool
-	// Parallelism > 1 splits the per-target work of BuildDual/BuildSingle
-	// across that many goroutines, each with its own search engine over
-	// the SAME weight assignment — the result is identical to the
-	// sequential build.
+	// Parallelism > 1 splits the builder's independent work units across
+	// that many goroutines — per-target replacement-path computations for
+	// BuildDual/BuildSingle and multifail.Build, per-fault-set canonical
+	// trees for BuildExhaustive/BuildVertexExhaustive — each goroutine
+	// with its own search engine over the SAME weight assignment, so the
+	// result is identical to the sequential build.
 	Parallelism int
+}
+
+// Workers resolves Options.Parallelism to a goroutine count (1 for nil
+// options or Parallelism ≤ 1). Builders outside this package fan out with
+// the same rule.
+func (o *Options) Workers() int {
+	if o != nil && o.Parallelism > 1 {
+		return o.Parallelism
+	}
+	return 1
 }
 
 func (o *Options) seed() int64 {
@@ -133,10 +145,7 @@ func buildWithEngine(g *graph.Graph, s int, opts *Options, faults int,
 	if collect {
 		st.Targets = make([]*replace.TargetResult, g.N())
 	}
-	workers := 1
-	if opts != nil && opts.Parallelism > 1 {
-		workers = opts.Parallelism
-	}
+	workers := opts.Workers()
 	if workers == 1 {
 		for v := 0; v < g.N(); v++ {
 			st.fold(build(eng, v, collect), collect)
@@ -265,53 +274,100 @@ func BuildExhaustive(g *graph.Graph, s int, f int, opts *Options) (*Structure, e
 		return nil, fmt.Errorf("core: exhaustive builder supports 0 ≤ f ≤ 3, got %d", f)
 	}
 	w := wsp.NewAssignment(g.M(), opts.seed())
-	search := wsp.NewSearch(g, w)
 	st := &Structure{
 		G:       g,
 		Sources: []int{s},
 		Faults:  f,
 		Edges:   graph.NewEdgeSet(g.M()),
 	}
-	addTree := func(faults []int) {
-		search.Run(s, wsp.Options{Target: -1, DisabledEdges: faults})
-		st.Stats.Dijkstras++
-		for v := 0; v < g.N(); v++ {
-			if id := search.ParentEdgeOf(v); id >= 0 {
-				st.Edges.Add(id)
-			}
-		}
-	}
 	m := g.M()
-	switch f {
-	case 0:
-		addTree(nil)
-	case 1:
-		addTree(nil)
-		for a := 0; a < m; a++ {
-			addTree([]int{a})
+	units := m // first-index work units; f = 0 has only the empty set
+	if f == 0 {
+		units = 1
+	}
+	unionTrees(st, w, s, opts.Workers(), units, false, func(wi, workers int, addTree func(faults []int)) {
+		if wi == 0 {
+			addTree(nil)
 		}
-	case 2:
-		addTree(nil)
-		for a := 0; a < m; a++ {
+		if f < 1 {
+			return
+		}
+		// Worker wi owns every fault set whose smallest edge ID is
+		// ≡ wi (mod workers); the sets partition, the union does not
+		// depend on the partition.
+		for a := wi; a < m; a += workers {
 			addTree([]int{a})
-			for b := a + 1; b < m; b++ {
-				addTree([]int{a, b})
+			if f < 2 {
+				continue
 			}
-		}
-	case 3:
-		addTree(nil)
-		for a := 0; a < m; a++ {
-			addTree([]int{a})
 			for b := a + 1; b < m; b++ {
 				addTree([]int{a, b})
+				if f < 3 {
+					continue
+				}
 				for c := b + 1; c < m; c++ {
 					addTree([]int{a, b, c})
 				}
 			}
 		}
-	}
-	st.Stats.TieWarnings = search.TieWarnings
+	})
 	return st, nil
+}
+
+// unionTrees fans canonical-tree enumeration out over `workers`
+// goroutines, each with a PRIVATE search engine over the shared weight
+// assignment and a private edge accumulator, then unions edges and sums
+// counters into st. workers is clamped to `units` (the caller's
+// first-index work-unit count — an idle worker would still allocate a
+// search engine) and the CLAMPED count is passed to enumerate, whose
+// (wi, workers) partition must visit every fault set exactly once; since
+// every tree is deterministic under W, the merged structure is identical
+// to the sequential build for any partition.
+func unionTrees(st *Structure, w *wsp.Assignment, s, workers, units int, vertexFaults bool,
+	enumerate func(wi, workers int, addTree func(faults []int))) {
+	if workers > units {
+		workers = max(1, units)
+	}
+	g := st.G
+	type chunk struct {
+		edges     *graph.EdgeSet
+		dijkstras int
+		ties      int
+	}
+	out := make([]chunk, workers)
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			search := wsp.NewSearch(g, w)
+			edges := graph.NewEdgeSet(g.M())
+			addTree := func(faults []int) {
+				o := wsp.Options{Target: -1}
+				if vertexFaults {
+					o.DisabledVertices = faults
+				} else {
+					o.DisabledEdges = faults
+				}
+				search.Run(s, o)
+				out[wi].dijkstras++
+				for v := 0; v < g.N(); v++ {
+					if id := search.ParentEdgeOf(v); id >= 0 {
+						edges.Add(id)
+					}
+				}
+			}
+			enumerate(wi, workers, addTree)
+			out[wi].edges = edges
+			out[wi].ties = search.TieWarnings
+		}(wi)
+	}
+	wg.Wait()
+	for wi := range out {
+		st.Edges.Union(out[wi].edges)
+		st.Stats.Dijkstras += out[wi].dijkstras
+		st.Stats.TieWarnings += out[wi].ties
+	}
 }
 
 // BuildMultiSource composes per-source structures into an FT-MBFS structure
@@ -336,12 +392,20 @@ func BuildMultiSource(g *graph.Graph, sources []int, opts *Options,
 		out.Edges.Union(st.Edges)
 		out.Sources = append(out.Sources, s)
 		out.Faults = st.Faults
-		out.Stats.Dijkstras += st.Stats.Dijkstras
-		out.Stats.Fallbacks += st.Stats.Fallbacks
-		out.Stats.TieWarnings += st.Stats.TieWarnings
-		if st.Stats.MaxNewEdges > out.Stats.MaxNewEdges {
-			out.Stats.MaxNewEdges = st.Stats.MaxNewEdges
-		}
+		out.Stats.merge(&st.Stats)
 	}
 	return out, nil
+}
+
+// merge folds another build's counters into s: totals are summed,
+// per-vertex maxima are maxed. Used by multi-source composition so the
+// aggregate reports every BuildStats field, not a subset.
+func (s *BuildStats) merge(o *BuildStats) {
+	s.Dijkstras += o.Dijkstras
+	s.Fallbacks += o.Fallbacks
+	s.TieWarnings += o.TieWarnings
+	s.NewEndingPiD += o.NewEndingPiD
+	s.MaxNewEdges = max(s.MaxNewEdges, o.MaxNewEdges)
+	s.MaxE1 = max(s.MaxE1, o.MaxE1)
+	s.MaxE2 = max(s.MaxE2, o.MaxE2)
 }

@@ -308,3 +308,100 @@ func TestParallelBuildSingleAndCollect(t *testing.T) {
 		t.Fatalf("collected %d targets, want %d", filled, g.N()-1)
 	}
 }
+
+// sameEdgeSets reports whether two structures keep exactly the same edges.
+func sameEdgeSets(a, b *Structure) bool {
+	ida, idb := a.Edges.IDs(), b.Edges.IDs()
+	if len(ida) != len(idb) {
+		return false
+	}
+	for i := range ida {
+		if ida[i] != idb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBuildExhaustiveParallelMatches checks Options.Parallelism on the
+// exhaustive builder: identical edge set and counters for any worker
+// count, including workers exceeding the work.
+func TestBuildExhaustiveParallelMatches(t *testing.T) {
+	g := gen.GNP(14, 0.3, 6)
+	for _, f := range []int{0, 1, 2} {
+		seq, err := BuildExhaustive(g, 0, f, &Options{Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 8, 64} {
+			par, err := BuildExhaustive(g, 0, f, &Options{Seed: 5, Parallelism: workers})
+			if err != nil {
+				t.Fatalf("f=%d workers=%d: %v", f, workers, err)
+			}
+			if !sameEdgeSets(seq, par) {
+				t.Fatalf("f=%d workers=%d: edge sets differ (%d vs %d edges)",
+					f, workers, seq.NumEdges(), par.NumEdges())
+			}
+			if par.Stats.Dijkstras != seq.Stats.Dijkstras {
+				t.Fatalf("f=%d workers=%d: Dijkstras %d vs %d",
+					f, workers, par.Stats.Dijkstras, seq.Stats.Dijkstras)
+			}
+			if par.Stats.TieWarnings != seq.Stats.TieWarnings {
+				t.Fatalf("f=%d workers=%d: TieWarnings %d vs %d",
+					f, workers, par.Stats.TieWarnings, seq.Stats.TieWarnings)
+			}
+		}
+	}
+}
+
+// TestBuildVertexExhaustiveParallelMatches is the same equivalence check
+// for the vertex-failure builder.
+func TestBuildVertexExhaustiveParallelMatches(t *testing.T) {
+	g := gen.GNP(14, 0.3, 6)
+	for _, f := range []int{1, 2} {
+		seq, err := BuildVertexExhaustive(g, 0, f, &Options{Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 5, 16} {
+			par, err := BuildVertexExhaustive(g, 0, f, &Options{Seed: 5, Parallelism: workers})
+			if err != nil {
+				t.Fatalf("f=%d workers=%d: %v", f, workers, err)
+			}
+			if !sameEdgeSets(seq, par) {
+				t.Fatalf("f=%d workers=%d: edge sets differ", f, workers)
+			}
+			if par.Stats.Dijkstras != seq.Stats.Dijkstras || par.Stats.TieWarnings != seq.Stats.TieWarnings {
+				t.Fatalf("f=%d workers=%d: stats differ: %+v vs %+v", f, workers, par.Stats, seq.Stats)
+			}
+		}
+	}
+}
+
+// TestMultiSourceStatsAggregation checks BuildMultiSource reports every
+// BuildStats field: sums for totals (Dijkstras, Fallbacks, TieWarnings,
+// NewEndingPiD), maxima for the per-vertex envelopes (MaxNewEdges, MaxE1,
+// MaxE2). MaxE1/MaxE2/NewEndingPiD were silently dropped before.
+func TestMultiSourceStatsAggregation(t *testing.T) {
+	g := gen.SparseGNP(80, 4, 2) // exercises E1, E2 and new-ending paths
+	sources := []int{0, 17, 41}
+	opts := &Options{Seed: 9}
+	var want BuildStats
+	for _, s := range sources {
+		st, err := BuildDual(g, s, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want.merge(&st.Stats)
+	}
+	if want.MaxE1 == 0 || want.MaxE2 == 0 || want.NewEndingPiD == 0 {
+		t.Fatalf("test graph exercises no E1/E2/new-ending paths: %+v", want)
+	}
+	ms, err := BuildMultiSource(g, sources, opts, BuildDual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Stats != want {
+		t.Fatalf("multi-source stats = %+v, want %+v", ms.Stats, want)
+	}
+}

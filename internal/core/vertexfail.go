@@ -24,7 +24,6 @@ func BuildVertexExhaustive(g *graph.Graph, s int, f int, opts *Options) (*Struct
 		return nil, fmt.Errorf("core: vertex-fault builder supports 0 ≤ f ≤ 2, got %d", f)
 	}
 	w := wsp.NewAssignment(g.M(), opts.seed())
-	search := wsp.NewSearch(g, w)
 	st := &Structure{
 		G:            g,
 		Sources:      []int{s},
@@ -32,19 +31,21 @@ func BuildVertexExhaustive(g *graph.Graph, s int, f int, opts *Options) (*Struct
 		VertexFaults: true,
 		Edges:        graph.NewEdgeSet(g.M()),
 	}
-	addTree := func(faults []int) {
-		search.Run(s, wsp.Options{Target: -1, DisabledVertices: faults})
-		st.Stats.Dijkstras++
-		for v := 0; v < g.N(); v++ {
-			if id := search.ParentEdgeOf(v); id >= 0 {
-				st.Edges.Add(id)
-			}
-		}
-	}
-	addTree(nil)
 	n := g.N()
-	if f >= 1 {
-		for a := 0; a < n; a++ {
+	units := n // first-vertex work units; f = 0 has only the empty set
+	if f == 0 {
+		units = 1
+	}
+	unionTrees(st, w, s, opts.Workers(), units, true, func(wi, workers int, addTree func(faults []int)) {
+		if wi == 0 {
+			addTree(nil)
+		}
+		if f < 1 {
+			return
+		}
+		// Worker wi owns every fault set whose smallest vertex is
+		// ≡ wi (mod workers); the union is partition-independent.
+		for a := wi; a < n; a += workers {
 			if a == s {
 				continue
 			}
@@ -58,7 +59,6 @@ func BuildVertexExhaustive(g *graph.Graph, s int, f int, opts *Options) (*Struct
 				}
 			}
 		}
-	}
-	st.Stats.TieWarnings = search.TieWarnings
+	})
 	return st, nil
 }

@@ -24,6 +24,8 @@ package multifail
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -35,7 +37,11 @@ import (
 const MaxSearches = 4_000_000
 
 // Build constructs an f-failure FT-BFS structure (any f ≥ 0) for source s
-// by relevant-fault-tree enumeration. Options carry the tie-breaking seed.
+// by relevant-fault-tree enumeration. Options carry the tie-breaking seed
+// and Parallelism: targets are independent, so their relevant trees are
+// expanded by that many goroutines with private search engines over the
+// shared weight assignment (the search budget stays global), and the
+// resulting structure is identical to the sequential build.
 func Build(g *graph.Graph, s int, f int, opts *core.Options) (*core.Structure, error) {
 	if s < 0 || s >= g.N() {
 		return nil, fmt.Errorf("multifail: source %d out of range [0,%d)", s, g.N())
@@ -48,38 +54,67 @@ func Build(g *graph.Graph, s int, f int, opts *core.Options) (*core.Structure, e
 		seed = opts.Seed + 1
 	}
 	w := wsp.NewAssignment(g.M(), seed)
-	b := &builder{
-		g:      g,
-		s:      s,
-		f:      f,
-		search: wsp.NewSearch(g, w),
-		st: &core.Structure{
-			G:       g,
-			Sources: []int{s},
-			Faults:  f,
-			Edges:   graph.NewEdgeSet(g.M()),
-		},
+	st := &core.Structure{
+		G:       g,
+		Sources: []int{s},
+		Faults:  f,
+		Edges:   graph.NewEdgeSet(g.M()),
 	}
-	for v := 0; v < g.N(); v++ {
-		if v == s {
-			continue
-		}
-		b.seen = make(map[string]bool)
-		if err := b.expand(v, nil); err != nil {
-			return nil, err
-		}
+	// No more workers than targets; an idle worker would still allocate
+	// a search engine.
+	workers := min(opts.Workers(), max(1, g.N()-1))
+	var searches atomic.Int64 // global budget shared by every worker
+	type chunk struct {
+		edges *graph.EdgeSet
+		ties  int
+		err   error
 	}
-	b.st.Stats.Dijkstras = b.searches
-	b.st.Stats.TieWarnings = b.search.TieWarnings
-	return b.st, nil
+	out := make([]chunk, workers)
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			b := &builder{
+				g:        g,
+				s:        s,
+				f:        f,
+				search:   wsp.NewSearch(g, w),
+				edges:    graph.NewEdgeSet(g.M()),
+				searches: &searches,
+			}
+			for v := wi; v < g.N(); v += workers {
+				if v == s {
+					continue
+				}
+				b.seen = make(map[string]bool)
+				if err := b.expand(v, nil); err != nil {
+					out[wi].err = err
+					break
+				}
+			}
+			out[wi].edges = b.edges
+			out[wi].ties = b.search.TieWarnings
+		}(wi)
+	}
+	wg.Wait()
+	for wi := range out {
+		if out[wi].err != nil {
+			return nil, out[wi].err
+		}
+		st.Edges.Union(out[wi].edges)
+		st.Stats.TieWarnings += out[wi].ties
+	}
+	st.Stats.Dijkstras = int(searches.Load())
+	return st, nil
 }
 
 type builder struct {
 	g        *graph.Graph
 	s, f     int
 	search   *wsp.Search
-	st       *core.Structure
-	searches int
+	edges    *graph.EdgeSet  // this worker's last-edge accumulator
+	searches *atomic.Int64   // Build-wide search counter against MaxSearches
 	seen     map[string]bool // canonical fault-set keys already expanded (per target)
 }
 
@@ -102,18 +137,17 @@ func (b *builder) expand(v int, faults []int) error {
 		return nil
 	}
 	b.seen[k] = true
-	if b.searches >= MaxSearches {
+	if b.searches.Add(1) > MaxSearches {
 		return fmt.Errorf("multifail: search budget %d exhausted (f=%d too deep for this graph)",
 			MaxSearches, b.f)
 	}
 	b.search.Run(b.s, wsp.Options{Target: v, DisabledEdges: faults})
-	b.searches++
 	if !b.search.Reachable(v) {
 		return nil // disconnected under F: no requirement
 	}
 	p := b.search.PathTo(v)
 	if id := b.search.ParentEdgeOf(v); id >= 0 {
-		b.st.Edges.Add(id)
+		b.edges.Add(id)
 	}
 	if len(faults) >= b.f {
 		return nil

@@ -163,3 +163,34 @@ func TestDisconnectedGraph(t *testing.T) {
 		t.Fatalf("path structure = %d edges", st.NumEdges())
 	}
 }
+
+// TestParallelBuildMatches checks Options.Parallelism: per-target
+// relevant trees are independent, so any worker count must produce the
+// sequential structure, search count and tie warnings exactly.
+func TestParallelBuildMatches(t *testing.T) {
+	g := gen.GNP(16, 0.25, 12)
+	for f := 0; f <= 3; f++ {
+		seq, err := Build(g, 0, f, &core.Options{Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 32} {
+			par, err := Build(g, 0, f, &core.Options{Seed: 3, Parallelism: workers})
+			if err != nil {
+				t.Fatalf("f=%d workers=%d: %v", f, workers, err)
+			}
+			if seq.NumEdges() != par.NumEdges() {
+				t.Fatalf("f=%d workers=%d: %d vs %d edges", f, workers, seq.NumEdges(), par.NumEdges())
+			}
+			ids, idp := seq.Edges.IDs(), par.Edges.IDs()
+			for i := range ids {
+				if ids[i] != idp[i] {
+					t.Fatalf("f=%d workers=%d: edge sets differ", f, workers)
+				}
+			}
+			if seq.Stats.Dijkstras != par.Stats.Dijkstras || seq.Stats.TieWarnings != par.Stats.TieWarnings {
+				t.Fatalf("f=%d workers=%d: stats %+v vs %+v", f, workers, par.Stats, seq.Stats)
+			}
+		}
+	}
+}

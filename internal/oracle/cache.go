@@ -1,13 +1,18 @@
 package oracle
 
-import "sync"
+import (
+	"runtime"
+	"sync"
+)
 
-// The shared memo: a mutex-guarded LRU of per-failure-event distance
-// tables. Keys are (source, canonicalized fault set), hashed to a uint64
-// with the full key retained per entry, so lookups compare against the
-// stored key and a 64-bit hash collision degrades to a miss, never to a
-// wrong answer. The hot lookup path performs no allocation: the caller
-// hashes into scratch buffers and the cache only copies the key on insert.
+// The shared memo: an LRU of per-failure-event distance tables, sharded by
+// key hash into independently-locked sub-caches so concurrent clients on
+// different failure events never contend on one mutex. Keys are (source,
+// canonicalized fault set), hashed to a uint64 with the full key retained
+// per entry, so lookups compare against the stored key and a 64-bit hash
+// collision degrades to a miss, never to a wrong answer. The hot lookup
+// path performs no allocation: the caller hashes into scratch buffers and
+// the cache only copies the key on insert.
 
 const (
 	fnvOffset64 = 14695981039346656037
@@ -31,10 +36,12 @@ func hashKey(src int, canon []int32) uint64 {
 	return h
 }
 
-// CacheStats is a snapshot of the shared memo's counters.
+// CacheStats is a snapshot of the shared memo's counters, aggregated
+// across every shard.
 type CacheStats struct {
 	Len       int   // entries currently cached
 	Capacity  int   // configured bound (0 = caching disabled)
+	Shards    int   // independently-locked sub-caches
 	Hits      int64 // lookups answered from the cache
 	Misses    int64 // lookups that ran a BFS
 	Evictions int64 // entries dropped to stay within Capacity
@@ -167,4 +174,95 @@ func (c *lruCache) stats() CacheStats {
 		Misses:    c.misses,
 		Evictions: c.evictions,
 	}
+}
+
+// ---- sharding ----
+
+// minShardEntries keeps each shard's LRU large enough to be useful; the
+// default shard count is halved until this floor holds (small caches
+// degenerate to one shard, preserving strict global LRU order).
+const minShardEntries = 8
+
+// shardedCache splits the memo into power-of-two many lruCache shards
+// selected by the low bits of the key hash. Shards are independently
+// locked, so lookups of distinct failure events proceed without
+// contention; within one shard the LRU semantics are unchanged.
+type shardedCache struct {
+	shards []*lruCache
+	mask   uint64
+}
+
+// defaultShardCount rounds GOMAXPROCS up to a power of two, then halves
+// until every shard holds at least minShardEntries (one shard for small or
+// disabled caches).
+func defaultShardCount(capacity int) int {
+	if capacity <= 0 {
+		return 1
+	}
+	n := 1
+	for n < runtime.GOMAXPROCS(0) {
+		n *= 2
+	}
+	for n > 1 && capacity/n < minShardEntries {
+		n /= 2
+	}
+	return n
+}
+
+// floorPow2 rounds n down to a power of two (1 for n ≤ 1).
+func floorPow2(n int) int {
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	return p
+}
+
+// newShardedCache builds a memo of the given total capacity split over
+// `shards` sub-caches (rounded down to a power of two, clamped so no shard
+// has zero capacity). capacity ≤ 0 disables caching.
+func newShardedCache(capacity, shards int) *shardedCache {
+	if capacity <= 0 {
+		shards = 1
+	} else {
+		shards = floorPow2(min(shards, capacity))
+	}
+	c := &shardedCache{shards: make([]*lruCache, shards), mask: uint64(shards - 1)}
+	base, rem := 0, 0
+	if capacity > 0 {
+		base, rem = capacity/shards, capacity%shards
+	}
+	for i := range c.shards {
+		cap := base
+		if i < rem {
+			cap++
+		}
+		c.shards[i] = newLRUCache(cap)
+	}
+	return c
+}
+
+func (c *shardedCache) shard(hash uint64) *lruCache {
+	return c.shards[hash&c.mask]
+}
+
+func (c *shardedCache) get(hash uint64, src int32, canon []int32) ([]int32, bool) {
+	return c.shard(hash).get(hash, src, canon)
+}
+
+func (c *shardedCache) add(hash uint64, src int32, canon []int32, dist []int32) []int32 {
+	return c.shard(hash).add(hash, src, canon, dist)
+}
+
+func (c *shardedCache) stats() CacheStats {
+	out := CacheStats{Shards: len(c.shards)}
+	for _, sh := range c.shards {
+		s := sh.stats()
+		out.Len += s.Len
+		out.Capacity += s.Capacity
+		out.Hits += s.Hits
+		out.Misses += s.Misses
+		out.Evictions += s.Evictions
+	}
+	return out
 }

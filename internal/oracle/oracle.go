@@ -42,7 +42,7 @@ type OracleSet struct {
 	st     *core.Structure
 	sub    *graph.Graph
 	gToSub []int32 // G edge ID -> sub edge ID, -1 when absent from H
-	cache  *lruCache
+	cache  *shardedCache
 	pool   sync.Pool
 }
 
@@ -52,8 +52,18 @@ func NewSet(st *core.Structure) (*OracleSet, error) {
 }
 
 // NewSetCapacity is NewSet with an explicit bound on cached failure events
-// (cacheEntries ≤ 0 disables memoization).
+// (cacheEntries ≤ 0 disables memoization). The memo is sharded by key hash
+// across ~GOMAXPROCS independently-locked shards; use NewSetSharded for an
+// explicit shard count.
 func NewSetCapacity(st *core.Structure, cacheEntries int) (*OracleSet, error) {
+	return NewSetSharded(st, cacheEntries, defaultShardCount(cacheEntries))
+}
+
+// NewSetSharded is NewSetCapacity with an explicit memo shard count
+// (rounded down to a power of two; 1 gives a single global LRU with strict
+// global recency order, larger counts trade that for lower lock
+// contention).
+func NewSetSharded(st *core.Structure, cacheEntries, shards int) (*OracleSet, error) {
 	if len(st.Sources) == 0 {
 		return nil, fmt.Errorf("oracle: structure has no sources")
 	}
@@ -61,7 +71,7 @@ func NewSetCapacity(st *core.Structure, cacheEntries int) (*OracleSet, error) {
 		st:     st,
 		sub:    graph.New(st.G.N()),
 		gToSub: make([]int32, st.G.M()),
-		cache:  newLRUCache(cacheEntries),
+		cache:  newShardedCache(cacheEntries, shards),
 	}
 	for id := range s.gToSub {
 		s.gToSub[id] = -1
@@ -144,7 +154,12 @@ func (o *Oracle) Faults() int { return o.set.st.Faults }
 // Sources returns a copy of the sources the oracle can answer for.
 func (o *Oracle) Sources() []int { return o.set.Sources() }
 
-func (o *Oracle) validate(s int, faults []int) error {
+// prepare canonicalizes the fault set and validates the query against the
+// structure: the fault BUDGET is checked against the number of DISTINCT
+// faults (listing an edge twice describes the same failure event as
+// listing it once), while the range check covers the raw IDs before their
+// int32 conversion. Returns the canonical key.
+func (o *Oracle) prepare(s int, faults []int) ([]int32, error) {
 	st := o.set.st
 	ok := false
 	for _, src := range st.Sources {
@@ -154,36 +169,40 @@ func (o *Oracle) validate(s int, faults []int) error {
 		}
 	}
 	if !ok {
-		return fmt.Errorf("oracle: %d is not a structure source %v", s, st.Sources)
-	}
-	if len(faults) > st.Faults {
-		return fmt.Errorf("oracle: %d faults exceed budget %d", len(faults), st.Faults)
+		return nil, fmt.Errorf("oracle: %d is not a structure source %v", s, st.Sources)
 	}
 	m := st.G.M()
 	for _, id := range faults {
 		if id < 0 || id >= m {
-			return fmt.Errorf("oracle: fault edge %d out of range [0,%d)", id, m)
+			return nil, fmt.Errorf("oracle: fault edge %d out of range [0,%d)", id, m)
 		}
 	}
-	return nil
+	canon := o.canonicalize(faults)
+	if len(canon) > st.Faults {
+		return nil, fmt.Errorf("oracle: %d distinct faults exceed budget %d", len(canon), st.Faults)
+	}
+	return canon, nil
 }
 
-// canonicalize fills o.canon with the sorted fault IDs — the canonical
-// per-failure-event key — without allocating once the scratch has grown.
+// canonicalize fills o.canon with the sorted, deduplicated fault IDs — the
+// canonical per-failure-event key — without allocating once the scratch
+// has grown. Deduplication matters: faults {3,3} and {3} are the same
+// failure event and must share one cache entry and one budget slot.
 func (o *Oracle) canonicalize(faults []int) []int32 {
 	o.canon = o.canon[:0]
 	for _, id := range faults {
 		o.canon = append(o.canon, int32(id))
 	}
 	slices.Sort(o.canon)
+	o.canon = slices.Compact(o.canon)
 	return o.canon
 }
 
-// translate maps G fault IDs into sub-graph IDs, dropping faults on edges
-// H never kept (removing an absent edge is a no-op).
-func (o *Oracle) translate(faults []int) []int {
+// translate maps canonical G fault IDs into sub-graph IDs, dropping faults
+// on edges H never kept (removing an absent edge is a no-op).
+func (o *Oracle) translate(canon []int32) []int {
 	o.faults = o.faults[:0]
-	for _, id := range faults {
+	for _, id := range canon {
 		if sid := o.set.gToSub[id]; sid >= 0 {
 			o.faults = append(o.faults, int(sid))
 		}
@@ -191,16 +210,15 @@ func (o *Oracle) translate(faults []int) []int {
 	return o.faults
 }
 
-// run executes (or recalls) the BFS for (s, faults) and returns the
+// run executes (or recalls) the BFS for the canonical key and returns the
 // distance table over H \ F. Cached tables are immutable and shared across
 // every handle of the set.
-func (o *Oracle) run(s int, faults []int) []int32 {
-	canon := o.canonicalize(faults)
+func (o *Oracle) run(s int, canon []int32) []int32 {
 	h := hashKey(s, canon)
 	if d, ok := o.set.cache.get(h, int32(s), canon); ok {
 		return d
 	}
-	o.runner.Run(s, o.translate(faults), nil)
+	o.runner.Run(s, o.translate(canon), nil)
 	d := make([]int32, o.set.sub.N())
 	copy(d, o.runner.Dists())
 	return o.set.cache.add(h, int32(s), canon, d)
@@ -209,35 +227,38 @@ func (o *Oracle) run(s int, faults []int) []int32 {
 // Dist returns dist(s, v, G \ F) answered inside the structure
 // (bfs.Unreachable when v is cut off in G \ F as well).
 func (o *Oracle) Dist(s, v int, faults []int) (int32, error) {
-	if err := o.validate(s, faults); err != nil {
+	canon, err := o.prepare(s, faults)
+	if err != nil {
 		return bfs.Unreachable, err
 	}
 	if v < 0 || v >= o.set.st.G.N() {
 		return bfs.Unreachable, fmt.Errorf("oracle: target %d out of range", v)
 	}
-	return o.run(s, faults)[v], nil
+	return o.run(s, canon)[v], nil
 }
 
 // Dists returns the full distance table for one failure event (the slice
 // is owned by the set's cache and shared between clients; callers must not
 // mutate it).
 func (o *Oracle) Dists(s int, faults []int) ([]int32, error) {
-	if err := o.validate(s, faults); err != nil {
+	canon, err := o.prepare(s, faults)
+	if err != nil {
 		return nil, err
 	}
-	return o.run(s, faults), nil
+	return o.run(s, canon), nil
 }
 
 // Route returns an optimal s→v path inside H \ F (nil when disconnected).
 // Unlike Dist it always re-runs the BFS (paths are not memoized). Vertex
 // IDs on the returned path are G's (the structure preserves them).
 func (o *Oracle) Route(s, v int, faults []int) (path.Path, error) {
-	if err := o.validate(s, faults); err != nil {
+	canon, err := o.prepare(s, faults)
+	if err != nil {
 		return nil, err
 	}
 	if v < 0 || v >= o.set.st.G.N() {
 		return nil, fmt.Errorf("oracle: target %d out of range", v)
 	}
-	o.runner.Run(s, o.translate(faults), nil)
+	o.runner.Run(s, o.translate(canon), nil)
 	return o.runner.PathTo(v), nil
 }

@@ -147,6 +147,139 @@ func TestOracleCacheReuse(t *testing.T) {
 	}
 }
 
+// TestDuplicateFaultsDeduped checks that repeated fault IDs describe one
+// failure event: they must not consume extra budget slots and must share
+// one cache entry with the deduplicated set.
+func TestDuplicateFaultsDeduped(t *testing.T) {
+	g := gen.GNP(16, 0.3, 3)
+	st, err := core.BuildSingle(g, 0, nil) // f = 1: duplicates must still fit
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := NewSet(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := set.Handle()
+	d1, err := o.Dists(0, []int{3, 3})
+	if err != nil {
+		t.Fatalf("duplicate single fault rejected against f=1 budget: %v", err)
+	}
+	d2, err := o.Dists(0, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &d1[0] != &d2[0] {
+		t.Fatal("faults {3,3} and {3} did not share one cache entry")
+	}
+	cs := set.CacheStats()
+	if cs.Len != 1 || cs.Hits != 1 || cs.Misses != 1 {
+		t.Fatalf("want one entry, one miss, one hit; got %+v", cs)
+	}
+	truth := bfs.NewRunner(g)
+	truth.Run(0, []int{3}, nil)
+	for v := 0; v < g.N(); v++ {
+		if d1[v] != truth.Dist(v) {
+			t.Fatalf("target %d: oracle %d, truth %d", v, d1[v], truth.Dist(v))
+		}
+	}
+	// Distinct duplicated pairs on an f=1 structure still exceed the budget.
+	if _, err := o.Dists(0, []int{3, 3, 5}); err == nil {
+		t.Fatal("two distinct faults accepted against f=1 budget")
+	}
+}
+
+// TestShardedCacheCorrectness drives many failure events through an
+// explicitly multi-shard memo and checks answers, aggregated counters and
+// the per-shard capacity split.
+func TestShardedCacheCorrectness(t *testing.T) {
+	g := gen.GNP(20, 0.25, 9)
+	st, err := core.BuildSingle(g, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const capacity = 20
+	set, err := NewSetSharded(st, capacity, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs := set.CacheStats(); cs.Shards != 4 || cs.Capacity != capacity {
+		t.Fatalf("want 4 shards of total capacity %d, got %+v", capacity, cs)
+	}
+	o := set.Handle()
+	truth := bfs.NewRunner(g)
+	for round := 0; round < 2; round++ {
+		for a := 0; a < g.M(); a++ {
+			d, err := o.Dists(0, []int{a})
+			if err != nil {
+				t.Fatal(err)
+			}
+			truth.Run(0, []int{a}, nil)
+			for v := 0; v < g.N(); v++ {
+				if d[v] != truth.Dist(v) {
+					t.Fatalf("fault %d target %d: oracle %d, truth %d", a, v, d[v], truth.Dist(v))
+				}
+			}
+		}
+	}
+	cs := set.CacheStats()
+	if cs.Len > capacity {
+		t.Fatalf("cache holds %d entries over capacity %d", cs.Len, capacity)
+	}
+	if cs.Misses == 0 || cs.Evictions == 0 {
+		t.Fatalf("expected misses and evictions from scanning over capacity: %+v", cs)
+	}
+	if cs.Hits+cs.Misses != int64(2*g.M()) {
+		t.Fatalf("lookup accounting off: %+v for %d lookups", cs, 2*g.M())
+	}
+	// A back-to-back repeat is a guaranteed hit in its shard.
+	if _, err := o.Dists(0, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	before := set.CacheStats().Hits
+	if _, err := o.Dists(0, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if got := set.CacheStats().Hits; got != before+1 {
+		t.Fatalf("repeat lookup did not hit: %d -> %d", before, got)
+	}
+}
+
+// TestShardCountClamps pins the shard-count policy: powers of two,
+// clamped so no shard ends up empty, one shard for tiny or disabled
+// caches.
+func TestShardCountClamps(t *testing.T) {
+	cases := []struct{ capacity, shards, want int }{
+		{1024, 1, 1},
+		{1024, 4, 4},
+		{1024, 7, 4},  // rounded down to a power of two
+		{4, 16, 4},    // clamped to capacity
+		{3, 16, 2},    // clamped to the largest power of two ≤ capacity
+		{0, 16, 1},    // disabled cache: one inert shard
+		{-5, 8, 1},    // disabled cache
+		{1024, 0, 1},  // degenerate shard request
+		{1024, -3, 1}, // degenerate shard request
+	}
+	for _, tc := range cases {
+		c := newShardedCache(tc.capacity, tc.shards)
+		if len(c.shards) != tc.want {
+			t.Errorf("newShardedCache(%d, %d): %d shards, want %d",
+				tc.capacity, tc.shards, len(c.shards), tc.want)
+		}
+		total := 0
+		for _, sh := range c.shards {
+			if tc.capacity > 0 && len(c.shards) > 1 && sh.capacity == 0 {
+				t.Errorf("newShardedCache(%d, %d): empty shard", tc.capacity, tc.shards)
+			}
+			total += sh.capacity
+		}
+		if tc.capacity > 0 && total != tc.capacity {
+			t.Errorf("newShardedCache(%d, %d): shard capacities sum to %d",
+				tc.capacity, tc.shards, total)
+		}
+	}
+}
+
 func TestOracleMultiSource(t *testing.T) {
 	g := gen.GNP(14, 0.3, 5)
 	st, err := core.BuildMultiSource(g, []int{0, 7}, nil, core.BuildDual)

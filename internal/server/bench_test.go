@@ -110,3 +110,79 @@ func BenchmarkServerRoute(b *testing.B) {
 	}
 	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "queries/s")
 }
+
+// batchBody builds a reusable JSON body of `items` dist queries rotating
+// over targets and cached failure events.
+func batchBody(items int) string {
+	var sb strings.Builder
+	sb.WriteString(`{"queries":[`)
+	faults := []string{"[3]", "[9]", "[21]", "[30]"}
+	for i := 0; i < items; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `{"source":0,"target":%d,"faults":%s}`, i%400, faults[i%len(faults)])
+	}
+	sb.WriteString(`]}`)
+	return sb.String()
+}
+
+// BenchmarkServerBatch1000 measures the batch path: 1000 dist queries per
+// HTTP request through one pooled oracle — the per-query cost this
+// endpoint exists to amortize (compare with BenchmarkServerDist).
+func BenchmarkServerBatch1000(b *testing.B) {
+	h, prefix := benchServer(b)
+	body := batchBody(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", prefix+"/query", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("code %d: %s", rec.Code, rec.Body)
+		}
+	}
+	b.ReportMetric(float64(b.N)*1000/time.Since(start).Seconds(), "queries/s")
+}
+
+// BenchmarkServerBatch1000Parallel runs concurrent 1000-item batches —
+// the multi-core serving shape (sharded cache + one handle per request).
+func BenchmarkServerBatch1000Parallel(b *testing.B) {
+	h, prefix := benchServer(b)
+	body := batchBody(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			req := httptest.NewRequest("POST", prefix+"/query", strings.NewReader(body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Errorf("code %d: %s", rec.Code, rec.Body) // Fatal must not be called off the main goroutine
+				return
+			}
+		}
+	})
+	b.ReportMetric(float64(b.N)*1000/time.Since(start).Seconds(), "queries/s")
+}
+
+// BenchmarkServerBatchStream measures the NDJSON streaming variant.
+func BenchmarkServerBatchStream(b *testing.B) {
+	h, prefix := benchServer(b)
+	body := strings.Replace(batchBody(1000), `{"queries":`, `{"stream":true,"queries":`, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", prefix+"/query", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("code %d: %s", rec.Code, rec.Body)
+		}
+	}
+	b.ReportMetric(float64(b.N)*1000/time.Since(start).Seconds(), "queries/s")
+}

@@ -89,17 +89,20 @@ func (sp *GenSpec) generate() (*graph.Graph, error) {
 	}
 }
 
-// Build lifecycle states.
+// Build lifecycle states: queued (waiting for a build slot) → building →
+// ready | failed.
 const (
+	StatusQueued   = "queued"
 	StatusBuilding = "building"
 	StatusReady    = "ready"
 	StatusFailed   = "failed"
 )
 
 // buildEntry is one (possibly in-flight) structure build over a registered
-// graph. Fields other than status/err/st/set/elapsed are immutable after
-// creation; the mutable ones are written exactly once by the build
-// goroutine under the server lock.
+// graph. Fields other than status/err/st/set/started/queued/elapsed are
+// immutable after creation; the mutable ones are written by the build
+// goroutine under the server lock (once at semaphore acquisition, once at
+// completion).
 type buildEntry struct {
 	id      string
 	mode    string
@@ -107,8 +110,10 @@ type buildEntry struct {
 	seed    int64
 	status  string
 	errMsg  string
-	started time.Time
-	elapsed time.Duration
+	created time.Time     // when the build was accepted (queue entry)
+	started time.Time     // when it acquired a build slot (zero while queued)
+	queued  time.Duration // time spent waiting for the slot
+	elapsed time.Duration // pure build time, excluding the queue wait
 	st      *core.Structure
 	set     *oracle.OracleSet
 }

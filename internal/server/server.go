@@ -11,15 +11,18 @@
 //	DELETE /v1/graphs/{graph}               unregister
 //	POST   /v1/graphs/{graph}/builds        start an async structure build
 //	GET    /v1/graphs/{graph}/builds/{build}        build status, stats, cache counters
+//	POST   /v1/graphs/{graph}/builds/{build}/query  JSON batch of {source,target?,faults} (NDJSON streaming opt-in)
 //	GET    /v1/graphs/{graph}/builds/{build}/dist   ?source&target&faults=3,9
 //	GET    /v1/graphs/{graph}/builds/{build}/dists  ?source&faults
 //	GET    /v1/graphs/{graph}/builds/{build}/route  ?source&target&faults
 //	GET    /healthz
 //
-// Builds run asynchronously (poll the build resource until "ready"); the
+// Builds run asynchronously (they queue behind a bounded semaphore; poll
+// the build resource through "queued" and "building" until "ready"); the
 // query path is served by a pool of per-goroutine oracles over one shared
-// immutable OracleSet, so concurrent clients asking about one failure
-// event share a single BFS over the sparse structure.
+// immutable OracleSet whose failure-event memo is sharded by key hash, so
+// concurrent clients asking about one failure event share a single BFS
+// over the sparse structure without contending on a global lock.
 package server
 
 import (
@@ -53,8 +56,15 @@ type Config struct {
 	// many bytes (default 256 MiB). Untrusted clients can force one
 	// table per distinct fault set, so the bound must not scale with n.
 	CacheBytes int64
+	// CacheShards overrides the memo shard count per build (0 = auto:
+	// ~GOMAXPROCS shards, rounded to a power of two). 1 restores the
+	// single global LRU.
+	CacheShards int
 	// MaxBodyBytes bounds request bodies (default 32 MiB).
 	MaxBodyBytes int64
+	// MaxBatchQueries bounds the items of one batch query request
+	// (default 65536).
+	MaxBatchQueries int
 }
 
 // Server is the ftbfsd registry and HTTP handler factory. It is safe for
@@ -84,6 +94,9 @@ func New(cfg *Config) *Server {
 	}
 	if s.cfg.MaxBodyBytes <= 0 {
 		s.cfg.MaxBodyBytes = 32 << 20
+	}
+	if s.cfg.MaxBatchQueries <= 0 {
+		s.cfg.MaxBatchQueries = 65536
 	}
 	s.buildSem = make(chan struct{}, s.cfg.MaxConcurrentBuilds)
 	return s
@@ -126,6 +139,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/graphs/{graph}", s.handleDeleteGraph)
 	mux.HandleFunc("POST /v1/graphs/{graph}/builds", s.handleCreateBuild)
 	mux.HandleFunc("GET /v1/graphs/{graph}/builds/{build}", s.handleGetBuild)
+	mux.HandleFunc("POST /v1/graphs/{graph}/builds/{build}/query", s.handleBatchQuery)
 	mux.HandleFunc("GET /v1/graphs/{graph}/builds/{build}/dist", s.handleDist)
 	mux.HandleFunc("GET /v1/graphs/{graph}/builds/{build}/dists", s.handleDists)
 	mux.HandleFunc("GET /v1/graphs/{graph}/builds/{build}/route", s.handleRoute)
@@ -282,19 +296,23 @@ type buildStats struct {
 type cacheInfo struct {
 	Len       int   `json:"len"`
 	Capacity  int   `json:"capacity"`
+	Shards    int   `json:"shards"`
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
 }
 
 type buildInfo struct {
-	ID        string      `json:"id"`
-	Graph     string      `json:"graph"`
-	Mode      string      `json:"mode"`
-	Sources   []int       `json:"sources"`
-	Seed      int64       `json:"seed"`
-	Status    string      `json:"status"`
-	Error     string      `json:"error,omitempty"`
+	ID      string `json:"id"`
+	Graph   string `json:"graph"`
+	Mode    string `json:"mode"`
+	Sources []int  `json:"sources"`
+	Seed    int64  `json:"seed"`
+	Status  string `json:"status"`
+	Error   string `json:"error,omitempty"`
+	// QueuedMS is the time the build waited for a build slot; ElapsedMS
+	// is pure build time from slot acquisition (0 while queued).
+	QueuedMS  float64     `json:"queuedMs,omitempty"`
 	ElapsedMS float64     `json:"elapsedMs,omitempty"`
 	Faults    int         `json:"faults,omitempty"`
 	Edges     int         `json:"edges,omitempty"`
@@ -336,8 +354,8 @@ func (s *Server) handleCreateBuild(w http.ResponseWriter, r *http.Request) {
 		mode:    req.Mode,
 		sources: append([]int(nil), req.Sources...),
 		seed:    req.Seed,
-		status:  StatusBuilding,
-		started: time.Now(),
+		status:  StatusQueued,
+		created: time.Now(),
 	}
 	g.builds[be.id] = be
 	g.order = append(g.order, be.id)
@@ -347,7 +365,7 @@ func (s *Server) handleCreateBuild(w http.ResponseWriter, r *http.Request) {
 	go s.runBuild(gg, be, build, req.Parallelism)
 	writeJSON(w, http.StatusAccepted, buildInfo{
 		ID: be.id, Graph: name, Mode: be.mode, Sources: be.sources,
-		Seed: be.seed, Status: StatusBuilding,
+		Seed: be.seed, Status: StatusQueued,
 	})
 }
 
@@ -368,16 +386,23 @@ func (s *Server) cacheEntriesFor(n int) int {
 }
 
 // runBuild executes one structure build under the concurrency semaphore
-// and publishes the result (or failure) under the server lock.
+// and publishes the result (or failure) under the server lock. The build
+// timer starts only once the semaphore slot is acquired; time spent queued
+// behind other builds is reported separately.
 func (s *Server) runBuild(g2 *graph.Graph, be *buildEntry,
 	build func(*graph.Graph, *core.Options) (*core.Structure, error), parallelism int) {
 	s.buildSem <- struct{}{}
 	defer func() { <-s.buildSem }()
+	s.mu.Lock()
+	be.status = StatusBuilding
+	be.started = time.Now()
+	be.queued = be.started.Sub(be.created)
+	s.mu.Unlock()
 	opts := &core.Options{Seed: be.seed, Parallelism: parallelism}
 	st, err := build(g2, opts)
 	var set *oracle.OracleSet
 	if err == nil {
-		set, err = oracle.NewSetCapacity(st, s.cacheEntriesFor(g2.N()))
+		set, err = s.newOracleSet(st, g2.N())
 	}
 	s.mu.Lock()
 	be.elapsed = time.Since(be.started)
@@ -392,11 +417,26 @@ func (s *Server) runBuild(g2 *graph.Graph, be *buildEntry,
 	s.mu.Unlock()
 }
 
+// newOracleSet builds a build's shared query state with the configured
+// memo bounds and shard count.
+func (s *Server) newOracleSet(st *core.Structure, n int) (*oracle.OracleSet, error) {
+	entries := s.cacheEntriesFor(n)
+	if s.cfg.CacheShards > 0 {
+		return oracle.NewSetSharded(st, entries, s.cfg.CacheShards)
+	}
+	return oracle.NewSetCapacity(st, entries)
+}
+
 func (s *Server) buildInfoLocked(graphName string, be *buildEntry) buildInfo {
 	info := buildInfo{
 		ID: be.id, Graph: graphName, Mode: be.mode, Sources: be.sources,
 		Seed: be.seed, Status: be.status, Error: be.errMsg,
+		QueuedMS:  float64(be.queued.Microseconds()) / 1000,
 		ElapsedMS: float64(be.elapsed.Microseconds()) / 1000,
+	}
+	if be.status == StatusQueued {
+		// Still waiting for a slot: report the wait so far.
+		info.QueuedMS = float64(time.Since(be.created).Microseconds()) / 1000
 	}
 	if be.status == StatusReady {
 		info.Faults = be.st.Faults
@@ -412,7 +452,8 @@ func (s *Server) buildInfoLocked(graphName string, be *buildEntry) buildInfo {
 			NewEndingPiD: be.st.Stats.NewEndingPiD,
 		}
 		cs := be.set.CacheStats()
-		info.Cache = &cacheInfo{Len: cs.Len, Capacity: cs.Capacity, Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions}
+		info.Cache = &cacheInfo{Len: cs.Len, Capacity: cs.Capacity, Shards: cs.Shards,
+			Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions}
 	}
 	return info
 }
@@ -472,11 +513,6 @@ func (s *Server) readySet(w http.ResponseWriter, r *http.Request) *oracle.Oracle
 }
 
 // ---- queries ----
-
-type distResponse struct {
-	Dist      int32 `json:"dist"`
-	Reachable bool  `json:"reachable"`
-}
 
 func parseFaults(q string) ([]int, error) {
 	if q == "" {
@@ -538,41 +574,210 @@ func (s *Server) withOracle(w http.ResponseWriter, r *http.Request,
 	}
 }
 
+// answerOne serves one GET-style query through the shared batch logic so
+// the single-query and batch APIs cannot diverge (res.Error maps to 400).
+func answerOne(w http.ResponseWriter, o *oracle.Oracle, q *batchQuery) error {
+	res := answerQuery(o, q)
+	if res.Error != "" {
+		return errors.New(res.Error)
+	}
+	writeJSON(w, http.StatusOK, res)
+	return nil
+}
+
 func (s *Server) handleDist(w http.ResponseWriter, r *http.Request) {
 	s.withOracle(w, r, true, func(o *oracle.Oracle, src, target int, faults []int) error {
-		d, err := o.Dist(src, target, faults)
-		if err != nil {
-			return err
-		}
-		writeJSON(w, http.StatusOK, distResponse{Dist: d, Reachable: d != bfs.Unreachable})
-		return nil
+		return answerOne(w, o, &batchQuery{Source: src, Target: &target, Faults: faults})
 	})
 }
 
 func (s *Server) handleDists(w http.ResponseWriter, r *http.Request) {
 	s.withOracle(w, r, false, func(o *oracle.Oracle, src, _ int, faults []int) error {
-		d, err := o.Dists(src, faults)
-		if err != nil {
-			return err
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"dists": d})
-		return nil
+		return answerOne(w, o, &batchQuery{Source: src, Faults: faults})
 	})
 }
 
 func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	s.withOracle(w, r, true, func(o *oracle.Oracle, src, target int, faults []int) error {
-		p, err := o.Route(src, target, faults)
-		if err != nil {
-			return err
-		}
-		if p == nil {
-			writeJSON(w, http.StatusOK, map[string]any{"reachable": false})
-			return nil
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"reachable": true, "dist": p.Len(), "path": []int(p)})
-		return nil
+		return answerOne(w, o, &batchQuery{Source: src, Target: &target, Faults: faults, Route: true})
 	})
+}
+
+// ---- batch queries ----
+
+// batchQuery is one item of a batch request. Target absent asks for the
+// whole distance table of the failure event; Route additionally returns a
+// realizing path (and requires a target). Faults are edge IDs of G.
+type batchQuery struct {
+	Source int   `json:"source"`
+	Target *int  `json:"target,omitempty"`
+	Faults []int `json:"faults,omitempty"`
+	Route  bool  `json:"route,omitempty"`
+}
+
+type batchRequest struct {
+	Queries []batchQuery `json:"queries"`
+	// Stream switches the response to NDJSON: one result object per
+	// line, in request order, flushed incrementally — large batches
+	// start arriving before the last item is answered.
+	Stream bool `json:"stream,omitempty"`
+}
+
+// batchResult is one item's answer. Exactly one of (Dist+Reachable),
+// Dists, (Reachable+Dist+Path) or Error is populated; item errors are
+// reported inline so one bad item cannot fail a half-streamed batch.
+type batchResult struct {
+	Dist      *int32  `json:"dist,omitempty"`
+	Reachable *bool   `json:"reachable,omitempty"`
+	Dists     []int32 `json:"dists,omitempty"`
+	Path      []int   `json:"path,omitempty"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// streamFlushEvery bounds how many NDJSON lines are buffered before an
+// explicit flush (and how often the request context is polled for a gone
+// client).
+const streamFlushEvery = 64
+
+// streamWriteWindow is the rolling per-window write deadline of a
+// streaming response. The server's global WriteTimeout covers a response
+// from its first byte, which a large legal batch can outlive; the
+// streaming handler instead re-arms this deadline at every flush, so a
+// healthy client can stream indefinitely while a stalled one is still
+// cut off.
+const streamWriteWindow = 30 * time.Second
+
+// batchStreamTrailer is the final NDJSON line of a streamed batch. Its
+// presence lets clients distinguish a complete stream from one truncated
+// by a deadline or disconnect (result lines never carry "done").
+type batchStreamTrailer struct {
+	Done    bool `json:"done"`
+	Results int  `json:"results"`
+}
+
+// maxBatchResultValues bounds the numbers materialized by ONE
+// non-streaming batch response (~32 MiB of JSON at worst). Whole-table
+// items cost n values each, so a batch within MaxBatchQueries could
+// otherwise force an arbitrarily large in-memory response on big graphs;
+// past the bound the client is told to use streaming, which buffers at
+// most streamFlushEvery lines. A var only so tests can lower it.
+var maxBatchResultValues = 4 << 20
+
+// answerQuery resolves one batch item with the request's pooled handle.
+func answerQuery(o *oracle.Oracle, q *batchQuery) batchResult {
+	switch {
+	case q.Route:
+		if q.Target == nil {
+			return batchResult{Error: "route query needs a target"}
+		}
+		p, err := o.Route(q.Source, *q.Target, q.Faults)
+		if err != nil {
+			return batchResult{Error: err.Error()}
+		}
+		reachable := p != nil
+		res := batchResult{Reachable: &reachable}
+		if p != nil {
+			d := int32(p.Len())
+			res.Dist = &d
+			res.Path = []int(p)
+		}
+		return res
+	case q.Target != nil:
+		d, err := o.Dist(q.Source, *q.Target, q.Faults)
+		if err != nil {
+			return batchResult{Error: err.Error()}
+		}
+		reachable := d != bfs.Unreachable
+		return batchResult{Dist: &d, Reachable: &reachable}
+	default:
+		d, err := o.Dists(q.Source, q.Faults)
+		if err != nil {
+			return batchResult{Error: err.Error()}
+		}
+		return batchResult{Dists: d}
+	}
+}
+
+// handleBatchQuery answers a JSON batch of (source, target?, faults)
+// items with ONE pooled oracle per request, amortizing handle checkout
+// and fault parsing across the whole batch — the multi-source workload
+// shape (many queries per network round-trip). With "stream": true the
+// results are NDJSON-streamed in request order.
+func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
+	set := s.readySet(w, r)
+	if set == nil {
+		return
+	}
+	var req batchRequest
+	if err := decodeBody(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		writeErr(w, bodyErrStatus(err), "bad request body: %v", err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Queries) > s.cfg.MaxBatchQueries {
+		writeErr(w, http.StatusRequestEntityTooLarge,
+			"batch of %d queries exceeds limit %d", len(req.Queries), s.cfg.MaxBatchQueries)
+		return
+	}
+	o := set.Acquire()
+	defer set.Release(o)
+	ctx := r.Context()
+	if req.Stream {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		rc := http.NewResponseController(w)
+		// The rolling deadline outlives the server's global WriteTimeout
+		// on purpose; clear it on exit so it cannot leak into the next
+		// request of a keep-alive connection when WriteTimeout is 0.
+		armed := time.Now()
+		_ = rc.SetWriteDeadline(armed.Add(streamWriteWindow))
+		defer func() { _ = rc.SetWriteDeadline(time.Time{}) }()
+		w.WriteHeader(http.StatusOK)
+		enc := json.NewEncoder(w)
+		// ResponseController.Flush reaches flushers behind Unwrap-ing
+		// middleware; ErrNotSupported (plain recorders) just means more
+		// buffering, and write failures surface on the next Encode.
+		flush := func() { _ = rc.Flush() }
+		for i := range req.Queries {
+			if err := enc.Encode(answerQuery(o, &req.Queries[i])); err != nil {
+				return // client went away; nothing sensible to write
+			}
+			// Re-arm on elapsed time, not item count: slow uncached
+			// queries must not let the window expire mid-batch while the
+			// handler is making progress.
+			if time.Since(armed) > streamWriteWindow/2 {
+				armed = time.Now()
+				_ = rc.SetWriteDeadline(armed.Add(streamWriteWindow))
+			}
+			if (i+1)%streamFlushEvery == 0 {
+				flush()
+				if ctx.Err() != nil {
+					return // client gone: stop burning BFS time
+				}
+			}
+		}
+		// Terminal line: lets clients tell completion from truncation.
+		_ = enc.Encode(batchStreamTrailer{Done: true, Results: len(req.Queries)})
+		flush()
+		return
+	}
+	results := make([]batchResult, len(req.Queries))
+	values := 0
+	for i := range req.Queries {
+		results[i] = answerQuery(o, &req.Queries[i])
+		values += 2 + len(results[i].Dists) + len(results[i].Path)
+		if values > maxBatchResultValues {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				"batch response exceeds %d values at item %d; use \"stream\": true", maxBatchResultValues, i)
+			return
+		}
+		if (i+1)%streamFlushEvery == 0 && ctx.Err() != nil {
+			return // client gone before any byte was written; drop the work
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": results})
 }
 
 func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) error {

@@ -68,14 +68,14 @@ func (c *testClient) decode(method, path string, body any, wantCode int, into an
 	}
 }
 
-// waitReady polls the build resource until it leaves "building".
+// waitReady polls the build resource until it leaves "queued"/"building".
 func (c *testClient) waitReady(graph, build string) buildInfo {
 	c.t.Helper()
 	deadline := time.Now().Add(30 * time.Second)
 	for {
 		var info buildInfo
 		c.decode("GET", "/v1/graphs/"+graph+"/builds/"+build, nil, http.StatusOK, &info)
-		if info.Status != StatusBuilding {
+		if info.Status != StatusQueued && info.Status != StatusBuilding {
 			return info
 		}
 		if time.Now().After(deadline) {
@@ -97,6 +97,12 @@ func (c *testClient) startBuild(graph string, req createBuildRequest) string {
 	var info buildInfo
 	c.decode("POST", "/v1/graphs/"+graph+"/builds", req, http.StatusAccepted, &info)
 	return info.ID
+}
+
+// distResponse mirrors the wire shape of a single dist answer.
+type distResponse struct {
+	Dist      int32 `json:"dist"`
+	Reachable bool  `json:"reachable"`
 }
 
 func faultsParam(faults []int) string {
@@ -440,5 +446,389 @@ func TestServerBuildNotReady(t *testing.T) {
 	}
 	if info := c.waitReady("slow", id2); info.Status != StatusReady {
 		t.Fatalf("queued build failed: %+v", info)
+	}
+}
+
+// TestServerBatchQuery answers a 1000-item batch in ONE request, mixing
+// dist, whole-table and route items across several failure events, and
+// checks every answer against BFS ground truth on G \ F (the acceptance
+// workload; run under -race in CI).
+func TestServerBatchQuery(t *testing.T) {
+	seed := int64(17)
+	g := gen.GNP(30, 0.2, seed)
+	c := newTestClient(t, nil)
+	c.createGraph("batch", GenSpec{Family: "gnp", N: 30, P: 0.2, Seed: seed})
+	id := c.startBuild("batch", createBuildRequest{Mode: "dual", Sources: []int{0}})
+	if info := c.waitReady("batch", id); info.Status != StatusReady {
+		t.Fatalf("build failed: %+v", info)
+	}
+	events := make([][]int, 12)
+	truth := make([][]int32, len(events))
+	for i := range events {
+		a := (i * 5) % g.M()
+		b := (a + 9) % g.M()
+		events[i] = []int{a, b}
+		if a == b {
+			events[i] = []int{a}
+		}
+		truth[i] = bfs.Distances(g, 0, events[i])
+	}
+	const items = 1000
+	req := batchRequest{Queries: make([]batchQuery, items)}
+	for i := 0; i < items; i++ {
+		q := batchQuery{Source: 0, Faults: events[i%len(events)]}
+		switch i % 10 {
+		case 8: // whole-table item
+		case 9: // route item
+			tgt := i % g.N()
+			q.Target = &tgt
+			q.Route = true
+		default:
+			tgt := i % g.N()
+			q.Target = &tgt
+		}
+		req.Queries[i] = q
+	}
+	var resp struct {
+		Results []batchResult `json:"results"`
+	}
+	c.decode("POST", "/v1/graphs/batch/builds/"+id+"/query", req, http.StatusOK, &resp)
+	if len(resp.Results) != items {
+		t.Fatalf("%d results for %d queries", len(resp.Results), items)
+	}
+	for i, res := range resp.Results {
+		q := req.Queries[i]
+		want := truth[i%len(events)]
+		if res.Error != "" {
+			t.Fatalf("item %d: unexpected error %q", i, res.Error)
+		}
+		switch {
+		case q.Route:
+			wd := want[*q.Target]
+			if (wd == bfs.Unreachable) == *res.Reachable {
+				t.Fatalf("item %d: reachable=%v want dist %d", i, *res.Reachable, wd)
+			}
+			if wd == bfs.Unreachable {
+				continue
+			}
+			if *res.Dist != wd || len(res.Path) != int(wd)+1 {
+				t.Fatalf("item %d: dist %d path %v, want %d", i, *res.Dist, res.Path, wd)
+			}
+			for j := 0; j+1 < len(res.Path); j++ {
+				eid, ok := g.EdgeID(res.Path[j], res.Path[j+1])
+				if !ok {
+					t.Fatalf("item %d: path uses non-edge %d-%d", i, res.Path[j], res.Path[j+1])
+				}
+				for _, f := range q.Faults {
+					if eid == f {
+						t.Fatalf("item %d: path uses failed edge %d", i, eid)
+					}
+				}
+			}
+		case q.Target != nil:
+			if *res.Dist != want[*q.Target] || *res.Reachable != (want[*q.Target] != bfs.Unreachable) {
+				t.Fatalf("item %d: got %d want %d", i, *res.Dist, want[*q.Target])
+			}
+		default:
+			if len(res.Dists) != g.N() {
+				t.Fatalf("item %d: %d dists", i, len(res.Dists))
+			}
+			for v, d := range res.Dists {
+				if d != want[v] {
+					t.Fatalf("item %d target %d: got %d want %d", i, v, d, want[v])
+				}
+			}
+		}
+	}
+}
+
+// TestServerBatchStream checks the NDJSON streaming mode returns exactly
+// the non-streaming results, one JSON object per line, in request order.
+func TestServerBatchStream(t *testing.T) {
+	c := newTestClient(t, nil)
+	c.createGraph("st", GenSpec{Family: "grid", Rows: 5, Cols: 5})
+	id := c.startBuild("st", createBuildRequest{Mode: "dual", Sources: []int{0}})
+	if info := c.waitReady("st", id); info.Status != StatusReady {
+		t.Fatalf("build failed: %+v", info)
+	}
+	const items = 200
+	req := batchRequest{Queries: make([]batchQuery, items)}
+	for i := 0; i < items; i++ {
+		tgt := i % 25
+		req.Queries[i] = batchQuery{Source: 0, Target: &tgt, Faults: []int{i % 40}}
+	}
+	var plain struct {
+		Results []batchResult `json:"results"`
+	}
+	c.decode("POST", "/v1/graphs/st/builds/"+id+"/query", req, http.StatusOK, &plain)
+
+	req.Stream = true
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(c.srv.URL+"/v1/graphs/st/builds/"+id+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream code %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	dec := json.NewDecoder(resp.Body)
+	var raw []json.RawMessage
+	for dec.More() {
+		var m json.RawMessage
+		if err := dec.Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		raw = append(raw, m)
+	}
+	// The last line is the completion trailer; everything before it is a
+	// result in request order.
+	if len(raw) != items+1 {
+		t.Fatalf("streamed %d lines, want %d results + trailer", len(raw), items)
+	}
+	var trailer batchStreamTrailer
+	if err := json.Unmarshal(raw[len(raw)-1], &trailer); err != nil {
+		t.Fatal(err)
+	}
+	if !trailer.Done || trailer.Results != items {
+		t.Fatalf("bad stream trailer: %+v", trailer)
+	}
+	for i := 0; i < items; i++ {
+		var a batchResult
+		if err := json.Unmarshal(raw[i], &a); err != nil {
+			t.Fatal(err)
+		}
+		b := plain.Results[i]
+		if (a.Dist == nil) != (b.Dist == nil) || (a.Dist != nil && *a.Dist != *b.Dist) || a.Error != b.Error {
+			t.Fatalf("item %d: stream %+v vs plain %+v", i, a, b)
+		}
+	}
+}
+
+// TestServerBatchErrors exercises the batch request failure paths and
+// inline per-item errors.
+func TestServerBatchErrors(t *testing.T) {
+	c := newTestClient(t, &Config{MaxBatchQueries: 4})
+	c.createGraph("be", GenSpec{Family: "path", N: 6})
+	id := c.startBuild("be", createBuildRequest{Mode: "dual", Sources: []int{0}})
+	if info := c.waitReady("be", id); info.Status != StatusReady {
+		t.Fatalf("build failed: %+v", info)
+	}
+	path := "/v1/graphs/be/builds/" + id + "/query"
+
+	// Request-level failures.
+	if code, out := c.do("POST", path, batchRequest{}); code != http.StatusBadRequest {
+		t.Fatalf("empty batch: %d %s", code, out)
+	}
+	over := batchRequest{Queries: make([]batchQuery, 5)}
+	if code, out := c.do("POST", path, over); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch: %d %s", code, out)
+	}
+	if code, _ := c.do("POST", "/v1/graphs/be/builds/zzz/query", batchRequest{Queries: make([]batchQuery, 1)}); code != http.StatusNotFound {
+		t.Fatalf("missing build accepted: %d", code)
+	}
+
+	// Item-level failures arrive inline, not as HTTP errors.
+	one, bad := 1, 99
+	req := batchRequest{Queries: []batchQuery{
+		{Source: 3, Target: &one},                         // non-source
+		{Source: 0, Target: &bad},                         // target out of range
+		{Source: 0, Route: true},                          // route without target
+		{Source: 0, Target: &one, Faults: []int{0, 1, 2}}, // budget
+		{Source: 0, Target: &one},                         // fine
+	}}
+	// MaxBatchQueries is 4; trim to fit.
+	req.Queries = req.Queries[:4]
+	var resp struct {
+		Results []batchResult `json:"results"`
+	}
+	c.decode("POST", path, req, http.StatusOK, &resp)
+	for i := 0; i < 4; i++ {
+		if resp.Results[i].Error == "" {
+			t.Fatalf("item %d: expected inline error, got %+v", i, resp.Results[i])
+		}
+	}
+}
+
+// TestServerDuplicateFaults replays the canonicalization bugfix through
+// the HTTP handler: faults=3,3 is ONE failure event — it must fit an
+// f = 1 budget and share a single cache entry with faults=3.
+func TestServerDuplicateFaults(t *testing.T) {
+	seed := int64(3)
+	g := gen.GNP(16, 0.3, seed)
+	c := newTestClient(t, nil)
+	c.createGraph("dup", GenSpec{Family: "gnp", N: 16, P: 0.3, Seed: seed})
+	id := c.startBuild("dup", createBuildRequest{Mode: "single", Sources: []int{0}})
+	info := c.waitReady("dup", id)
+	if info.Status != StatusReady || info.Faults != 1 {
+		t.Fatalf("want ready f=1 build: %+v", info)
+	}
+	var dup, canon distResponse
+	c.decode("GET", "/v1/graphs/dup/builds/"+id+"/dist?source=0&target=5&faults=3,3",
+		nil, http.StatusOK, &dup)
+	c.decode("GET", "/v1/graphs/dup/builds/"+id+"/dist?source=0&target=5&faults=3",
+		nil, http.StatusOK, &canon)
+	if dup != canon {
+		t.Fatalf("duplicate form answered %+v, canonical %+v", dup, canon)
+	}
+	truth := bfs.NewRunner(g)
+	truth.Run(0, []int{3}, nil)
+	if dup.Dist != truth.Dist(5) {
+		t.Fatalf("got %d, truth %d", dup.Dist, truth.Dist(5))
+	}
+	info = c.waitReady("dup", id)
+	if info.Cache == nil || info.Cache.Len != 1 || info.Cache.Misses != 1 || info.Cache.Hits != 1 {
+		t.Fatalf("faults {3,3} and {3} did not share one cache entry: %+v", info.Cache)
+	}
+	// Two DISTINCT faults still exceed the f = 1 budget.
+	if code, _ := c.do("GET", "/v1/graphs/dup/builds/"+id+"/dist?source=0&target=5&faults=3,4", nil); code != http.StatusBadRequest {
+		t.Fatalf("distinct pair accepted against f=1: %d", code)
+	}
+}
+
+// TestServerQueuedBuild saturates the build semaphore and checks the
+// queued lifecycle deterministically: status "queued" with live queue
+// time and no build time, 409 on queries, then — once a slot frees — a
+// ready build whose ElapsedMS excludes the queue wait.
+func TestServerQueuedBuild(t *testing.T) {
+	s := New(&Config{MaxConcurrentBuilds: 1})
+	if err := s.RegisterGraph("q", &GenSpec{Family: "path", N: 6}); err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	s.buildSem <- struct{}{} // occupy the only build slot
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/graphs/q/builds",
+		strings.NewReader(`{"mode":"dual","sources":[0]}`)))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("create: %d %s", rec.Code, rec.Body)
+	}
+	var info buildInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Status != StatusQueued {
+		t.Fatalf("fresh build status %q, want %q", info.Status, StatusQueued)
+	}
+	path := "/v1/graphs/q/builds/" + info.ID
+
+	time.Sleep(150 * time.Millisecond) // accumulate observable queue time
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Status != StatusQueued {
+		t.Fatalf("queued build reports %q", info.Status)
+	}
+	if info.QueuedMS <= 0 || info.ElapsedMS != 0 {
+		t.Fatalf("queued timing wrong: queued %.3fms elapsed %.3fms", info.QueuedMS, info.ElapsedMS)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path+"/dist?source=0&target=1", nil))
+	if rec.Code != http.StatusConflict || !strings.Contains(rec.Body.String(), StatusQueued) {
+		t.Fatalf("query against queued build: %d %s", rec.Code, rec.Body)
+	}
+
+	<-s.buildSem // free the slot; the queued build may now run
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		rec = httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+			t.Fatal(err)
+		}
+		if info.Status != StatusQueued && info.Status != StatusBuilding {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("build stuck: %+v", info)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if info.Status != StatusReady {
+		t.Fatalf("build failed: %+v", info)
+	}
+	// The queue wait (≥ 150ms by construction) must not leak into the
+	// build time: the trivial 6-vertex build takes well under 100ms even
+	// on a stalled runner, while the pre-fix behavior (timer started at
+	// creation) would report ≥ 150ms.
+	if info.QueuedMS < 120 {
+		t.Fatalf("queue wait under-reported: %.3fms", info.QueuedMS)
+	}
+	if info.ElapsedMS >= 100 {
+		t.Fatalf("build time %.3fms includes queue wait %.3fms", info.ElapsedMS, info.QueuedMS)
+	}
+}
+
+// TestServerBatchResultBound checks a non-streaming batch heavy in
+// whole-table items is refused once the materialized response would
+// exceed the value bound — and that streaming mode still answers it.
+func TestServerBatchResultBound(t *testing.T) {
+	old := maxBatchResultValues
+	maxBatchResultValues = 64
+	t.Cleanup(func() { maxBatchResultValues = old })
+
+	c := newTestClient(t, nil)
+	c.createGraph("big", GenSpec{Family: "grid", Rows: 5, Cols: 5}) // n=25: 3 tables > 64 values
+	id := c.startBuild("big", createBuildRequest{Mode: "dual", Sources: []int{0}})
+	if info := c.waitReady("big", id); info.Status != StatusReady {
+		t.Fatalf("build failed: %+v", info)
+	}
+	req := batchRequest{Queries: make([]batchQuery, 4)}
+	for i := range req.Queries {
+		req.Queries[i] = batchQuery{Source: 0, Faults: []int{i}} // whole-table items
+	}
+	code, out := c.do("POST", "/v1/graphs/big/builds/"+id+"/query", req)
+	if code != http.StatusRequestEntityTooLarge || !strings.Contains(string(out), "stream") {
+		t.Fatalf("oversized response not refused: %d %s", code, out)
+	}
+	req.Stream = true
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(c.srv.URL+"/v1/graphs/big/builds/"+id+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("streamed batch refused: %d", resp.StatusCode)
+	}
+	dec := json.NewDecoder(resp.Body)
+	var lines []json.RawMessage
+	for dec.More() {
+		var m json.RawMessage
+		if err := dec.Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 5 { // 4 results + trailer
+		t.Fatalf("streamed %d lines, want 5", len(lines))
+	}
+	for i := 0; i < 4; i++ {
+		var r batchResult
+		if err := json.Unmarshal(lines[i], &r); err != nil {
+			t.Fatal(err)
+		}
+		if r.Error != "" || len(r.Dists) != 25 {
+			t.Fatalf("streamed item %d: %+v", i, r)
+		}
+	}
+	var trailer batchStreamTrailer
+	if err := json.Unmarshal(lines[4], &trailer); err != nil {
+		t.Fatal(err)
+	}
+	if !trailer.Done || trailer.Results != 4 {
+		t.Fatalf("bad stream trailer: %+v", trailer)
 	}
 }
