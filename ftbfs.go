@@ -31,8 +31,14 @@ import (
 	"repro/internal/verify"
 )
 
-// Graph is an undirected simple graph with stable edge IDs.
+// Graph is an immutable undirected simple graph with stable edge IDs in
+// compressed-sparse-row form. Build one with NewBuilder + Builder.Freeze, a
+// generator, or edge-list parsing.
 type Graph = graph.Graph
+
+// Builder accumulates edges under validation (range, self-loop, duplicate
+// checks) and compiles them into an immutable Graph with Freeze.
+type Builder = graph.Builder
 
 // Edge is an undirected edge (normalized endpoints U < V).
 type Edge = graph.Edge
@@ -59,8 +65,9 @@ type LowerBoundInstance = lowerbound.Instance
 // LowerBoundMultiInstance is the σ-source adversarial graph of Theorem 4.1.
 type LowerBoundMultiInstance = lowerbound.MultiInstance
 
-// NewGraph returns an empty graph on n vertices. Add edges with AddEdge.
-func NewGraph(n int) *Graph { return graph.New(n) }
+// NewBuilder returns an empty builder for a graph on n vertices. Add edges
+// with AddEdge/MustAddEdge, then Freeze into an immutable Graph.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
 
 // BuildDualFTBFS constructs the dual-failure (f = 2) FT-BFS structure of
 // Theorem 1.1 via Algorithm Cons2FTBFS: O(n^{5/3}) edges, exact distances

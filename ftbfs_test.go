@@ -64,15 +64,19 @@ func TestFacadeBuilders(t *testing.T) {
 }
 
 func TestFacadeGraphBuilding(t *testing.T) {
-	g := ftbfs.NewGraph(4)
-	if _, err := g.AddEdge(0, 1); err != nil {
+	b := ftbfs.NewBuilder(4)
+	if _, err := b.AddEdge(0, 1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := g.AddEdge(0, 1); err == nil {
+	if _, err := b.AddEdge(0, 1); err == nil {
 		t.Fatal("duplicate accepted")
 	}
+	g := b.Freeze()
 	if g.N() != 4 || g.M() != 1 {
 		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if !g.HasEdge(1, 0) {
+		t.Fatal("frozen graph lost the edge")
 	}
 }
 

@@ -31,3 +31,16 @@ func BenchmarkRunnerWithFaults(b *testing.B) {
 		r.Run(0, faults, nil)
 	}
 }
+
+// BenchmarkRunnerMaskedTiny is the verifier's shape: a small graph queried
+// millions of times with a small fault mask (forces the masked scan path).
+func BenchmarkRunnerMaskedTiny(b *testing.B) {
+	g := gen.SparseGNP(60, 6, 2015)
+	r := NewRunner(g)
+	faults := []int{3, 17}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Run(0, faults, nil)
+	}
+}

@@ -56,28 +56,60 @@ func (r *Runner) Run(src int, disabledEdges []int, disabledVertices []int) {
 	for _, v := range disabledVertices {
 		r.vOff[v] = ep
 	}
-	for i := range r.dist {
-		r.dist[i] = Unreachable
+	dist, parent := r.dist, r.parent
+	for i := range dist {
+		dist[i] = Unreachable
 	}
 	r.queue = r.queue[:0]
 	if r.vOff[src] == ep {
 		return
 	}
-	r.dist[src] = 0
-	r.parent[src] = -1
+	dist[src] = 0
+	parent[src] = -1
 	r.queue = append(r.queue, int32(src))
-	for head := 0; head < len(r.queue); head++ {
-		v := int(r.queue[head])
-		dv := r.dist[v]
-		r.g.ForNeighbors(v, func(u, eid int) bool {
-			if r.eOff[eid] == ep || r.vOff[u] == ep || r.dist[u] != Unreachable {
-				return true
+	if len(disabledEdges) == 0 && len(disabledVertices) == 0 {
+		r.scanFast()
+		return
+	}
+	r.scanMasked(ep)
+}
+
+// scanFast is the scan loop for runs with nothing masked: the epoch arrays
+// need not be consulted, so each arc costs one contiguous read plus one dist
+// probe.
+func (r *Runner) scanFast() {
+	dist, parent, queue := r.dist, r.parent, r.queue
+	off, arcs := r.g.ArcData()
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		du := dist[v] + 1
+		for i, end := off[v], off[v+1]; i < end; i++ {
+			a := arcs[i]
+			if dist[a.To] == Unreachable {
+				dist[a.To] = du
+				parent[a.To] = v
+				queue = append(queue, a.To)
 			}
-			r.dist[u] = dv + 1
-			r.parent[u] = int32(v)
-			r.queue = append(r.queue, int32(u))
-			return true
-		})
+		}
+	}
+	r.queue = queue
+}
+
+// scanMasked is the scan loop honoring the per-run edge/vertex masks.
+func (r *Runner) scanMasked(ep uint32) {
+	off, arcs := r.g.ArcData()
+	for head := 0; head < len(r.queue); head++ {
+		v := r.queue[head]
+		du := r.dist[v] + 1
+		for i, end := off[v], off[v+1]; i < end; i++ {
+			a := arcs[i]
+			if r.eOff[a.ID] == ep || r.vOff[a.To] == ep || r.dist[a.To] != Unreachable {
+				continue
+			}
+			r.dist[a.To] = du
+			r.parent[a.To] = v
+			r.queue = append(r.queue, a.To)
+		}
 	}
 }
 

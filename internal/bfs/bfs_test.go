@@ -75,17 +75,38 @@ func TestEccentricity(t *testing.T) {
 }
 
 func TestEpochWraparound(t *testing.T) {
-	g := gen.PathGraph(3)
+	g := gen.PathGraph(4)
 	r := NewRunner(g)
-	r.epoch = ^uint32(0)
 	e01, _ := g.EdgeID(0, 1)
-	r.Run(0, []int{e01}, nil) // wraps
-	if r.Dist(1) != Unreachable {
-		t.Fatalf("mask ignored after wrap: %d", r.Dist(1))
+	e12, _ := g.EdgeID(1, 2)
+
+	// Leave stale non-zero stamps in BOTH mask arrays, then force the next
+	// Run to wrap. The wrap path must clear the stale stamps: if it kept
+	// them, epoch 1 would spuriously re-disable edge e12 and vertex 3.
+	r.Run(0, []int{e12}, []int{3})
+	r.epoch = ^uint32(0)
+	r.Run(0, []int{e01}, nil) // wraps; only e01 may be masked
+	if r.epoch != 1 {
+		t.Fatalf("epoch after wrap = %d, want 1", r.epoch)
 	}
+	if r.Dist(1) != Unreachable {
+		t.Fatalf("mask ignored after wrap: dist(1) = %d", r.Dist(1))
+	}
+
+	// A wrap with NO masks must take the fast path with clean state too.
+	r.epoch = ^uint32(0)
 	r.Run(0, nil, nil)
-	if r.Dist(2) != 2 {
-		t.Fatalf("post-wrap run wrong: %d", r.Dist(2))
+	for v, want := range []int32{0, 1, 2, 3} {
+		if r.Dist(v) != want {
+			t.Fatalf("post-wrap unmasked dist(%d) = %d, want %d", v, r.Dist(v), want)
+		}
+	}
+
+	// Vertex masks still apply on the run that wraps.
+	r.epoch = ^uint32(0)
+	r.Run(0, nil, []int{2})
+	if r.Dist(1) != 1 || r.Dist(3) != Unreachable {
+		t.Fatalf("vertex mask after wrap: d1=%d d3=%d", r.Dist(1), r.Dist(3))
 	}
 }
 

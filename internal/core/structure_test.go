@@ -219,11 +219,12 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 }
 
 func TestDualOnDisconnectedGraph(t *testing.T) {
-	g := graph.New(6)
-	g.MustAddEdge(0, 1)
-	g.MustAddEdge(1, 2)
-	g.MustAddEdge(3, 4) // separate component
-	g.MustAddEdge(4, 5)
+	gb := graph.NewBuilder(6)
+	gb.MustAddEdge(0, 1)
+	gb.MustAddEdge(1, 2)
+	gb.MustAddEdge(3, 4) // separate component
+	gb.MustAddEdge(4, 5)
+	g := gb.Freeze()
 	st, err := BuildDual(g, 0, nil)
 	if err != nil {
 		t.Fatal(err)

@@ -79,10 +79,11 @@ func TestRoundTrip(t *testing.T) {
 }
 
 func TestWriteSubset(t *testing.T) {
-	g := graph.New(4)
-	a := g.MustAddEdge(0, 1)
-	g.MustAddEdge(1, 2)
-	c := g.MustAddEdge(2, 3)
+	gb := graph.NewBuilder(4)
+	a := gb.MustAddEdge(0, 1)
+	gb.MustAddEdge(1, 2)
+	c := gb.MustAddEdge(2, 3)
+	g := gb.Freeze()
 	keep := graph.NewEdgeSet(g.M())
 	keep.Add(a)
 	keep.Add(c)
@@ -96,5 +97,62 @@ func TestWriteSubset(t *testing.T) {
 	}
 	if back.N() != 4 || back.M() != 2 || back.HasEdge(1, 2) {
 		t.Fatalf("subset wrong: n=%d m=%d", back.N(), back.M())
+	}
+}
+
+func TestReadErrorLineNumbers(t *testing.T) {
+	cases := map[string]struct {
+		in   string
+		line string
+	}{
+		"self-loop":    {"0 1\n\n2 2\n", "line 3"},
+		"duplicate":    {"# header\n0 1\n1 0\n", "line 3"},
+		"out of range": {"n 2\n0 1\n0 5\n", "line 3"},
+		"malformed":    {"0 1\n0 1 2\n", "line 2"},
+	}
+	for name, c := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, err := Read(strings.NewReader(c.in))
+			if err == nil {
+				t.Fatalf("input %q accepted", c.in)
+			}
+			if !strings.Contains(err.Error(), c.line) {
+				t.Fatalf("error %q does not name %s", err, c.line)
+			}
+		})
+	}
+}
+
+func TestReadLenientSkipsAndCounts(t *testing.T) {
+	in := `n 4
+0 1
+1 1   # self-loop: skipped
+1 2
+2 1   # duplicate (reversed): skipped
+0 1   # duplicate: skipped
+2 3
+3 3   # self-loop: skipped
+`
+	g, stats, err := ReadLenient(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 3 {
+		t.Fatalf("n=%d m=%d, want 4/3", g.N(), g.M())
+	}
+	if stats.SelfLoops != 2 || stats.Duplicates != 2 || stats.Skipped() != 4 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}} {
+		if !g.HasEdge(e[0], e[1]) {
+			t.Fatalf("edge %v missing", e)
+		}
+	}
+}
+
+func TestReadLenientStillRejectsOutOfRange(t *testing.T) {
+	_, _, err := ReadLenient(strings.NewReader("n 2\n0 1\n0 9\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("out-of-range not rejected with position: %v", err)
 	}
 }

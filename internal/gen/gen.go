@@ -16,22 +16,22 @@ import (
 // permuted so the backbone is not axis-aligned with vertex IDs.
 func GNP(n int, p float64, seed int64) *graph.Graph {
 	rng := rand.New(rand.NewSource(seed))
-	g := graph.New(n)
+	b := graph.NewBuilder(n)
 	perm := rng.Perm(n)
 	for i := 0; i+1 < n; i++ {
-		g.MustAddEdge(perm[i], perm[i+1])
+		b.MustAddEdge(perm[i], perm[i+1])
 	}
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
-			if g.HasEdge(u, v) {
+			if b.HasEdge(u, v) {
 				continue
 			}
 			if rng.Float64() < p {
-				g.MustAddEdge(u, v)
+				b.MustAddEdge(u, v)
 			}
 		}
 	}
-	return g
+	return b.Freeze()
 }
 
 // SparseGNP returns G(n, c/n): constant expected average degree c, plus a
@@ -49,10 +49,10 @@ func SparseGNP(n int, avgDeg float64, seed int64) *graph.Graph {
 func RandomRegular(n, d int, seed int64) *graph.Graph {
 	rng := rand.New(rand.NewSource(seed))
 	const maxTries = 30
-	var best *graph.Graph
+	var best *graph.Builder
 	bestLeft := 1 << 30
 	for try := 0; try < maxTries; try++ {
-		g := graph.New(n)
+		g := graph.NewBuilder(n)
 		stubs := make([]int, 0, n*d)
 		for v := 0; v < n; v++ {
 			for i := 0; i < d; i++ {
@@ -76,7 +76,7 @@ func RandomRegular(n, d int, seed int64) *graph.Graph {
 			stubs = leftover
 		}
 		if len(stubs) == 0 && g.ConnectedFrom(0) {
-			return g
+			return g.Freeze()
 		}
 		if len(stubs) < bestLeft {
 			best, bestLeft = g, len(stubs)
@@ -85,12 +85,12 @@ func RandomRegular(n, d int, seed int64) *graph.Graph {
 	if !best.ConnectedFrom(0) {
 		connect(best, rng)
 	}
-	return best
+	return best.Freeze()
 }
 
-// connect splices a random spanning backbone into g in-place, adding only
+// connect splices a random spanning backbone into the builder, adding only
 // missing edges.
-func connect(g *graph.Graph, rng *rand.Rand) {
+func connect(g *graph.Builder, rng *rand.Rand) {
 	n := g.N()
 	perm := rng.Perm(n)
 	for i := 0; i+1 < n; i++ {
@@ -102,7 +102,7 @@ func connect(g *graph.Graph, rng *rand.Rand) {
 
 // Grid returns the rows×cols grid graph. Vertex (r, c) has ID r*cols + c.
 func Grid(rows, cols int) *graph.Graph {
-	g := graph.New(rows * cols)
+	g := graph.NewBuilder(rows * cols)
 	id := func(r, c int) int { return r*cols + c }
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
@@ -114,54 +114,58 @@ func Grid(rows, cols int) *graph.Graph {
 			}
 		}
 	}
-	return g
+	return g.Freeze()
 }
 
 // PathGraph returns the path 0-1-...-(n-1).
 func PathGraph(n int) *graph.Graph {
-	g := graph.New(n)
+	return pathBuilder(n).Freeze()
+}
+
+func pathBuilder(n int) *graph.Builder {
+	b := graph.NewBuilder(n)
 	for i := 0; i+1 < n; i++ {
-		g.MustAddEdge(i, i+1)
+		b.MustAddEdge(i, i+1)
 	}
-	return g
+	return b
 }
 
 // Cycle returns the n-cycle (n ≥ 3).
 func Cycle(n int) *graph.Graph {
-	g := PathGraph(n)
+	b := pathBuilder(n)
 	if n >= 3 {
-		g.MustAddEdge(n-1, 0)
+		b.MustAddEdge(n-1, 0)
 	}
-	return g
+	return b.Freeze()
 }
 
 // CompleteBipartite returns K_{a,b}: vertices 0..a-1 on one side,
 // a..a+b-1 on the other.
 func CompleteBipartite(a, b int) *graph.Graph {
-	g := graph.New(a + b)
+	g := graph.NewBuilder(a + b)
 	for u := 0; u < a; u++ {
 		for v := 0; v < b; v++ {
 			g.MustAddEdge(u, a+v)
 		}
 	}
-	return g
+	return g.Freeze()
 }
 
 // Complete returns K_n.
 func Complete(n int) *graph.Graph {
-	g := graph.New(n)
+	g := graph.NewBuilder(n)
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
 			g.MustAddEdge(u, v)
 		}
 	}
-	return g
+	return g.Freeze()
 }
 
 // Hypercube returns the dim-dimensional hypercube on 2^dim vertices.
 func Hypercube(dim int) *graph.Graph {
 	n := 1 << dim
-	g := graph.New(n)
+	g := graph.NewBuilder(n)
 	for v := 0; v < n; v++ {
 		for b := 0; b < dim; b++ {
 			u := v ^ (1 << b)
@@ -170,7 +174,7 @@ func Hypercube(dim int) *graph.Graph {
 			}
 		}
 	}
-	return g
+	return g.Freeze()
 }
 
 // Layered returns a graph of `layers` layers of `width` vertices each, with
@@ -180,7 +184,7 @@ func Hypercube(dim int) *graph.Graph {
 // vertex is typically placed at layer 0.
 func Layered(width, layers int, density float64, seed int64) *graph.Graph {
 	rng := rand.New(rand.NewSource(seed))
-	g := graph.New(width * layers)
+	g := graph.NewBuilder(width * layers)
 	id := func(l, i int) int { return l*width + i }
 	for l := 0; l+1 < layers; l++ {
 		perm := rng.Perm(width)
@@ -202,7 +206,7 @@ func Layered(width, layers int, density float64, seed int64) *graph.Graph {
 	for i := 0; i+1 < width; i++ {
 		g.MustAddEdge(id(0, i), id(0, i+1))
 	}
-	return g
+	return g.Freeze()
 }
 
 // TreePlusChords returns a random tree (random attachment) with `chords`
@@ -210,7 +214,7 @@ func Layered(width, layers int, density float64, seed int64) *graph.Graph {
 // the optimal FT-BFS is near-linear.
 func TreePlusChords(n, chords int, seed int64) *graph.Graph {
 	rng := rand.New(rand.NewSource(seed))
-	g := graph.New(n)
+	g := graph.NewBuilder(n)
 	for v := 1; v < n; v++ {
 		g.MustAddEdge(v, rng.Intn(v))
 	}
@@ -223,7 +227,7 @@ func TreePlusChords(n, chords int, seed int64) *graph.Graph {
 		g.MustAddEdge(u, v)
 		added++
 	}
-	return g
+	return g.Freeze()
 }
 
 // Family is a named graph generator taking (n, seed), used by sweeps.

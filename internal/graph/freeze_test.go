@@ -1,0 +1,165 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refGraph is a deliberately naive reference implementation of the old
+// mutable representation: a global edge-index map plus per-vertex adjacency
+// slices appended to in insertion order. The frozen CSR Graph must be
+// observationally identical to it.
+type refGraph struct {
+	n     int
+	edges []Edge
+	adj   [][]Arc
+	index map[Edge]int
+}
+
+func newRefGraph(n int) *refGraph {
+	return &refGraph{n: n, adj: make([][]Arc, n), index: make(map[Edge]int)}
+}
+
+func (r *refGraph) add(u, v int) (int, bool) {
+	if u < 0 || u >= r.n || v < 0 || v >= r.n || u == v {
+		return -1, false
+	}
+	e := Edge{U: u, V: v}.Normalize()
+	if _, dup := r.index[e]; dup {
+		return -1, false
+	}
+	id := len(r.edges)
+	r.edges = append(r.edges, e)
+	r.index[e] = id
+	r.adj[u] = append(r.adj[u], Arc{To: int32(v), ID: int32(id)})
+	r.adj[v] = append(r.adj[v], Arc{To: int32(u), ID: int32(id)})
+	return id, true
+}
+
+// checkEquivalent asserts that g is observationally identical to the
+// reference: sizes, per-ID endpoints, insertion-order adjacency, degree, and
+// EdgeID/HasEdge over every vertex pair.
+func checkEquivalent(t *testing.T, ref *refGraph, g *Graph) {
+	t.Helper()
+	if g.N() != ref.n || g.M() != len(ref.edges) {
+		t.Fatalf("size mismatch: got %d/%d want %d/%d", g.N(), g.M(), ref.n, len(ref.edges))
+	}
+	for id, e := range ref.edges {
+		if g.EdgeAt(id) != e {
+			t.Fatalf("EdgeAt(%d) = %v, want %v", id, g.EdgeAt(id), e)
+		}
+	}
+	for v := 0; v < ref.n; v++ {
+		if g.Degree(v) != len(ref.adj[v]) {
+			t.Fatalf("Degree(%d) = %d, want %d", v, g.Degree(v), len(ref.adj[v]))
+		}
+		arcs := g.Arcs(v)
+		for i, want := range ref.adj[v] {
+			if arcs[i] != want {
+				t.Fatalf("Arcs(%d)[%d] = %v, want %v (insertion order)", v, i, arcs[i], want)
+			}
+		}
+		// ForNeighbors shim agrees with Arcs.
+		i := 0
+		g.ForNeighbors(v, func(w, eid int) bool {
+			if int32(w) != arcs[i].To || int32(eid) != arcs[i].ID {
+				t.Fatalf("ForNeighbors(%d) step %d = (%d,%d), want %v", v, i, w, eid, arcs[i])
+			}
+			i++
+			return true
+		})
+		if i != len(arcs) {
+			t.Fatalf("ForNeighbors(%d) visited %d of %d arcs", v, i, len(arcs))
+		}
+	}
+	for u := 0; u < ref.n; u++ {
+		for v := 0; v < ref.n; v++ {
+			wantID, want := ref.index[Edge{U: u, V: v}.Normalize()]
+			if u == v {
+				want = false
+			}
+			gotID, got := g.EdgeID(u, v)
+			if got != want || (got && gotID != wantID) {
+				t.Fatalf("EdgeID(%d,%d) = %d,%v want %d,%v", u, v, gotID, got, wantID, want)
+			}
+			if g.HasEdge(u, v) != want {
+				t.Fatalf("HasEdge(%d,%d) = %v, want %v", u, v, !want, want)
+			}
+		}
+	}
+}
+
+// buildBoth replays one pseudo-random edge sequence through the Builder and
+// the reference side by side, asserting they accept/reject and number edges
+// identically, and returns both.
+func buildBoth(t *testing.T, n int, seq []uint32) (*refGraph, *Graph) {
+	t.Helper()
+	ref := newRefGraph(n)
+	b := NewBuilder(n)
+	for _, x := range seq {
+		// Decode endpoints slightly out of range so rejection paths are
+		// exercised too.
+		u := int(x%uint32(n+2)) - 1
+		v := int((x/uint32(n+2))%uint32(n+2)) - 1
+		wantID, want := ref.add(u, v)
+		gotID, err := b.AddEdge(u, v)
+		if want != (err == nil) || (want && gotID != wantID) {
+			t.Fatalf("AddEdge(%d,%d) = %d,%v; reference %d,%v", u, v, gotID, err, wantID, want)
+		}
+	}
+	return ref, b.Freeze()
+}
+
+// TestFreezeEquivalenceRandom is the randomized property test for the
+// Builder/Freeze split: random graphs built through the insertion API come
+// out of Freeze observationally identical to the map-plus-adjacency-slices
+// reference (N/M, edge IDs, insertion-order iteration, EdgeID lookups).
+func TestFreezeEquivalenceRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		seq := make([]uint32, rng.Intn(4*n))
+		for i := range seq {
+			seq[i] = rng.Uint32()
+		}
+		ref, g := buildBoth(t, n, seq)
+		checkEquivalent(t, ref, g)
+		// Subgraph of a random half keeps renumbering consistent with a
+		// reference rebuilt from the kept edges in ID order.
+		keep := NewEdgeSet(g.M())
+		for id := 0; id < g.M(); id++ {
+			if rng.Intn(2) == 0 {
+				keep.Add(id)
+			}
+		}
+		subRef := newRefGraph(n)
+		keep.ForEach(func(id int) {
+			e := ref.edges[id]
+			subRef.add(e.U, e.V)
+		})
+		checkEquivalent(t, subRef, g.Subgraph(keep))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzBuilderFreeze feeds arbitrary byte strings as edge sequences; the
+// fuzzer hunts for any divergence between the frozen CSR form and the
+// reference implementation.
+func FuzzBuilderFreeze(f *testing.F) {
+	f.Add(uint8(4), []byte{0x01, 0x12, 0x23, 0x03})
+	f.Add(uint8(9), []byte{0x10, 0x21, 0x32, 0x43, 0x54, 0x65, 0x76, 0x87, 0x18})
+	f.Add(uint8(1), []byte{})
+	f.Fuzz(func(t *testing.T, n uint8, data []byte) {
+		nn := 1 + int(n)%32
+		seq := make([]uint32, len(data))
+		for i, by := range data {
+			seq[i] = uint32(by) * 2654435761 // spread byte values over pairs
+		}
+		ref, g := buildBoth(t, nn, seq)
+		checkEquivalent(t, ref, g)
+	})
+}

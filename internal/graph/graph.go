@@ -1,15 +1,29 @@
 // Package graph provides the undirected simple graph substrate used by every
 // other package in this repository.
 //
-// Vertices are dense integers in [0, N). Every edge has a stable integer ID
-// in [0, M) assigned in insertion order; all higher-level machinery
-// (fault sets, structures, weight assignments) refers to edges by ID.
-// Iteration order over neighbors is insertion order and therefore
-// deterministic, which the canonical shortest-path machinery relies on.
+// The package is split into a mutable Builder (AddEdge with validation and
+// duplicate detection) and an immutable Graph in compressed-sparse-row form,
+// produced by Builder.Freeze. Vertices are dense integers in [0, N). Every
+// edge has a stable integer ID in [0, M) assigned in insertion order; all
+// higher-level machinery (fault sets, structures, weight assignments) refers
+// to edges by ID. Iteration order over neighbors is insertion order and
+// therefore deterministic, which the canonical shortest-path machinery
+// relies on.
+//
+// Hot paths (BFS, Dijkstra) iterate with Arcs, a direct slice of a frozen
+// flat arc array:
+//
+//	for _, a := range g.Arcs(v) {
+//	    ... a.To, a.ID ...
+//	}
+//
+// ForNeighbors remains as a closure-based compatibility shim for cold
+// callers.
 package graph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -45,33 +59,62 @@ func (e Edge) String() string {
 	return fmt.Sprintf("(%d,%d)", e.U, e.V)
 }
 
-// Graph is an undirected simple graph with stable edge IDs.
+// Arc is one direction of an edge inside the frozen adjacency array: the
+// neighbor it leads to and the ID of the undirected edge it belongs to.
+type Arc struct {
+	To int32 // neighbor vertex
+	ID int32 // edge ID
+}
+
+// Graph is an immutable undirected simple graph with stable edge IDs, laid
+// out in compressed-sparse-row form: one flat arc array indexed by per-vertex
+// offset spans, so traversals walk contiguous memory. Construct one with
+// Builder.Freeze (or Subgraph on an existing graph).
 //
-// The zero value is an empty graph with no vertices; use New to create a
-// graph with a fixed vertex count.
+// The zero value is an empty graph on zero vertices. A Graph is safe for
+// concurrent use.
 type Graph struct {
-	n     int
-	edges []Edge  // edge ID -> endpoints (normalized)
-	adj   [][]arc // adjacency lists, insertion order
-	index map[Edge]int32
+	n      int
+	edges  []Edge  // edge ID -> endpoints (normalized)
+	arcOff []int32 // len n+1; arcs of v are arcs[arcOff[v]:arcOff[v+1]]
+	arcs   []Arc   // len 2M, per-vertex spans in insertion order
+	sorted []Arc   // len 2M, per-vertex spans sorted by To (for EdgeID)
 }
 
-// arc is one direction of an edge inside an adjacency list.
-type arc struct {
-	to int32 // neighbor vertex
-	id int32 // edge ID
-}
-
-// New returns an empty graph on n vertices.
-func New(n int) *Graph {
-	if n < 0 {
-		n = 0
+// freeze builds the CSR representation from a finished edge list. The edge
+// list must be simple (normalized endpoints in range, no duplicates); the
+// Builder and Subgraph guarantee this. The Graph takes ownership of edges.
+func freeze(n int, edges []Edge) *Graph {
+	g := &Graph{
+		n:      n,
+		edges:  edges,
+		arcOff: make([]int32, n+1),
+		arcs:   make([]Arc, 2*len(edges)),
 	}
-	return &Graph{
-		n:     n,
-		adj:   make([][]arc, n),
-		index: make(map[Edge]int32),
+	for _, e := range edges {
+		g.arcOff[e.U+1]++
+		g.arcOff[e.V+1]++
 	}
+	for v := 0; v < n; v++ {
+		g.arcOff[v+1] += g.arcOff[v]
+	}
+	// Filling in edge-ID order makes every per-vertex span insertion-ordered,
+	// exactly the order repeated AddEdge appends produced.
+	cur := make([]int32, n)
+	copy(cur, g.arcOff[:n])
+	for id, e := range edges {
+		g.arcs[cur[e.U]] = Arc{To: int32(e.V), ID: int32(id)}
+		cur[e.U]++
+		g.arcs[cur[e.V]] = Arc{To: int32(e.U), ID: int32(id)}
+		cur[e.V]++
+	}
+	g.sorted = make([]Arc, len(g.arcs))
+	copy(g.sorted, g.arcs)
+	for v := 0; v < n; v++ {
+		span := g.sorted[g.arcOff[v]:g.arcOff[v+1]]
+		slices.SortFunc(span, func(a, b Arc) int { return int(a.To) - int(b.To) })
+	}
+	return g
 }
 
 // N returns the number of vertices.
@@ -80,61 +123,67 @@ func (g *Graph) N() int { return g.n }
 // M returns the number of edges.
 func (g *Graph) M() int { return len(g.edges) }
 
-// AddEdge inserts the undirected edge {u, v} and returns its ID.
-// It returns an error if either endpoint is out of range, u == v, or the
-// edge already exists.
-func (g *Graph) AddEdge(u, v int) (int, error) {
-	if u < 0 || u >= g.n || v < 0 || v >= g.n {
-		return -1, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.n)
-	}
-	if u == v {
-		return -1, fmt.Errorf("graph: self-loop at %d", u)
-	}
-	e := Edge{U: u, V: v}.Normalize()
-	if _, ok := g.index[e]; ok {
-		return -1, fmt.Errorf("graph: duplicate edge %v", e)
-	}
-	id := int32(len(g.edges))
-	g.edges = append(g.edges, e)
-	g.index[e] = id
-	g.adj[u] = append(g.adj[u], arc{to: int32(v), id: id})
-	g.adj[v] = append(g.adj[v], arc{to: int32(u), id: id})
-	return int(id), nil
+// Arcs returns the arcs incident to v in insertion order, as a direct view
+// of the frozen adjacency array. This is the hot-path iteration primitive;
+// callers must not modify the returned slice.
+func (g *Graph) Arcs(v int) []Arc {
+	return g.arcs[g.arcOff[v]:g.arcOff[v+1]]
 }
 
-// MustAddEdge is AddEdge for construction code with statically valid input;
-// it panics on error. Generators and tests use it; library code does not.
-func (g *Graph) MustAddEdge(u, v int) int {
-	id, err := g.AddEdge(u, v)
-	if err != nil {
-		panic(err)
-	}
-	return id
+// ArcData returns the raw CSR arrays: off has length N+1 and the arcs of
+// vertex v are arcs[off[v]:off[v+1]], in insertion order. Scan loops that
+// run per dequeued vertex (BFS, Dijkstra) use this to hoist the two slice
+// headers out of their hot loop; callers must not mutate either slice.
+func (g *Graph) ArcData() (off []int32, arcs []Arc) {
+	return g.arcOff, g.arcs
+}
+
+// Degree returns the number of edges incident to v.
+func (g *Graph) Degree(v int) int {
+	return int(g.arcOff[v+1] - g.arcOff[v])
 }
 
 // HasEdge reports whether the undirected edge {u, v} is present.
 func (g *Graph) HasEdge(u, v int) bool {
-	_, ok := g.index[Edge{U: u, V: v}.Normalize()]
+	_, ok := g.EdgeID(u, v)
 	return ok
 }
 
-// EdgeID returns the ID of edge {u, v} and whether it exists.
+// EdgeID returns the ID of edge {u, v} and whether it exists. The lookup is
+// a binary search over the sorted arc span of the lower-degree endpoint.
 func (g *Graph) EdgeID(u, v int) (int, bool) {
-	id, ok := g.index[Edge{U: u, V: v}.Normalize()]
-	return int(id), ok
+	if u < 0 || u >= g.n || v < 0 || v >= g.n || u == v {
+		return -1, false
+	}
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	span := g.sorted[g.arcOff[u]:g.arcOff[u+1]]
+	w := int32(v)
+	lo, hi := 0, len(span)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if span[mid].To < w {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(span) && span[lo].To == w {
+		return int(span[lo].ID), true
+	}
+	return -1, false
 }
 
 // EdgeAt returns the endpoints of the edge with the given ID.
 func (g *Graph) EdgeAt(id int) Edge { return g.edges[id] }
 
-// Degree returns the number of edges incident to v.
-func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
-
 // ForNeighbors calls fn(neighbor, edgeID) for every edge incident to v, in
-// insertion order. Iteration stops early if fn returns false.
+// insertion order. Iteration stops early if fn returns false. Compatibility
+// shim for cold callers; hot paths should range over Arcs directly.
 func (g *Graph) ForNeighbors(v int, fn func(w, edgeID int) bool) {
-	for _, a := range g.adj[v] {
-		if !fn(int(a.to), int(a.id)) {
+	for _, a := range g.Arcs(v) {
+		if !fn(int(a.To), int(a.ID)) {
 			return
 		}
 	}
@@ -142,18 +191,20 @@ func (g *Graph) ForNeighbors(v int, fn func(w, edgeID int) bool) {
 
 // Neighbors returns a fresh slice of the neighbors of v in insertion order.
 func (g *Graph) Neighbors(v int) []int {
-	out := make([]int, len(g.adj[v]))
-	for i, a := range g.adj[v] {
-		out[i] = int(a.to)
+	arcs := g.Arcs(v)
+	out := make([]int, len(arcs))
+	for i, a := range arcs {
+		out[i] = int(a.To)
 	}
 	return out
 }
 
 // IncidentEdges returns a fresh slice of the IDs of edges incident to v.
 func (g *Graph) IncidentEdges(v int) []int {
-	out := make([]int, len(g.adj[v]))
-	for i, a := range g.adj[v] {
-		out[i] = int(a.id)
+	arcs := g.Arcs(v)
+	out := make([]int, len(arcs))
+	for i, a := range arcs {
+		out[i] = int(a.ID)
 	}
 	return out
 }
@@ -165,33 +216,33 @@ func (g *Graph) Edges() []Edge {
 	return out
 }
 
-// Clone returns a deep copy of g preserving vertex numbering and edge IDs.
-func (g *Graph) Clone() *Graph {
-	c := New(g.n)
-	c.edges = make([]Edge, len(g.edges))
-	copy(c.edges, g.edges)
-	for v := range g.adj {
-		c.adj[v] = make([]arc, len(g.adj[v]))
-		copy(c.adj[v], g.adj[v])
-	}
-	for e, id := range g.index {
-		c.index[e] = id
-	}
-	return c
+// Subgraph returns a new graph on the same vertex set containing exactly the
+// edges of g whose ID is set in keep, built directly in CSR form. Edge IDs
+// are NOT preserved in the returned graph (they are renumbered densely in
+// increasing original-ID order); use SubgraphMapped when the old-to-new
+// translation is needed, or EdgeSet-based views when stable IDs are
+// required.
+func (g *Graph) Subgraph(keep *EdgeSet) *Graph {
+	sub := make([]Edge, 0, keep.Len())
+	keep.ForEach(func(id int) {
+		sub = append(sub, g.edges[id])
+	})
+	return freeze(g.n, sub)
 }
 
-// Subgraph returns a new graph on the same vertex set containing exactly the
-// edges of g whose ID is set in keep. Edge IDs are NOT preserved in the
-// returned graph (they are renumbered densely); use EdgeSet-based views when
-// stable IDs are required.
-func (g *Graph) Subgraph(keep *EdgeSet) *Graph {
-	sub := New(g.n)
-	for id, e := range g.edges {
-		if keep.Has(id) {
-			sub.MustAddEdge(e.U, e.V)
-		}
+// SubgraphMapped is Subgraph plus the edge-ID translation it implies:
+// gToSub[id] is the new ID of g's edge id, or -1 when keep omits it.
+func (g *Graph) SubgraphMapped(keep *EdgeSet) (sub *Graph, gToSub []int32) {
+	gToSub = make([]int32, len(g.edges))
+	for i := range gToSub {
+		gToSub[i] = -1
 	}
-	return sub
+	kept := make([]Edge, 0, keep.Len())
+	keep.ForEach(func(id int) {
+		gToSub[id] = int32(len(kept))
+		kept = append(kept, g.edges[id])
+	})
+	return freeze(g.n, kept), gToSub
 }
 
 // ConnectedFrom reports whether every vertex is reachable from src.
@@ -200,18 +251,18 @@ func (g *Graph) ConnectedFrom(src int) bool {
 		return true
 	}
 	seen := make([]bool, g.n)
-	stack := make([]int, 0, g.n)
+	stack := make([]int32, 0, g.n)
 	seen[src] = true
-	stack = append(stack, src)
+	stack = append(stack, int32(src))
 	count := 1
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, a := range g.adj[v] {
-			if !seen[a.to] {
-				seen[a.to] = true
+		for _, a := range g.Arcs(int(v)) {
+			if !seen[a.To] {
+				seen[a.To] = true
 				count++
-				stack = append(stack, int(a.to))
+				stack = append(stack, a.To)
 			}
 		}
 	}
@@ -222,7 +273,7 @@ func (g *Graph) ConnectedFrom(src int) bool {
 func (g *Graph) DegreeHistogram() map[int]int {
 	h := make(map[int]int)
 	for v := 0; v < g.n; v++ {
-		h[len(g.adj[v])]++
+		h[g.Degree(v)]++
 	}
 	return h
 }

@@ -6,17 +6,24 @@ import (
 	"testing/quick"
 )
 
-func TestAddEdgeBasics(t *testing.T) {
-	g := New(4)
-	if g.N() != 4 || g.M() != 0 {
-		t.Fatalf("fresh graph: N=%d M=%d", g.N(), g.M())
+func TestBuilderAddEdgeBasics(t *testing.T) {
+	b := NewBuilder(4)
+	if b.N() != 4 || b.M() != 0 {
+		t.Fatalf("fresh builder: N=%d M=%d", b.N(), b.M())
 	}
-	id, err := g.AddEdge(2, 0)
+	id, err := b.AddEdge(2, 0)
 	if err != nil {
 		t.Fatalf("AddEdge: %v", err)
 	}
 	if id != 0 {
 		t.Fatalf("first edge ID = %d, want 0", id)
+	}
+	if !b.HasEdge(0, 2) || !b.HasEdge(2, 0) {
+		t.Fatalf("builder HasEdge should be orientation-insensitive")
+	}
+	g := b.Freeze()
+	if g.N() != 4 || g.M() != 1 {
+		t.Fatalf("frozen: N=%d M=%d", g.N(), g.M())
 	}
 	if !g.HasEdge(0, 2) || !g.HasEdge(2, 0) {
 		t.Fatalf("HasEdge should be orientation-insensitive")
@@ -29,8 +36,8 @@ func TestAddEdgeBasics(t *testing.T) {
 	}
 }
 
-func TestAddEdgeErrors(t *testing.T) {
-	g := New(3)
+func TestBuilderAddEdgeErrors(t *testing.T) {
+	b := NewBuilder(3)
 	cases := []struct {
 		name string
 		u, v int
@@ -41,15 +48,15 @@ func TestAddEdgeErrors(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			if _, err := g.AddEdge(c.u, c.v); err == nil {
+			if _, err := b.AddEdge(c.u, c.v); err == nil {
 				t.Fatalf("AddEdge(%d,%d) succeeded, want error", c.u, c.v)
 			}
 		})
 	}
-	if _, err := g.AddEdge(0, 1); err != nil {
+	if _, err := b.AddEdge(0, 1); err != nil {
 		t.Fatalf("valid AddEdge: %v", err)
 	}
-	if _, err := g.AddEdge(1, 0); err == nil {
+	if _, err := b.AddEdge(1, 0); err == nil {
 		t.Fatalf("duplicate edge accepted")
 	}
 }
@@ -68,10 +75,11 @@ func TestEdgeNormalizeAndOther(t *testing.T) {
 }
 
 func TestNeighborsOrderDeterministic(t *testing.T) {
-	g := New(5)
-	g.MustAddEdge(0, 3)
-	g.MustAddEdge(0, 1)
-	g.MustAddEdge(0, 4)
+	b := NewBuilder(5)
+	b.MustAddEdge(0, 3)
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(0, 4)
+	g := b.Freeze()
 	want := []int{3, 1, 4}
 	got := g.Neighbors(0)
 	if len(got) != len(want) {
@@ -82,13 +90,21 @@ func TestNeighborsOrderDeterministic(t *testing.T) {
 			t.Fatalf("Neighbors order = %v, want %v (insertion order)", got, want)
 		}
 	}
+	// Arcs exposes the same span with edge IDs attached.
+	arcs := g.Arcs(0)
+	for i := range want {
+		if int(arcs[i].To) != want[i] || int(arcs[i].ID) != i {
+			t.Fatalf("Arcs(0) = %v", arcs)
+		}
+	}
 }
 
 func TestForNeighborsEarlyStop(t *testing.T) {
-	g := New(4)
-	g.MustAddEdge(0, 1)
-	g.MustAddEdge(0, 2)
-	g.MustAddEdge(0, 3)
+	b := NewBuilder(4)
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(0, 2)
+	b.MustAddEdge(0, 3)
+	g := b.Freeze()
 	calls := 0
 	g.ForNeighbors(0, func(w, id int) bool {
 		calls++
@@ -99,29 +115,34 @@ func TestForNeighborsEarlyStop(t *testing.T) {
 	}
 }
 
-func TestCloneIndependence(t *testing.T) {
-	g := New(4)
-	g.MustAddEdge(0, 1)
-	g.MustAddEdge(1, 2)
-	c := g.Clone()
-	c.MustAddEdge(2, 3)
-	if g.M() != 2 || c.M() != 3 {
-		t.Fatalf("clone not independent: g.M=%d c.M=%d", g.M(), c.M())
+func TestFreezeIndependence(t *testing.T) {
+	b := NewBuilder(4)
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(1, 2)
+	g := b.Freeze()
+	b.MustAddEdge(2, 3) // builder stays usable; frozen graph unaffected
+	if g.M() != 2 || b.M() != 3 {
+		t.Fatalf("freeze not independent: g.M=%d b.M=%d", g.M(), b.M())
 	}
-	if !c.HasEdge(0, 1) || !c.HasEdge(1, 2) {
-		t.Fatalf("clone missing original edges")
+	if g.HasEdge(2, 3) {
+		t.Fatalf("frozen graph sees later edge")
 	}
-	// Edge IDs preserved.
-	if id, _ := c.EdgeID(1, 2); id != 1 {
-		t.Fatalf("clone edge ID changed: %d", id)
+	g2 := b.Freeze()
+	if g2.M() != 3 || !g2.HasEdge(2, 3) {
+		t.Fatalf("second freeze wrong: M=%d", g2.M())
+	}
+	// Edge IDs preserved across freezes.
+	if id, _ := g2.EdgeID(1, 2); id != 1 {
+		t.Fatalf("edge ID changed: %d", id)
 	}
 }
 
 func TestSubgraph(t *testing.T) {
-	g := New(4)
-	a := g.MustAddEdge(0, 1)
-	g.MustAddEdge(1, 2)
-	c := g.MustAddEdge(2, 3)
+	b := NewBuilder(4)
+	a := b.MustAddEdge(0, 1)
+	b.MustAddEdge(1, 2)
+	c := b.MustAddEdge(2, 3)
+	g := b.Freeze()
 	keep := NewEdgeSet(g.M())
 	keep.Add(a)
 	keep.Add(c)
@@ -131,41 +152,84 @@ func TestSubgraph(t *testing.T) {
 	}
 }
 
+func TestSubgraphMapped(t *testing.T) {
+	b := NewBuilder(5)
+	b.MustAddEdge(0, 1) // 0
+	b.MustAddEdge(1, 2) // 1
+	b.MustAddEdge(2, 3) // 2
+	b.MustAddEdge(3, 4) // 3
+	g := b.Freeze()
+	keep := NewEdgeSet(g.M())
+	keep.Add(1)
+	keep.Add(3)
+	sub, gToSub := g.SubgraphMapped(keep)
+	if sub.M() != 2 {
+		t.Fatalf("sub.M = %d", sub.M())
+	}
+	want := []int32{-1, 0, -1, 1}
+	for id, w := range want {
+		if gToSub[id] != w {
+			t.Fatalf("gToSub = %v, want %v", gToSub, want)
+		}
+	}
+	// Renumbering is by increasing original ID, endpoints preserved.
+	if e := sub.EdgeAt(0); e != (Edge{U: 1, V: 2}) {
+		t.Fatalf("sub edge 0 = %v", e)
+	}
+	if e := sub.EdgeAt(1); e != (Edge{U: 3, V: 4}) {
+		t.Fatalf("sub edge 1 = %v", e)
+	}
+}
+
 func TestConnectedFrom(t *testing.T) {
-	g := New(4)
-	g.MustAddEdge(0, 1)
-	g.MustAddEdge(1, 2)
-	if g.ConnectedFrom(0) {
+	b := NewBuilder(4)
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(1, 2)
+	if b.ConnectedFrom(0) || b.Freeze().ConnectedFrom(0) {
 		t.Fatalf("vertex 3 isolated but reported connected")
 	}
-	g.MustAddEdge(2, 3)
-	if !g.ConnectedFrom(0) {
+	b.MustAddEdge(2, 3)
+	if !b.ConnectedFrom(0) || !b.Freeze().ConnectedFrom(0) {
 		t.Fatalf("path graph reported disconnected")
 	}
 }
 
 func TestDegreeHistogram(t *testing.T) {
-	g := New(4)
-	g.MustAddEdge(0, 1)
-	g.MustAddEdge(0, 2)
-	g.MustAddEdge(0, 3)
-	h := g.DegreeHistogram()
+	b := NewBuilder(4)
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(0, 2)
+	b.MustAddEdge(0, 3)
+	h := b.Freeze().DegreeHistogram()
 	if h[3] != 1 || h[1] != 3 {
 		t.Fatalf("star histogram = %v", h)
 	}
 }
 
 func TestSortedEdges(t *testing.T) {
-	g := New(4)
-	g.MustAddEdge(2, 3)
-	g.MustAddEdge(0, 1)
-	g.MustAddEdge(0, 3)
-	es := g.SortedEdges()
+	b := NewBuilder(4)
+	b.MustAddEdge(2, 3)
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(0, 3)
+	es := b.Freeze().SortedEdges()
 	want := []Edge{{0, 1}, {0, 3}, {2, 3}}
 	for i := range want {
 		if es[i] != want[i] {
 			t.Fatalf("SortedEdges = %v", es)
 		}
+	}
+}
+
+func TestEmptyGraphs(t *testing.T) {
+	g := NewBuilder(0).Freeze()
+	if g.N() != 0 || g.M() != 0 || !g.ConnectedFrom(0) {
+		t.Fatalf("empty graph wrong")
+	}
+	g = NewBuilder(3).Freeze() // vertices, no edges
+	if g.Degree(1) != 0 || len(g.Arcs(1)) != 0 || g.HasEdge(0, 1) {
+		t.Fatalf("edgeless graph wrong")
+	}
+	if _, ok := g.EdgeID(0, 5); ok {
+		t.Fatalf("out-of-range EdgeID should miss")
 	}
 }
 
@@ -268,61 +332,6 @@ func TestEdgeSetQuickAgainstMap(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
-		t.Fatal(err)
-	}
-}
-
-// Property: AddEdge/HasEdge/EdgeID stay mutually consistent on random simple
-// graphs.
-func TestGraphQuickConsistency(t *testing.T) {
-	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
-		n := 2 + rng.Intn(30)
-		g := New(n)
-		type pair struct{ u, v int }
-		added := make(map[pair]int)
-		for tries := 0; tries < 3*n; tries++ {
-			u, v := rng.Intn(n), rng.Intn(n)
-			if u == v {
-				continue
-			}
-			p := pair{u, v}
-			if u > v {
-				p = pair{v, u}
-			}
-			id, err := g.AddEdge(u, v)
-			if _, dup := added[p]; dup {
-				if err == nil {
-					return false // duplicate must fail
-				}
-				continue
-			}
-			if err != nil {
-				return false
-			}
-			added[p] = id
-		}
-		if g.M() != len(added) {
-			return false
-		}
-		for p, id := range added {
-			got, ok := g.EdgeID(p.u, p.v)
-			if !ok || got != id {
-				return false
-			}
-			e := g.EdgeAt(id)
-			if e.U != p.u || e.V != p.v {
-				return false
-			}
-		}
-		// Degree sums to 2M.
-		total := 0
-		for v := 0; v < n; v++ {
-			total += g.Degree(v)
-		}
-		return total == 2*g.M()
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
 	}
 }

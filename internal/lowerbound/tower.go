@@ -76,13 +76,13 @@ func (b *builder) pathFrom(u, length int) int {
 }
 
 func (b *builder) graph() (*graph.Graph, error) {
-	g := graph.New(b.n)
+	gb := graph.NewBuilder(b.n)
 	for _, e := range b.edges {
-		if _, err := g.AddEdge(e[0], e[1]); err != nil {
+		if _, err := gb.AddEdge(e[0], e[1]); err != nil {
 			return nil, fmt.Errorf("lowerbound: %w", err)
 		}
 	}
-	return g, nil
+	return gb.Freeze(), nil
 }
 
 // q1Len is the length of the level-1 pendant path Q^1_i (1-based i).

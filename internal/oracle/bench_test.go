@@ -140,3 +140,44 @@ func BenchmarkOracleVsFullGraphBFS(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkOracleQueryUncached measures the unmemoized path — every query
+// pays canonicalization, fault translation and one BFS over the structure's
+// CSR subgraph (cache disabled). This is the floor the LRU saves against,
+// and the path batch queries hit on every distinct failure event.
+func BenchmarkOracleQueryUncached(b *testing.B) {
+	g := gen.SparseGNP(400, 8, 1)
+	st, err := core.BuildSingle(g, 0, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	set, err := NewSetCapacity(st, 0) // no memo
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := set.Handle()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.Dists(0, []int{i % g.M()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOracleSetBuild measures NewSet itself: materializing H as its
+// own graph plus the G→H edge map.
+func BenchmarkOracleSetBuild(b *testing.B) {
+	g := gen.SparseGNP(400, 8, 1)
+	st, err := core.BuildSingle(g, 0, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewSet(st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

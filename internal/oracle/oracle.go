@@ -68,27 +68,12 @@ func NewSetSharded(st *core.Structure, cacheEntries, shards int) (*OracleSet, er
 		return nil, fmt.Errorf("oracle: structure has no sources")
 	}
 	s := &OracleSet{
-		st:     st,
-		sub:    graph.New(st.G.N()),
-		gToSub: make([]int32, st.G.M()),
-		cache:  newShardedCache(cacheEntries, shards),
+		st:    st,
+		cache: newShardedCache(cacheEntries, shards),
 	}
-	for id := range s.gToSub {
-		s.gToSub[id] = -1
-	}
-	var err error
-	st.Edges.ForEach(func(id int) {
-		if err != nil {
-			return
-		}
-		e := st.G.EdgeAt(id)
-		var subID int
-		subID, err = s.sub.AddEdge(e.U, e.V)
-		s.gToSub[id] = int32(subID)
-	})
-	if err != nil {
-		return nil, fmt.Errorf("oracle: %w", err)
-	}
+	// Materialize H directly in CSR form; sub edge IDs are assigned in
+	// increasing G-edge-ID order, no per-edge hashing involved.
+	s.sub, s.gToSub = st.G.SubgraphMapped(st.Edges)
 	s.pool.New = func() any { return s.Handle() }
 	return s, nil
 }

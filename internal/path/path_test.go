@@ -92,10 +92,11 @@ func TestEdgesContains(t *testing.T) {
 }
 
 func TestContainsAnyEdgeIDAndValidIn(t *testing.T) {
-	g := graph.New(4)
-	e01 := g.MustAddEdge(0, 1)
-	g.MustAddEdge(1, 2)
-	e23 := g.MustAddEdge(2, 3)
+	gb := graph.NewBuilder(4)
+	e01 := gb.MustAddEdge(0, 1)
+	gb.MustAddEdge(1, 2)
+	e23 := gb.MustAddEdge(2, 3)
+	g := gb.Freeze()
 	p := Path{0, 1, 2}
 	if !p.ValidIn(g) {
 		t.Fatalf("valid path misreported")

@@ -60,9 +60,10 @@ func TestTreeBasics(t *testing.T) {
 }
 
 func TestBuildTargetNilCases(t *testing.T) {
-	g := graph.New(4)
-	g.MustAddEdge(0, 1)
-	g.MustAddEdge(2, 3)
+	gb := graph.NewBuilder(4)
+	gb.MustAddEdge(0, 1)
+	gb.MustAddEdge(2, 3)
+	g := gb.Freeze()
 	eng := newEngine(t, g, 0, 1)
 	if eng.BuildTarget(0, false) != nil {
 		t.Fatal("source target should be nil")

@@ -406,12 +406,11 @@ func (e *Engine) step3(tr *TargetResult, inH map[int]bool, collect bool) {
 // NOT in the current structure (realizing the graph G_τ(v)).
 func (e *Engine) disabledNonHEdges(v int, inH map[int]bool, extra []int) []int {
 	e.disabledE = e.disabledE[:0]
-	e.g.ForNeighbors(v, func(_, id int) bool {
-		if !inH[id] {
-			e.disabledE = append(e.disabledE, id)
+	for _, a := range e.g.Arcs(v) {
+		if !inH[int(a.ID)] {
+			e.disabledE = append(e.disabledE, int(a.ID))
 		}
-		return true
-	})
+	}
 	e.disabledE = append(e.disabledE, extra...)
 	return e.disabledE
 }

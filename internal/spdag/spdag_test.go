@@ -43,8 +43,9 @@ func TestCountPathsUnderFaults(t *testing.T) {
 }
 
 func TestCountPathsUnreachable(t *testing.T) {
-	g := graph.New(3)
-	g.MustAddEdge(0, 1)
+	gb := graph.NewBuilder(3)
+	gb.MustAddEdge(0, 1)
+	g := gb.Freeze()
 	d := New(g, 0, nil)
 	if d.CountPaths(2) != 0 {
 		t.Fatalf("unreachable should count 0")
@@ -93,12 +94,13 @@ func TestAllPathsCap(t *testing.T) {
 func TestEarliestDivergence(t *testing.T) {
 	// Diamond with a pendant: ref path 0-1-3; alternative 0-2-3 diverges
 	// at position 0.
-	g := graph.New(5)
-	g.MustAddEdge(0, 1)
-	g.MustAddEdge(0, 2)
-	g.MustAddEdge(1, 3)
-	g.MustAddEdge(2, 3)
-	g.MustAddEdge(3, 4)
+	gb := graph.NewBuilder(5)
+	gb.MustAddEdge(0, 1)
+	gb.MustAddEdge(0, 2)
+	gb.MustAddEdge(1, 3)
+	gb.MustAddEdge(2, 3)
+	gb.MustAddEdge(3, 4)
+	g := gb.Freeze()
 	d := New(g, 0, nil)
 	ref := path.Path{0, 1, 3, 4}
 	div, ok := d.EarliestDivergence(3, ref)
@@ -111,7 +113,7 @@ func TestEarliestDivergence(t *testing.T) {
 		t.Fatalf("divergence to 4 = %d,%v", div, ok)
 	}
 	// Unreachable target.
-	g2 := graph.New(2)
+	g2 := graph.NewBuilder(2).Freeze()
 	d2 := New(g2, 0, nil)
 	if _, ok := d2.EarliestDivergence(1, path.Path{0}); ok {
 		t.Fatal("unreachable should report !ok")

@@ -24,6 +24,7 @@ func ftbfsParallel(g *graph.Graph, offH []int, sources []int, f int, opts *Optio
 	}
 	maxV := opts.maxViol()
 	workers := opts.workers()
+	hv := newHView(g, offH) // immutable; shared across workers
 
 	type local struct {
 		violations []Violation
@@ -33,16 +34,12 @@ func ftbfsParallel(g *graph.Graph, offH []int, sources []int, f int, opts *Optio
 
 	runRange := func(s int, prune bool, wi int, loc *local) {
 		rg := bfs.NewRunner(g)
-		rh := bfs.NewRunner(g)
-		all := make([]int, 0, len(offH)+3)
+		rh := hv.newRunner()
 		check := func(faults []int) {
-			all = all[:0]
-			all = append(all, offH...)
-			all = append(all, faults...)
 			rg.Run(s, faults, nil)
-			rh.Run(s, all, nil)
+			dh := rh.run(s, faults)
 			loc.checked++
-			dg, dh := rg.Dists(), rh.Dists()
+			dg := rg.Dists()
 			for v := 0; v < g.N(); v++ {
 				if dg[v] != dh[v] && len(loc.violations) < maxV {
 					loc.violations = append(loc.violations, Violation{
@@ -98,11 +95,11 @@ func ftbfsParallel(g *graph.Graph, offH []int, sources []int, f int, opts *Optio
 		base := &local{}
 		func() {
 			rg := bfs.NewRunner(g)
-			rh := bfs.NewRunner(g)
+			rh := hv.newRunner()
 			rg.Run(s, nil, nil)
-			rh.Run(s, offH, nil)
+			dh := rh.run(s, nil)
 			base.checked++
-			dg, dh := rg.Dists(), rh.Dists()
+			dg := rg.Dists()
 			for v := 0; v < g.N(); v++ {
 				if dg[v] != dh[v] && len(base.violations) < maxV {
 					base.violations = append(base.violations, Violation{

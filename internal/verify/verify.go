@@ -84,6 +84,53 @@ type structureEdges interface {
 	DisabledEdges() []int
 }
 
+// hView is the H side of every comparison, materialized once: instead of
+// re-stamping the |E(G)| - |H| disabled edges into a mask for every single
+// fault set, H is frozen into its own CSR subgraph (vertex IDs preserved,
+// edge IDs renumbered) and per-check faults are translated through the
+// G→H edge map, exactly as the query oracle does. Fault edges outside H
+// translate to nothing — removing an absent edge is a no-op.
+type hView struct {
+	sub    *graph.Graph
+	gToSub []int32
+}
+
+func newHView(g *graph.Graph, offH []int) *hView {
+	keep := graph.NewEdgeSet(g.M())
+	for id := 0; id < g.M(); id++ {
+		keep.Add(id)
+	}
+	for _, id := range offH {
+		keep.Remove(id)
+	}
+	sub, gToSub := g.SubgraphMapped(keep)
+	return &hView{sub: sub, gToSub: gToSub}
+}
+
+// hRunner is a per-goroutine scratch over a shared hView.
+type hRunner struct {
+	view    *hView
+	runner  *bfs.Runner
+	scratch []int
+}
+
+func (h *hView) newRunner() *hRunner {
+	return &hRunner{view: h, runner: bfs.NewRunner(h.sub)}
+}
+
+// run executes the H-side BFS for one fault set (G edge IDs) and returns
+// the H distance table (owned by the runner, valid until the next run).
+func (h *hRunner) run(s int, faults []int) []int32 {
+	h.scratch = h.scratch[:0]
+	for _, id := range faults {
+		if sid := h.view.gToSub[id]; sid >= 0 {
+			h.scratch = append(h.scratch, int(sid))
+		}
+	}
+	h.runner.Run(s, h.scratch, nil)
+	return h.runner.Dists()
+}
+
 // MaxExhaustiveFaultSets caps the work of an exhaustive f = 3 pass; larger
 // instances must use Sampled.
 const MaxExhaustiveFaultSets = 5_000_000
@@ -118,18 +165,15 @@ func FTBFS(g *graph.Graph, offH []int, sources []int, f int, opts *Options) Repo
 		inH[id] = false
 	}
 	rg := bfs.NewRunner(g)
-	rh := bfs.NewRunner(g)
+	rh := newHView(g, offH).newRunner()
 	maxV := opts.maxViol()
 
 	check := func(s int, faults []int) bool {
-		// H \ F realized as g minus (offH ∪ F).
-		all := make([]int, 0, len(offH)+len(faults))
-		all = append(all, offH...)
-		all = append(all, faults...)
+		// H \ F realized inside the materialized H subgraph.
 		rg.Run(s, faults, nil)
-		rh.Run(s, all, nil)
+		dh := rh.run(s, faults)
 		rep.FaultSetsChecked++
-		dg, dh := rg.Dists(), rh.Dists()
+		dg := rg.Dists()
 		ok := true
 		for v := 0; v < g.N(); v++ {
 			if dg[v] != dh[v] {
@@ -208,7 +252,7 @@ func Sampled(g *graph.Graph, offH []int, sources []int, f int, trials int, seed 
 	rep := Report{OK: true}
 	rng := rand.New(rand.NewSource(seed))
 	rg := bfs.NewRunner(g)
-	rh := bfs.NewRunner(g)
+	rh := newHView(g, offH).newRunner()
 	maxV := opts.maxViol()
 	m := g.M()
 	for t := 0; t < trials; t++ {
@@ -222,14 +266,11 @@ func Sampled(g *graph.Graph, offH []int, sources []int, f int, trials int, seed 
 				faults = append(faults, id)
 			}
 		}
-		all := make([]int, 0, len(offH)+len(faults))
-		all = append(all, offH...)
-		all = append(all, faults...)
 		for _, s := range sources {
 			rg.Run(s, faults, nil)
-			rh.Run(s, all, nil)
+			dh := rh.run(s, faults)
 			rep.FaultSetsChecked++
-			dg, dh := rg.Dists(), rh.Dists()
+			dg := rg.Dists()
 			for v := 0; v < g.N(); v++ {
 				if dg[v] != dh[v] {
 					rep.OK = false

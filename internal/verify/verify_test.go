@@ -100,11 +100,12 @@ func TestPrunedMatchesFullEnumeration(t *testing.T) {
 // applies once fault-free distances hold).
 func TestPrunedCatchesPlantedViolation(t *testing.T) {
 	// Graph: triangle 0-1-2 plus pendant 2-3.
-	g := graph.New(4)
-	g.MustAddEdge(0, 1)
-	g.MustAddEdge(1, 2)
-	g.MustAddEdge(0, 2)
-	g.MustAddEdge(2, 3)
+	gb := graph.NewBuilder(4)
+	gb.MustAddEdge(0, 1)
+	gb.MustAddEdge(1, 2)
+	gb.MustAddEdge(0, 2)
+	gb.MustAddEdge(2, 3)
+	g := gb.Freeze()
 	// H drops edge (0,2): fault-free dist(2) becomes 2 ≠ 1 → caught in
 	// the base pass, pruning never hides it.
 	id, _ := g.EdgeID(0, 2)

@@ -16,12 +16,14 @@ func VertexFTBFS(g *graph.Graph, offH []int, sources []int, f int, opts *Options
 		return rep
 	}
 	rg := bfs.NewRunner(g)
-	rh := bfs.NewRunner(g)
+	// Vertex IDs are preserved by the materialization, so vertex faults
+	// apply to H's subgraph unchanged — no translation needed.
+	rh := bfs.NewRunner(newHView(g, offH).sub)
 	maxV := opts.maxViol()
 
 	check := func(s int, faults []int) {
 		rg.Run(s, nil, faults)
-		rh.Run(s, offH, faults)
+		rh.Run(s, nil, faults)
 		rep.FaultSetsChecked++
 		dg, dh := rg.Dists(), rh.Dists()
 		failed := make(map[int]bool, len(faults))

@@ -39,8 +39,6 @@ type Search struct {
 
 	heap heapSlice
 
-	src int
-
 	// TieWarnings counts relaxations that found two distinct equal-weight
 	// paths to a vertex — evidence that the weight assignment failed to
 	// isolate a unique shortest path. It accumulates across runs.
@@ -121,7 +119,6 @@ func NewSearch(g *graph.Graph, w *Assignment) *Search {
 		vOff:     make([]uint32, n),
 		eOff:     make([]uint32, m),
 		heap:     make(heapSlice, 0, n),
-		src:      -1,
 	}
 }
 
@@ -147,7 +144,6 @@ func (s *Search) Run(src int, opt Options) {
 	for _, e := range opt.DisabledEdges {
 		s.eOff[e] = ep
 	}
-	s.src = src
 	s.heap = s.heap[:0]
 	if s.vOff[src] == ep {
 		return
@@ -155,43 +151,48 @@ func (s *Search) Run(src int, opt Options) {
 	s.distHops[src], s.distTie[src] = 0, 0
 	s.parent[src], s.parentE[src] = -1, -1
 	s.seen[src] = ep
+	// Hoist the hot per-vertex arrays out of s so the relaxation loop works
+	// on locals instead of re-loading fields around every heap call.
+	distHops, distTie := s.distHops, s.distTie
+	seen, done := s.seen, s.done
+	vOff, eOff := s.vOff, s.eOff
+	tie := s.w.tie
 	s.heap.push(heapItem{hops: 0, tie: 0, v: int32(src)})
 	for len(s.heap) > 0 {
 		it := s.heap.pop()
 		v := int(it.v)
-		if s.done[v] == ep {
+		if done[v] == ep {
 			continue
 		}
-		if it.hops != s.distHops[v] || it.tie != s.distTie[v] {
+		if it.hops != distHops[v] || it.tie != distTie[v] {
 			continue // stale entry
 		}
-		s.done[v] = ep
+		done[v] = ep
 		if opt.Target >= 0 && v == opt.Target {
 			return
 		}
-		g := s.g
-		g.ForNeighbors(v, func(u, eid int) bool {
-			if s.vOff[u] == ep || s.eOff[eid] == ep || s.done[u] == ep {
-				return true
+		for _, a := range s.g.Arcs(v) {
+			u, eid := a.To, a.ID
+			if vOff[u] == ep || eOff[eid] == ep || done[u] == ep {
+				continue
 			}
 			nh := it.hops + 1
-			nt := it.tie + s.w.tie[eid]
-			if s.seen[u] != ep {
-				s.seen[u] = ep
-				s.distHops[u], s.distTie[u] = nh, nt
-				s.parent[u], s.parentE[u] = int32(v), int32(eid)
-				s.heap.push(heapItem{hops: nh, tie: nt, v: int32(u)})
-				return true
+			nt := it.tie + tie[eid]
+			if seen[u] != ep {
+				seen[u] = ep
+				distHops[u], distTie[u] = nh, nt
+				s.parent[u], s.parentE[u] = int32(v), eid
+				s.heap.push(heapItem{hops: nh, tie: nt, v: u})
+				continue
 			}
-			if nh < s.distHops[u] || (nh == s.distHops[u] && nt < s.distTie[u]) {
-				s.distHops[u], s.distTie[u] = nh, nt
-				s.parent[u], s.parentE[u] = int32(v), int32(eid)
-				s.heap.push(heapItem{hops: nh, tie: nt, v: int32(u)})
-			} else if nh == s.distHops[u] && nt == s.distTie[u] && int(s.parent[u]) != v {
+			if nh < distHops[u] || (nh == distHops[u] && nt < distTie[u]) {
+				distHops[u], distTie[u] = nh, nt
+				s.parent[u], s.parentE[u] = int32(v), eid
+				s.heap.push(heapItem{hops: nh, tie: nt, v: u})
+			} else if nh == distHops[u] && nt == distTie[u] && int(s.parent[u]) != v {
 				s.TieWarnings++
 			}
-			return true
-		})
+		}
 	}
 }
 
