@@ -8,6 +8,14 @@
 //	ftbfsbench -full           # full sweep (minutes)
 //	ftbfsbench -only E1,E2     # subset
 //	ftbfsbench -sizes 60,90    # override the n sweep
+//	ftbfsbench -snapshot s.ftbfs  # warm-start-vs-rebuild timing on a snapshot
+//
+// -snapshot skips the experiment suite and instead measures the
+// persistence layer on a real artifact: decode time, oracle-set
+// rehydration time, query throughput over the decoded structure, and —
+// when the snapshot records its builder mode — a full rebuild of the same
+// structure for comparison, with an equality check proving the decoded
+// and rebuilt artifacts are identical.
 package main
 
 import (
@@ -19,7 +27,10 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/oracle"
+	"repro/internal/snap"
 )
 
 func main() {
@@ -32,13 +43,17 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("ftbfsbench", flag.ContinueOnError)
 	var (
-		full  = fs.Bool("full", false, "full-scale sweep")
-		only  = fs.String("only", "", "comma-separated experiment IDs (default: all)")
-		sizes = fs.String("sizes", "", "comma-separated n sweep override")
-		seeds = fs.Int("seeds", 0, "replicate seeds per point")
+		full     = fs.Bool("full", false, "full-scale sweep")
+		only     = fs.String("only", "", "comma-separated experiment IDs (default: all)")
+		sizes    = fs.String("sizes", "", "comma-separated n sweep override")
+		seeds    = fs.Int("seeds", 0, "replicate seeds per point")
+		snapPath = fs.String("snapshot", "", "bench warm-start vs rebuild on a snapshot file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *snapPath != "" {
+		return warmStartBench(*snapPath, stdout)
 	}
 	cfg := exp.Config{Full: *full, Seeds: *seeds}
 	if *sizes != "" {
@@ -86,5 +101,89 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprint(stdout, tbl.String())
 		fmt.Fprintf(stdout, "   (%.1fs)\n\n", time.Since(start).Seconds())
 	}
+	return nil
+}
+
+// warmStartBench measures what the snapshot layer buys: load + rehydrate
+// time versus rebuilding the same structure from scratch.
+func warmStartBench(path string, stdout io.Writer) error {
+	start := time.Now()
+	sn, err := snap.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	decode := time.Since(start)
+	st := sn.Structure
+
+	start = time.Now()
+	set, err := oracle.NewSet(st)
+	if err != nil {
+		return err
+	}
+	rehydrate := time.Since(start)
+
+	// Exercise the rehydrated oracle: distinct single-fault events from
+	// every structure source (uncached BFS each, the serving cold path).
+	// A zero fault budget or a vertex-fault structure cannot take edge
+	// faults, so those probe only the fault-free table.
+	o := set.Handle()
+	queries := 0
+	start = time.Now()
+	if st.Faults > 0 && !st.VertexFaults {
+		for _, s := range st.Sources {
+			for id := 0; id < st.G.M() && queries < 256; id += 3 {
+				if _, err := o.Dists(s, []int{id}); err != nil {
+					return err
+				}
+				queries++
+			}
+		}
+	} else {
+		for _, s := range st.Sources {
+			if _, err := o.Dists(s, nil); err != nil {
+				return err
+			}
+			queries++
+		}
+	}
+	queryTime := time.Since(start)
+
+	fmt.Fprintf(stdout, "snapshot %s: n=%d m=%d, %d structure edges, f=%d, sources %v\n",
+		path, st.G.N(), st.G.M(), st.NumEdges(), st.Faults, st.Sources)
+	fmt.Fprintf(stdout, "  decode            %12v\n", decode)
+	fmt.Fprintf(stdout, "  oracle rehydrate  %12v\n", rehydrate)
+	warm := decode + rehydrate
+	fmt.Fprintf(stdout, "  warm start total  %12v\n", warm)
+	if queries > 0 {
+		fmt.Fprintf(stdout, "  %d uncached dist-table queries: %v (%.0f/s)\n",
+			queries, queryTime, float64(queries)/queryTime.Seconds())
+	}
+
+	build, berr := core.BuilderForMode(sn.Meta.Mode, st.Sources)
+	if berr != nil {
+		fmt.Fprintf(stdout, "  rebuild: skipped (%v)\n", berr)
+		return nil
+	}
+	start = time.Now()
+	st2, err := build(st.G, &core.Options{Seed: sn.Meta.Seed})
+	if err != nil {
+		return err
+	}
+	rebuild := time.Since(start)
+	same := st2.NumEdges() == st.NumEdges()
+	if same {
+		for _, id := range st.Edges.IDs() {
+			if !st2.Edges.Has(id) {
+				same = false
+				break
+			}
+		}
+	}
+	fmt.Fprintf(stdout, "  rebuild (%s)      %12v   %.1f× slower than warm start\n",
+		sn.Meta.Mode, rebuild, float64(rebuild)/float64(warm))
+	if !same {
+		return fmt.Errorf("rebuilt structure differs from snapshot (seed %d, mode %s)", sn.Meta.Seed, sn.Meta.Mode)
+	}
+	fmt.Fprintf(stdout, "  rebuilt structure is identical to the decoded one\n")
 	return nil
 }

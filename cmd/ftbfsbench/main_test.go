@@ -2,8 +2,13 @@ package main
 
 import (
 	"bytes"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/snap"
 )
 
 func TestBenchSubset(t *testing.T) {
@@ -35,5 +40,39 @@ func TestBenchTwoExperiments(t *testing.T) {
 	s := out.String()
 	if !strings.Contains(s, "== E8") || !strings.Contains(s, "== E10") {
 		t.Fatalf("expected E8 and E10:\n%s", s)
+	}
+}
+
+func TestWarmStartBench(t *testing.T) {
+	dir := t.TempDir()
+	st, err := core.BuildDual(gen.GNP(60, 0.12, 7), 0, &core.Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "s.ftbfs")
+	sn := &snap.Snapshot{Structure: st, Meta: snap.Meta{Mode: "dual", Seed: 4}}
+	if err := snap.WriteFile(path, sn); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-snapshot", path}, &out); err != nil {
+		t.Fatalf("err=%v out=%s", err, out.String())
+	}
+	for _, want := range []string{"warm start total", "rebuild (dual)", "identical to the decoded one"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	// A snapshot without a recorded mode skips the rebuild comparison.
+	path2 := filepath.Join(dir, "nomode.ftbfs")
+	if err := snap.WriteFile(path2, &snap.Snapshot{Structure: st}); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-snapshot", path2}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "rebuild: skipped") {
+		t.Fatalf("output:\n%s", out.String())
 	}
 }

@@ -6,6 +6,12 @@
 //
 //	ftbfsd -addr :8080
 //	ftbfsd -addr :8080 -demo        # also registers graph "demo" (gnp n=200)
+//	ftbfsd -addr :8080 -snapshot-dir /var/lib/ftbfs
+//
+// With -snapshot-dir, completed builds are persisted as binary snapshots
+// under the directory and the daemon warm-starts from it: on restart every
+// stored graph/build is rehydrated — ready to serve, bit-identical
+// answers — without re-running any builder.
 //
 // Quick start against a running daemon:
 //
@@ -51,6 +57,7 @@ func run(args []string) error {
 		cache     = fs.Int("cache", 0, "cached failure events per build (0 = default 4096, <0 = disable)")
 		shards    = fs.Int("cache-shards", 0, "memo shards per build (0 = auto: ~GOMAXPROCS, power of two)")
 		maxBatch  = fs.Int("max-batch", 0, "max queries per batch request (0 = default 65536)")
+		snapDir   = fs.String("snapshot-dir", "", "persist completed builds under this directory and warm-start from it")
 		demo      = fs.Bool("demo", false, "register a demo graph (gnp n=200 p=0.05 seed=7) at startup")
 		rtimeout  = fs.Duration("read-timeout", 30*time.Second, "HTTP read timeout")
 		wtimeout  = fs.Duration("write-timeout", 60*time.Second, "HTTP write timeout")
@@ -65,12 +72,32 @@ func run(args []string) error {
 		CacheShards:         *shards,
 		MaxBatchQueries:     *maxBatch,
 	}
-	srv := server.New(cfg)
-	if *demo {
-		if err := srv.RegisterDemo(); err != nil {
+	if *snapDir != "" {
+		store, err := server.NewDiskStore(*snapDir)
+		if err != nil {
 			return err
 		}
-		log.Printf("registered demo graph %q", "demo")
+		cfg.Store = store
+	}
+	srv := server.New(cfg)
+	if cfg.Store != nil {
+		start := time.Now()
+		restored, err := srv.WarmStart()
+		if err != nil {
+			// Partial warm starts are survivable: log what was skipped
+			// and serve the rest.
+			log.Printf("warm start: %v", err)
+		}
+		if restored > 0 {
+			log.Printf("warm start: restored %d build(s) from %s in %v", restored, *snapDir, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if *demo {
+		if err := srv.RegisterDemo(); err != nil {
+			log.Printf("demo graph: %v (already restored from snapshots?)", err)
+		} else {
+			log.Printf("registered demo graph %q", "demo")
+		}
 	}
 	httpSrv := &http.Server{
 		Addr:         *addr,

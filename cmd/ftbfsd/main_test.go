@@ -118,3 +118,130 @@ func TestDaemonEndToEnd(t *testing.T) {
 		t.Fatal("daemon did not shut down")
 	}
 }
+
+// TestDaemonSnapshotRestart boots the daemon with -snapshot-dir, builds a
+// structure, shuts down, boots a FRESH daemon over the same directory, and
+// requires the build to be served immediately — marked restored, with a
+// bit-identical answer — without any rebuild.
+func TestDaemonSnapshotRestart(t *testing.T) {
+	dir := t.TempDir()
+	freeAddr := func() string {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		return addr
+	}
+	getJSON := func(base, path string, into any) int {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if into != nil {
+			if err := json.Unmarshal(b, into); err != nil {
+				t.Fatalf("GET %s: bad JSON %q: %v", path, b, err)
+			}
+		}
+		return resp.StatusCode
+	}
+	waitUp := func(base string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			resp, err := http.Get(base + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("daemon did not come up: %v", err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	shutdown := func(done chan error) {
+		t.Helper()
+		p, err := os.FindProcess(os.Getpid())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("run returned %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("daemon did not shut down")
+		}
+	}
+
+	type build struct {
+		ID       string `json:"id"`
+		Status   string `json:"status"`
+		Snapshot string `json:"snapshot"`
+		Restored bool   `json:"restored"`
+	}
+
+	// Instance 1: build and wait until the snapshot is durable.
+	addr1 := freeAddr()
+	done1 := make(chan error, 1)
+	go func() { done1 <- run([]string{"-addr", addr1, "-demo", "-snapshot-dir", dir}) }()
+	base1 := "http://" + addr1
+	waitUp(base1)
+	resp, err := http.Post(base1+"/v1/graphs/demo/builds", "application/json",
+		strings.NewReader(`{"mode":"dual","sources":[0]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b build
+	if err := json.NewDecoder(resp.Body).Decode(&b); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	deadline := time.Now().Add(30 * time.Second)
+	for b.Status != "ready" || b.Snapshot == "pending" {
+		if time.Now().After(deadline) {
+			t.Fatalf("build/snapshot did not complete: %+v", b)
+		}
+		time.Sleep(20 * time.Millisecond)
+		getJSON(base1, "/v1/graphs/demo/builds/"+b.ID, &b)
+	}
+	if b.Snapshot != "saved" {
+		t.Fatalf("snapshot state %q", b.Snapshot)
+	}
+	distPath := "/v1/graphs/demo/builds/" + b.ID + "/dist?source=0&target=17&faults=3,9"
+	var pre, post map[string]any
+	if code := getJSON(base1, distPath, &pre); code != http.StatusOK {
+		t.Fatalf("dist: %d", code)
+	}
+	shutdown(done1)
+
+	// Instance 2: fresh process state, same directory — warm start.
+	addr2 := freeAddr()
+	done2 := make(chan error, 1)
+	go func() { done2 <- run([]string{"-addr", addr2, "-snapshot-dir", dir}) }()
+	base2 := "http://" + addr2
+	waitUp(base2)
+	var restored build
+	if code := getJSON(base2, "/v1/graphs/demo/builds/"+b.ID, &restored); code != http.StatusOK {
+		t.Fatalf("restored build lookup: %d", code)
+	}
+	if restored.Status != "ready" || !restored.Restored {
+		t.Fatalf("restored build = %+v, want ready+restored with no rebuild", restored)
+	}
+	if code := getJSON(base2, distPath, &post); code != http.StatusOK {
+		t.Fatalf("dist after restart: %d", code)
+	}
+	if fmt.Sprint(pre) != fmt.Sprint(post) {
+		t.Fatalf("answers differ after restart: %v vs %v", pre, post)
+	}
+	shutdown(done2)
+}

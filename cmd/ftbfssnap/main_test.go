@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/snap"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const cycleList = "n 4\n0 1\n1 2\n2 3\n0 3\n"
+
+func TestPackInfoVerifyDump(t *testing.T) {
+	dir := t.TempDir()
+	g := writeFile(t, dir, "g.txt", cycleList)
+	h := writeFile(t, dir, "h.txt", cycleList)
+	out := filepath.Join(dir, "s.ftbfs")
+
+	var buf bytes.Buffer
+	code, err := run([]string{"pack", "-graph", g, "-structure", h, "-sources", "0", "-f", "1", "-o", out}, &buf)
+	if err != nil || code != 0 {
+		t.Fatalf("pack: code=%d err=%v out=%s", code, err, buf.String())
+	}
+
+	buf.Reset()
+	code, err = run([]string{"info", out}, &buf)
+	if err != nil || code != 0 {
+		t.Fatalf("info: code=%d err=%v out=%s", code, err, buf.String())
+	}
+	for _, want := range []string{"format version 1", "GRPH", "STRC", "META", "n=4 m=4", "4/4 edges kept", "f=1"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("info output missing %q:\n%s", want, buf.String())
+		}
+	}
+
+	buf.Reset()
+	code, err = run([]string{"verify", out}, &buf)
+	if err != nil || code != 0 || !strings.Contains(buf.String(), "OK:") {
+		t.Fatalf("verify: code=%d err=%v out=%s", code, err, buf.String())
+	}
+
+	// The graph dump must round-trip the original edge list (Write emits
+	// edges in lexicographic order).
+	buf.Reset()
+	code, err = run([]string{"graph", out}, &buf)
+	if err != nil || code != 0 {
+		t.Fatalf("graph: code=%d err=%v", code, err)
+	}
+	if want := "n 4\n0 1\n0 3\n1 2\n2 3\n"; buf.String() != want {
+		t.Fatalf("graph dump = %q, want %q", buf.String(), want)
+	}
+	buf.Reset()
+	code, err = run([]string{"structure", out}, &buf)
+	if err != nil || code != 0 || buf.String() != cycleList {
+		t.Fatalf("structure dump = %q (code=%d err=%v)", buf.String(), code, err)
+	}
+}
+
+func TestPackRejectsNonSubset(t *testing.T) {
+	dir := t.TempDir()
+	g := writeFile(t, dir, "g.txt", "n 3\n0 1\n1 2\n")
+	h := writeFile(t, dir, "h.txt", "n 3\n0 2\n")
+	var buf bytes.Buffer
+	_, err := run([]string{"pack", "-graph", g, "-structure", h, "-o", filepath.Join(dir, "s.ftbfs")}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "not in graph") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInfoReportsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "s.ftbfs")
+	st, err := core.BuildDual(gen.GNP(20, 0.3, 1), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.WriteFile(out, &snap.Snapshot{Structure: st}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-10] ^= 0xff // flip a byte inside the STRC payload
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	code, err := run([]string{"info", out}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 || !strings.Contains(buf.String(), "CORRUPT") {
+		t.Fatalf("info on corrupt file: code=%d out=%s", code, buf.String())
+	}
+	buf.Reset()
+	code, err = run([]string{"verify", out}, &buf)
+	if err != nil || code != 2 || !strings.Contains(buf.String(), "INVALID") {
+		t.Fatalf("verify on corrupt file: code=%d err=%v out=%s", code, err, buf.String())
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := run([]string{"frobnicate"}, &buf); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	if _, err := run(nil, &buf); err == nil {
+		t.Fatal("missing command accepted")
+	}
+}

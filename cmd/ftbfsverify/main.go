@@ -4,6 +4,12 @@
 // Usage:
 //
 //	ftbfsverify -graph g.txt -structure h.txt -sources 0,5 -f 2 [-sampled N]
+//	ftbfsverify -snapshot s.ftbfs [-sampled N]
+//
+// With -snapshot, the graph, structure, sources and fault model all come
+// from a binary snapshot file (internal/snap format, as persisted by
+// ftbfsd or packed by ftbfssnap) — no rebuild, no text parsing; -sources
+// and -f override the snapshot's recorded values when given explicitly.
 //
 // Exit status 0 when the structure verifies, 2 when violations were found.
 package main
@@ -18,6 +24,7 @@ import (
 
 	"repro/internal/edgelist"
 	"repro/internal/graph"
+	"repro/internal/snap"
 	"repro/internal/verify"
 )
 
@@ -35,6 +42,7 @@ func run(args []string, stdout io.Writer) (int, error) {
 	var (
 		graphPath  = fs.String("graph", "", "graph edge-list file")
 		structPath = fs.String("structure", "", "structure edge-list file (subset of graph)")
+		snapPath   = fs.String("snapshot", "", "verify a binary snapshot file instead of edge lists")
 		sourcesArg = fs.String("sources", "0", "comma-separated source vertices")
 		f          = fs.Int("f", 2, "fault budget (0..2 exhaustive; >2 requires -sampled)")
 		sampled    = fs.Int("sampled", 0, "use N random fault sets instead of exhaustive")
@@ -43,50 +51,88 @@ func run(args []string, stdout io.Writer) (int, error) {
 	if err := fs.Parse(args); err != nil {
 		return 1, err
 	}
-	if *graphPath == "" || *structPath == "" {
-		return 1, fmt.Errorf("need -graph and -structure")
-	}
-	g, err := readFile(*graphPath)
-	if err != nil {
-		return 1, err
-	}
-	h, err := readFile(*structPath)
-	if err != nil {
-		return 1, err
-	}
-	if h.N() != g.N() {
-		return 1, fmt.Errorf("vertex counts differ: graph %d, structure %d", g.N(), h.N())
-	}
-	// Structure must be a subgraph; translate to "edges of g missing in h".
-	var off []int
-	for id := 0; id < g.M(); id++ {
-		e := g.EdgeAt(id)
-		if !h.HasEdge(e.U, e.V) {
-			off = append(off, id)
+	explicit := map[string]bool{}
+	fs.Visit(func(fl *flag.Flag) { explicit[fl.Name] = true })
+	var (
+		g            *graph.Graph
+		off, sources []int
+		keptEdges    int
+		vertexFaults bool
+	)
+	switch {
+	case *snapPath != "":
+		if *graphPath != "" || *structPath != "" {
+			return 1, fmt.Errorf("-snapshot excludes -graph/-structure")
 		}
-	}
-	for _, e := range h.Edges() {
-		if !g.HasEdge(e.U, e.V) {
-			return 1, fmt.Errorf("structure edge %v not in graph", e)
+		sn, err := snap.ReadFile(*snapPath)
+		if err != nil {
+			return 1, err
 		}
-	}
-	var sources []int
-	for _, s := range strings.Split(*sourcesArg, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil || v < 0 || v >= g.N() {
-			return 1, fmt.Errorf("bad source %q", s)
+		st := sn.Structure
+		g = st.G
+		keptEdges = st.NumEdges()
+		off = st.DisabledEdges()
+		vertexFaults = st.VertexFaults
+		if !explicit["sources"] {
+			sources = st.Sources
 		}
-		sources = append(sources, v)
+		if !explicit["f"] {
+			*f = st.Faults
+		}
+	case *graphPath != "" && *structPath != "":
+		g2, err := readFile(*graphPath)
+		if err != nil {
+			return 1, err
+		}
+		g = g2
+		h, err := readFile(*structPath)
+		if err != nil {
+			return 1, err
+		}
+		if h.N() != g.N() {
+			return 1, fmt.Errorf("vertex counts differ: graph %d, structure %d", g.N(), h.N())
+		}
+		// Structure must be a subgraph; translate to "edges of g missing
+		// in h".
+		for id := 0; id < g.M(); id++ {
+			e := g.EdgeAt(id)
+			if !h.HasEdge(e.U, e.V) {
+				off = append(off, id)
+			}
+		}
+		for _, e := range h.Edges() {
+			if !g.HasEdge(e.U, e.V) {
+				return 1, fmt.Errorf("structure edge %v not in graph", e)
+			}
+		}
+		keptEdges = h.M()
+	default:
+		return 1, fmt.Errorf("need -graph and -structure, or -snapshot")
+	}
+	if sources == nil {
+		for _, s := range strings.Split(*sourcesArg, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || v < 0 || v >= g.N() {
+				return 1, fmt.Errorf("bad source %q", s)
+			}
+			sources = append(sources, v)
+		}
 	}
 	var rep verify.Report
-	if *sampled > 0 {
+	switch {
+	case vertexFaults:
+		if *sampled > 0 {
+			return 1, fmt.Errorf("-sampled is not supported for vertex-failure structures (verification is exhaustive)")
+		}
+		rep = verify.VertexFTBFS(g, off, sources, *f, nil)
+	case *sampled > 0:
 		rep = verify.Sampled(g, off, sources, *f, *sampled, *seed, nil)
-	} else {
+	default:
 		rep = verify.FTBFS(g, off, sources, *f, nil)
 	}
 	if rep.OK {
 		fmt.Fprintf(stdout, "OK: %d fault sets checked (%d pruned), structure %d/%d edges\n",
-			rep.FaultSetsChecked, rep.FaultSetsPruned, h.M(), g.M())
+			rep.FaultSetsChecked, rep.FaultSetsPruned, keptEdges, g.M())
 		return 0, nil
 	}
 	fmt.Fprintf(stdout, "FAILED: %d fault sets checked, violations:\n", rep.FaultSetsChecked)

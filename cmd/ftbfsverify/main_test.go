@@ -6,6 +6,10 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/snap"
 )
 
 func writeFile(t *testing.T, dir, name, content string) string {
@@ -88,5 +92,62 @@ func TestVerifyErrors(t *testing.T) {
 		if _, err := run(args, &out); err == nil {
 			t.Fatalf("args %v accepted", args)
 		}
+	}
+}
+
+func TestVerifySnapshotInput(t *testing.T) {
+	dir := t.TempDir()
+	st, err := core.BuildDual(gen.GNP(24, 0.25, 3), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "s.ftbfs")
+	if err := snap.WriteFile(path, &snap.Snapshot{Structure: st, Meta: snap.Meta{Mode: "dual"}}); err != nil {
+		t.Fatal(err)
+	}
+	// Sources and fault budget come from the snapshot; no rebuild happens.
+	var out bytes.Buffer
+	code, err := run([]string{"-snapshot", path}, &out)
+	if err != nil || code != 0 || !strings.Contains(out.String(), "OK:") {
+		t.Fatalf("code=%d err=%v out=%s", code, err, out.String())
+	}
+	// Explicit -f overrides the recorded budget: the dual structure is
+	// also a valid f=1 structure.
+	out.Reset()
+	code, err = run([]string{"-snapshot", path, "-f", "1"}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("override: code=%d err=%v out=%s", code, err, out.String())
+	}
+	// Sampled mode works off a snapshot too.
+	out.Reset()
+	code, err = run([]string{"-snapshot", path, "-sampled", "40"}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("sampled: code=%d err=%v out=%s", code, err, out.String())
+	}
+}
+
+func TestVerifySnapshotVertexModel(t *testing.T) {
+	dir := t.TempDir()
+	st, err := core.BuildVertexExhaustive(gen.GNP(16, 0.3, 5), 0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "s.ftbfs")
+	if err := snap.WriteFile(path, &snap.Snapshot{Structure: st}); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	code, err := run([]string{"-snapshot", path}, &out)
+	if err != nil || code != 0 || !strings.Contains(out.String(), "OK:") {
+		t.Fatalf("vertex model: code=%d err=%v out=%s", code, err, out.String())
+	}
+}
+
+func TestVerifySnapshotExcludesEdgeLists(t *testing.T) {
+	dir := t.TempDir()
+	g := writeFile(t, dir, "g.txt", "n 3\n0 1\n1 2\n")
+	var out bytes.Buffer
+	if _, err := run([]string{"-snapshot", "x.ftbfs", "-graph", g}, &out); err == nil {
+		t.Fatal("-snapshot with -graph accepted")
 	}
 }

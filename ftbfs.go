@@ -20,6 +20,8 @@
 package ftbfs
 
 import (
+	"io"
+
 	"repro/internal/approx"
 	"repro/internal/core"
 	"repro/internal/gen"
@@ -28,6 +30,7 @@ import (
 	"repro/internal/multifail"
 	"repro/internal/oracle"
 	"repro/internal/server"
+	"repro/internal/snap"
 	"repro/internal/verify"
 )
 
@@ -183,6 +186,29 @@ func NewOracleSetSharded(st *Structure, cacheEntries, shards int) (*OracleSet, e
 	return oracle.NewSetSharded(st, cacheEntries, shards)
 }
 
+// Snapshot is a persistable build artifact: a structure (with its graph)
+// plus free-form metadata, serialized by EncodeSnapshot into the
+// versioned, checksummed binary format of DESIGN.md's persistence layer.
+type Snapshot = snap.Snapshot
+
+// SnapshotMeta is a snapshot's metadata record (provenance and timing).
+type SnapshotMeta = snap.Meta
+
+// EncodeSnapshot writes a snapshot in the versioned binary format. The
+// encoding is deterministic: identical snapshots produce identical bytes.
+func EncodeSnapshot(w io.Writer, s *Snapshot) error { return snap.Encode(w, s) }
+
+// DecodeSnapshot reads a snapshot, validating lengths and per-section
+// checksums; malformed input fails with the offending byte offset rather
+// than producing a partial snapshot.
+func DecodeSnapshot(r io.Reader) (*Snapshot, error) { return snap.Decode(r) }
+
+// WriteSnapshotFile encodes to a file via temp-file + atomic rename.
+func WriteSnapshotFile(path string, s *Snapshot) error { return snap.WriteFile(path, s) }
+
+// ReadSnapshotFile decodes the snapshot at path.
+func ReadSnapshotFile(path string) (*Snapshot, error) { return snap.ReadFile(path) }
+
 // Server is the ftbfsd registry: named graphs, asynchronous structure
 // builds and pooled fault-tolerant query serving over HTTP JSON (see
 // cmd/ftbfsd and DESIGN.md for the API).
@@ -197,6 +223,18 @@ type ServerGenSpec = server.GenSpec
 // NewServer returns an empty ftbfsd registry (nil config for defaults);
 // serve its Handler with net/http.
 func NewServer(cfg *ServerConfig) *Server { return server.New(cfg) }
+
+// ServerStore persists build snapshots for a Server: completed builds are
+// written to it in the background and Server.WarmStart rehydrates from it.
+type ServerStore = server.Store
+
+// NewServerDiskStore opens (creating if needed) an atomic-rename disk
+// snapshot store rooted at dir — what `ftbfsd -snapshot-dir` uses.
+func NewServerDiskStore(dir string) (ServerStore, error) { return server.NewDiskStore(dir) }
+
+// NewServerMemStore returns an in-memory snapshot store (tests,
+// replication relays).
+func NewServerMemStore() ServerStore { return server.NewMemStore() }
 
 // LowerBound builds the adversarial instance G*_f of Theorem 1.2 with
 // roughly n vertices: every bipartite edge (Ω(n^{2-1/(f+1)}) of them) is

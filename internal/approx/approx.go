@@ -77,11 +77,11 @@ func coverVertex(g *graph.Graph, v int, sources []int, faultSets [][]int, dist [
 	type nb struct {
 		u, id int
 	}
-	var nbs []nb
-	g.ForNeighbors(v, func(u, id int) bool {
-		nbs = append(nbs, nb{u: u, id: id})
-		return true
-	})
+	arcs := g.Arcs(v)
+	nbs := make([]nb, 0, len(arcs))
+	for _, a := range arcs {
+		nbs = append(nbs, nb{u: int(a.To), id: int(a.ID)})
+	}
 	if len(nbs) == 0 {
 		return nil
 	}

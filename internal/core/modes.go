@@ -1,0 +1,41 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// BuilderForMode maps a builder-mode name — the vocabulary shared by the
+// ftbfsd API ("mode" in build requests) and snapshot metadata (Meta.Mode)
+// — to the builder that implements it: dual (Theorem 1.1), single
+// (ESA'13 baseline), multi (per-source dual structures unioned into an
+// FT-MBFS structure). One table, hosted at the construction layer, so
+// the serving registry and the snapshot tools cannot drift apart.
+func BuilderForMode(mode string, sources []int) (func(*graph.Graph, *Options) (*Structure, error), error) {
+	switch mode {
+	case "dual":
+		if len(sources) != 1 {
+			return nil, fmt.Errorf("mode dual needs exactly one source")
+		}
+		return func(g *graph.Graph, opts *Options) (*Structure, error) {
+			return BuildDual(g, sources[0], opts)
+		}, nil
+	case "single":
+		if len(sources) != 1 {
+			return nil, fmt.Errorf("mode single needs exactly one source")
+		}
+		return func(g *graph.Graph, opts *Options) (*Structure, error) {
+			return BuildSingle(g, sources[0], opts)
+		}, nil
+	case "multi":
+		if len(sources) == 0 {
+			return nil, fmt.Errorf("mode multi needs at least one source")
+		}
+		return func(g *graph.Graph, opts *Options) (*Structure, error) {
+			return BuildMultiSource(g, sources, opts, BuildDual)
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown mode %q (dual, single, multi)", mode)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/gen"
@@ -404,5 +405,68 @@ func TestMultiSourceStatsAggregation(t *testing.T) {
 	}
 	if ms.Stats != want {
 		t.Fatalf("multi-source stats = %+v, want %+v", ms.Stats, want)
+	}
+}
+
+func TestDisabledEdgesMemoized(t *testing.T) {
+	g := gen.GNP(30, 0.3, 5)
+	st, err := BuildDual(g, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := st.DisabledEdges()
+	second := st.DisabledEdges()
+	if len(first) == 0 {
+		t.Fatalf("expected a non-trivial structure (some disabled edges)")
+	}
+	if &first[0] != &second[0] || len(first) != len(second) {
+		t.Fatalf("DisabledEdges not memoized: distinct backing arrays")
+	}
+	// The view must be correct and exactly the complement of Edges.
+	want := g.M() - st.Edges.Len()
+	if len(first) != want {
+		t.Fatalf("DisabledEdges len = %d, want %d", len(first), want)
+	}
+	for _, id := range first {
+		if st.Edges.Has(id) {
+			t.Fatalf("DisabledEdges contains kept edge %d", id)
+		}
+	}
+	// Appending to the view must not clobber the shared cache: the cached
+	// slice is built with no spare capacity, so append reallocates.
+	if cap(first) != len(first) {
+		t.Fatalf("cached slice has spare capacity %d > len %d", cap(first), len(first))
+	}
+	grown := append(first, -1)
+	third := st.DisabledEdges()
+	if len(third) != want || third[len(third)-1] == -1 {
+		t.Fatalf("append to the view corrupted the cache")
+	}
+	_ = grown
+}
+
+func TestDisabledEdgesConcurrent(t *testing.T) {
+	g := gen.GNP(40, 0.25, 9)
+	st, err := BuildDual(g, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	out := make([][]int, 8)
+	for i := range out {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = st.DisabledEdges()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(out); i++ {
+		if len(out[i]) != len(out[0]) {
+			t.Fatalf("goroutine %d saw %d disabled edges, goroutine 0 saw %d", i, len(out[i]), len(out[0]))
+		}
+		if len(out[0]) > 0 && &out[i][0] != &out[0][0] {
+			t.Fatalf("goroutine %d got a different backing array", i)
+		}
 	}
 }

@@ -1,0 +1,138 @@
+package graph
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// This file is the export boundary between the frozen CSR representation
+// and the snapshot codec (internal/snap): CSRData hands the raw arrays out
+// for near-verbatim serialization, and FromCSRData adopts decoded arrays
+// after an O(n + m) structural validation, so a decode is one read plus
+// one linear check instead of a rebuild. No other package reaches into the
+// representation; if the layout changes, these two functions and the codec
+// version change together.
+
+// CSRData returns read-only views of the frozen representation: the edge
+// table (ID -> normalized endpoints), the offset table (len N+1), the
+// insertion-ordered arc array and its span-sorted copy (both len 2M).
+// Callers must not mutate any of the returned slices; they alias the
+// graph's own storage.
+func (g *Graph) CSRData() (edges []Edge, arcOff []int32, arcs, sorted []Arc) {
+	return g.edges, g.arcOff, g.arcs, g.sorted
+}
+
+// FromCSRData reassembles a Graph from a decoded CSR representation,
+// taking ownership of all four slices. It validates every structural
+// invariant Freeze guarantees — offsets form a monotone cover of the arc
+// array, every arc is consistent with its edge's endpoints, every edge is
+// referenced exactly twice, sorted spans are strictly increasing (which
+// also rules out duplicate edges) — and rejects anything else, so a
+// corrupted or hand-built input cannot produce a Graph that later
+// misbehaves.
+func FromCSRData(n int, edges []Edge, arcOff []int32, arcs, sorted []Arc) (*Graph, error) {
+	m := len(edges)
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	if len(arcOff) != n+1 {
+		return nil, fmt.Errorf("graph: offset table has %d entries, want %d", len(arcOff), n+1)
+	}
+	if len(arcs) != 2*m || len(sorted) != 2*m {
+		return nil, fmt.Errorf("graph: arc arrays have %d/%d entries, want %d", len(arcs), len(sorted), 2*m)
+	}
+	if arcOff[0] != 0 {
+		return nil, fmt.Errorf("graph: offset table starts at %d, want 0", arcOff[0])
+	}
+	for v := 0; v < n; v++ {
+		if arcOff[v+1] < arcOff[v] {
+			return nil, fmt.Errorf("graph: offset table decreases at vertex %d", v)
+		}
+	}
+	if int(arcOff[n]) != 2*m {
+		return nil, fmt.Errorf("graph: offset table covers %d arcs, want %d", arcOff[n], 2*m)
+	}
+	for id, e := range edges {
+		if e.U < 0 || e.V >= n || e.U >= e.V {
+			return nil, fmt.Errorf("graph: edge %d = %v is not normalized in [0,%d)", id, e, n)
+		}
+	}
+	// refs[id] counts arc references to each edge; a valid CSR references
+	// every edge exactly twice (once from each endpoint). Note the
+	// explicit endpoint-membership check: Edge.Other returns -1 for a
+	// non-endpoint, so an arc with To == -1 would otherwise slip through
+	// the consistency comparison and crash the first traversal.
+	refs := make([]int8, m)
+	for v := 0; v < n; v++ {
+		span := arcs[arcOff[v]:arcOff[v+1]]
+		sspan := sorted[arcOff[v]:arcOff[v+1]]
+		for i, a := range span {
+			if a.ID < 0 || int(a.ID) >= m {
+				return nil, fmt.Errorf("graph: vertex %d arc %d: edge ID %d out of range [0,%d)", v, i, a.ID, m)
+			}
+			e := edges[a.ID]
+			if (e.U != v && e.V != v) || e.Other(v) != int(a.To) {
+				return nil, fmt.Errorf("graph: vertex %d arc %d: arc (to %d, id %d) contradicts edge %v", v, i, a.To, a.ID, e)
+			}
+			// Freeze fills spans in edge-ID order; the canonical
+			// tie-breaking machinery depends on that iteration order, so
+			// a permuted span must not decode.
+			if i > 0 && a.ID <= span[i-1].ID {
+				return nil, fmt.Errorf("graph: vertex %d arc span not in increasing edge-ID order at %d", v, i)
+			}
+			if refs[a.ID] >= 2 {
+				return nil, fmt.Errorf("graph: edge %d referenced more than twice", a.ID)
+			}
+			refs[a.ID]++
+		}
+		for i, a := range sspan {
+			if a.ID < 0 || int(a.ID) >= m {
+				return nil, fmt.Errorf("graph: vertex %d sorted arc %d: edge ID %d out of range [0,%d)", v, i, a.ID, m)
+			}
+			e := edges[a.ID]
+			if (e.U != v && e.V != v) || e.Other(v) != int(a.To) {
+				return nil, fmt.Errorf("graph: vertex %d sorted arc %d: arc (to %d, id %d) contradicts edge %v", v, i, a.To, a.ID, e)
+			}
+			if i > 0 && a.To <= sspan[i-1].To {
+				return nil, fmt.Errorf("graph: vertex %d sorted span not strictly increasing at %d", v, i)
+			}
+		}
+	}
+	// Every edge seen exactly twice across all spans (the total count is
+	// already 2m, so "no edge more than twice" implies exactly twice — but
+	// the explicit check yields a better error).
+	for id, c := range refs {
+		if c != 2 {
+			return nil, fmt.Errorf("graph: edge %d referenced %d times, want 2", id, c)
+		}
+	}
+	return &Graph{n: n, edges: edges, arcOff: arcOff, arcs: arcs, sorted: sorted}, nil
+}
+
+// Words returns a read-only view of the bitset's backing words (64 IDs per
+// word, little-endian bit order). Callers must not mutate it; it aliases
+// the set's own storage. The snapshot codec writes it verbatim.
+func (s *EdgeSet) Words() []uint64 { return s.words }
+
+// NewEdgeSetFromWords adopts decoded bitset words as an EdgeSet over a
+// universe of m edge IDs. The word count must match NewEdgeSet(m) exactly
+// and no bit at position ≥ m may be set; the member count is recomputed
+// from the words.
+func NewEdgeSetFromWords(m int, words []uint64) (*EdgeSet, error) {
+	if m < 0 {
+		return nil, fmt.Errorf("graph: negative edge universe %d", m)
+	}
+	if want := (m + 63) / 64; len(words) != want {
+		return nil, fmt.Errorf("graph: edge set has %d words, want %d for %d edges", len(words), want, m)
+	}
+	count := 0
+	for _, w := range words {
+		count += bits.OnesCount64(w)
+	}
+	if tail := m % 64; tail != 0 && len(words) > 0 {
+		if words[len(words)-1]>>tail != 0 {
+			return nil, fmt.Errorf("graph: edge set has bits beyond universe size %d", m)
+		}
+	}
+	return &EdgeSet{words: words, count: count}, nil
+}

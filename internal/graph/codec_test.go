@@ -1,0 +1,129 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// freshCSR builds a small graph and returns mutable copies of its CSR
+// arrays for corruption tests.
+func freshCSR(t *testing.T) (n int, edges []Edge, arcOff []int32, arcs, sorted []Arc) {
+	t.Helper()
+	b := NewBuilder(5)
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(0, 2)
+	b.MustAddEdge(1, 2)
+	b.MustAddEdge(2, 3)
+	b.MustAddEdge(3, 4)
+	b.MustAddEdge(0, 4)
+	g := b.Freeze()
+	e, off, a, s := g.CSRData()
+	return g.N(), append([]Edge(nil), e...), append([]int32(nil), off...),
+		append([]Arc(nil), a...), append([]Arc(nil), s...)
+}
+
+func TestFromCSRDataRoundTrip(t *testing.T) {
+	n, edges, arcOff, arcs, sorted := freshCSR(t)
+	g, err := FromCSRData(n, edges, arcOff, arcs, sorted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != n || g.M() != len(edges) {
+		t.Fatalf("size %d/%d", g.N(), g.M())
+	}
+	if id, ok := g.EdgeID(2, 3); !ok || id != 3 {
+		t.Fatalf("EdgeID(2,3) = %d,%v", id, ok)
+	}
+}
+
+func TestFromCSRDataRejectsPermutedSpan(t *testing.T) {
+	n, edges, arcOff, arcs, sorted := freshCSR(t)
+	// Vertex 0 has arcs to 1, 2, 4 (edge IDs 0, 1, 5) in insertion order;
+	// swapping two arcs keeps every consistency/reference invariant but
+	// breaks the canonical iteration order.
+	span := arcs[arcOff[0]:arcOff[0+1]]
+	if len(span) < 2 {
+		t.Fatal("test graph needs degree ≥ 2 at vertex 0")
+	}
+	span[0], span[1] = span[1], span[0]
+	_, err := FromCSRData(n, edges, arcOff, arcs, sorted)
+	if err == nil || !strings.Contains(err.Error(), "edge-ID order") {
+		t.Fatalf("permuted span accepted: %v", err)
+	}
+}
+
+func TestFromCSRDataRejectsNonEndpointArc(t *testing.T) {
+	n, edges, arcOff, arcs, sorted := freshCSR(t)
+	// Edge 3 = {2,3}. Forge vertex 4's reference to it with To = -1,
+	// which matches Edge.Other(4) = -1 — the membership check must still
+	// reject it (such an arc would crash the first BFS).
+	// Vertex 4 has arcs for edges 4 ({3,4}) and 5 ({0,4}).
+	span := arcs[arcOff[4]:arcOff[4+1]]
+	victim := -1
+	for i, a := range span {
+		if a.ID == 4 {
+			victim = i
+		}
+	}
+	if victim < 0 {
+		t.Fatal("expected edge 4 in vertex 4's span")
+	}
+	span[victim] = Arc{To: -1, ID: 3}
+	_, err := FromCSRData(n, edges, arcOff, arcs, sorted)
+	if err == nil {
+		t.Fatal("non-endpoint arc accepted")
+	}
+}
+
+func TestFromCSRDataRejectsStructuralDamage(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(n *int, edges *[]Edge, arcOff *[]int32, arcs, sorted *[]Arc)
+	}{
+		{"short-offsets", func(n *int, e *[]Edge, off *[]int32, a, s *[]Arc) { *off = (*off)[:len(*off)-1] }},
+		{"offset-decrease", func(n *int, e *[]Edge, off *[]int32, a, s *[]Arc) { (*off)[1] = 99 }},
+		{"unnormalized-edge", func(n *int, e *[]Edge, off *[]int32, a, s *[]Arc) { (*e)[0] = Edge{U: 1, V: 0} }},
+		{"id-out-of-range", func(n *int, e *[]Edge, off *[]int32, a, s *[]Arc) { (*a)[0].ID = 99 }},
+		{"sorted-unsorted", func(n *int, e *[]Edge, off *[]int32, a, s *[]Arc) {
+			sp := (*s)[(*off)[0]:(*off)[1]]
+			sp[0], sp[1] = sp[1], sp[0]
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			n, edges, arcOff, arcs, sorted := freshCSR(t)
+			c.mut(&n, &edges, &arcOff, &arcs, &sorted)
+			if _, err := FromCSRData(n, edges, arcOff, arcs, sorted); err == nil {
+				t.Fatal("damaged CSR accepted")
+			}
+		})
+	}
+}
+
+func TestEdgeSetWordsRoundTrip(t *testing.T) {
+	s := NewEdgeSet(130)
+	for _, id := range []int{0, 63, 64, 127, 129} {
+		s.Add(id)
+	}
+	got, err := NewEdgeSetFromWords(130, append([]uint64(nil), s.Words()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Len() {
+		t.Fatalf("len %d, want %d", got.Len(), s.Len())
+	}
+	for _, id := range []int{0, 63, 64, 127, 129} {
+		if !got.Has(id) {
+			t.Fatalf("missing %d", id)
+		}
+	}
+	// Stray bits beyond the universe and wrong word counts are rejected.
+	w := append([]uint64(nil), s.Words()...)
+	w[len(w)-1] |= 1 << 10 // bit 138 > 130
+	if _, err := NewEdgeSetFromWords(130, w); err == nil {
+		t.Fatal("stray bit accepted")
+	}
+	if _, err := NewEdgeSetFromWords(130, s.Words()[:1]); err == nil {
+		t.Fatal("short word slice accepted")
+	}
+}

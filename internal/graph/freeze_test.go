@@ -60,18 +60,6 @@ func checkEquivalent(t *testing.T, ref *refGraph, g *Graph) {
 				t.Fatalf("Arcs(%d)[%d] = %v, want %v (insertion order)", v, i, arcs[i], want)
 			}
 		}
-		// ForNeighbors shim agrees with Arcs.
-		i := 0
-		g.ForNeighbors(v, func(w, eid int) bool {
-			if int32(w) != arcs[i].To || int32(eid) != arcs[i].ID {
-				t.Fatalf("ForNeighbors(%d) step %d = (%d,%d), want %v", v, i, w, eid, arcs[i])
-			}
-			i++
-			return true
-		})
-		if i != len(arcs) {
-			t.Fatalf("ForNeighbors(%d) visited %d of %d arcs", v, i, len(arcs))
-		}
 	}
 	for u := 0; u < ref.n; u++ {
 		for v := 0; v < ref.n; v++ {

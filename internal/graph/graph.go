@@ -10,15 +10,12 @@
 // therefore deterministic, which the canonical shortest-path machinery
 // relies on.
 //
-// Hot paths (BFS, Dijkstra) iterate with Arcs, a direct slice of a frozen
-// flat arc array:
+// All iteration goes through Arcs (a direct slice of a frozen flat arc
+// array) or ArcData (the raw offset/arc arrays for scan loops):
 //
 //	for _, a := range g.Arcs(v) {
 //	    ... a.To, a.ID ...
 //	}
-//
-// ForNeighbors remains as a closure-based compatibility shim for cold
-// callers.
 package graph
 
 import (
@@ -177,17 +174,6 @@ func (g *Graph) EdgeID(u, v int) (int, bool) {
 
 // EdgeAt returns the endpoints of the edge with the given ID.
 func (g *Graph) EdgeAt(id int) Edge { return g.edges[id] }
-
-// ForNeighbors calls fn(neighbor, edgeID) for every edge incident to v, in
-// insertion order. Iteration stops early if fn returns false. Compatibility
-// shim for cold callers; hot paths should range over Arcs directly.
-func (g *Graph) ForNeighbors(v int, fn func(w, edgeID int) bool) {
-	for _, a := range g.Arcs(v) {
-		if !fn(int(a.To), int(a.ID)) {
-			return
-		}
-	}
-}
 
 // Neighbors returns a fresh slice of the neighbors of v in insertion order.
 func (g *Graph) Neighbors(v int) []int {

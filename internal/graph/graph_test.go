@@ -99,22 +99,6 @@ func TestNeighborsOrderDeterministic(t *testing.T) {
 	}
 }
 
-func TestForNeighborsEarlyStop(t *testing.T) {
-	b := NewBuilder(4)
-	b.MustAddEdge(0, 1)
-	b.MustAddEdge(0, 2)
-	b.MustAddEdge(0, 3)
-	g := b.Freeze()
-	calls := 0
-	g.ForNeighbors(0, func(w, id int) bool {
-		calls++
-		return calls < 2
-	})
-	if calls != 2 {
-		t.Fatalf("early stop: %d calls, want 2", calls)
-	}
-}
-
 func TestFreezeIndependence(t *testing.T) {
 	b := NewBuilder(4)
 	b.MustAddEdge(0, 1)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/oracle"
+	"repro/internal/snap"
 )
 
 // GenSpec describes a synthetic graph to generate from the gen families.
@@ -98,6 +99,14 @@ const (
 	StatusFailed   = "failed"
 )
 
+// Snapshot persistence states of a ready build (empty when the server has
+// no Store): pending (background encode in flight) → saved | failed.
+const (
+	SnapPending = "pending"
+	SnapSaved   = "saved"
+	SnapFailed  = "failed"
+)
+
 // buildEntry is one (possibly in-flight) structure build over a registered
 // graph. Fields other than status/err/st/set/started/queued/elapsed are
 // immutable after creation; the mutable ones are written by the build
@@ -116,6 +125,17 @@ type buildEntry struct {
 	elapsed time.Duration // pure build time, excluding the queue wait
 	st      *core.Structure
 	set     *oracle.OracleSet
+	// restored marks entries rehydrated from a snapshot (warm start or
+	// PUT upload) rather than built; elapsed then reports the ORIGINAL
+	// build time carried in the snapshot metadata, and origMeta retains
+	// the decoded metadata so re-encoding the build preserves its
+	// provenance timing exactly.
+	restored bool
+	origMeta snap.Meta
+	// snapState/snapErr track background snapshot persistence (see the
+	// Snap* constants); written under the server lock.
+	snapState string
+	snapErr   string
 }
 
 // graphEntry is one registered graph plus its builds.
@@ -132,35 +152,4 @@ var nameRe = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
 // parseEdgeList wraps edgelist.Read for uploaded graph bodies.
 func parseEdgeList(text string) (*graph.Graph, error) {
 	return edgelist.Read(strings.NewReader(text))
-}
-
-// builderFor maps an API mode to a structure builder. Modes follow the
-// facade: dual (Theorem 1.1), single (ESA'13 baseline), multi (per-source
-// dual structures unioned into an FT-MBFS structure).
-func builderFor(mode string, sources []int) (func(*graph.Graph, *core.Options) (*core.Structure, error), error) {
-	switch mode {
-	case "dual":
-		if len(sources) != 1 {
-			return nil, fmt.Errorf("mode dual needs exactly one source")
-		}
-		return func(g *graph.Graph, opts *core.Options) (*core.Structure, error) {
-			return core.BuildDual(g, sources[0], opts)
-		}, nil
-	case "single":
-		if len(sources) != 1 {
-			return nil, fmt.Errorf("mode single needs exactly one source")
-		}
-		return func(g *graph.Graph, opts *core.Options) (*core.Structure, error) {
-			return core.BuildSingle(g, sources[0], opts)
-		}, nil
-	case "multi":
-		if len(sources) == 0 {
-			return nil, fmt.Errorf("mode multi needs at least one source")
-		}
-		return func(g *graph.Graph, opts *core.Options) (*core.Structure, error) {
-			return core.BuildMultiSource(g, sources, opts, core.BuildDual)
-		}, nil
-	default:
-		return nil, fmt.Errorf("unknown mode %q (dual, single, multi)", mode)
-	}
 }

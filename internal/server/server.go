@@ -29,6 +29,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sort"
@@ -41,6 +42,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/oracle"
+	"repro/internal/snap"
 )
 
 // Config tunes the service. The zero value is ready to use.
@@ -65,6 +67,14 @@ type Config struct {
 	// MaxBatchQueries bounds the items of one batch query request
 	// (default 65536).
 	MaxBatchQueries int
+	// Store persists completed builds as binary snapshots (internal/snap
+	// format) and serves warm starts and snapshot replication. nil
+	// disables persistence: artifacts live and die with the process,
+	// exactly the pre-snapshot behavior.
+	Store Store
+	// MaxSnapshotBytes bounds uploaded snapshot bodies on the PUT
+	// snapshot endpoint (default 1 GiB).
+	MaxSnapshotBytes int64
 }
 
 // Server is the ftbfsd registry and HTTP handler factory. It is safe for
@@ -97,6 +107,9 @@ func New(cfg *Config) *Server {
 	}
 	if s.cfg.MaxBatchQueries <= 0 {
 		s.cfg.MaxBatchQueries = 65536
+	}
+	if s.cfg.MaxSnapshotBytes <= 0 {
+		s.cfg.MaxSnapshotBytes = 1 << 30
 	}
 	s.buildSem = make(chan struct{}, s.cfg.MaxConcurrentBuilds)
 	return s
@@ -139,6 +152,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/graphs/{graph}", s.handleDeleteGraph)
 	mux.HandleFunc("POST /v1/graphs/{graph}/builds", s.handleCreateBuild)
 	mux.HandleFunc("GET /v1/graphs/{graph}/builds/{build}", s.handleGetBuild)
+	mux.HandleFunc("GET /v1/graphs/{graph}/builds/{build}/snapshot", s.handleGetSnapshot)
+	mux.HandleFunc("PUT /v1/graphs/{graph}/builds/{build}/snapshot", s.handlePutSnapshot)
 	mux.HandleFunc("POST /v1/graphs/{graph}/builds/{build}/query", s.handleBatchQuery)
 	mux.HandleFunc("GET /v1/graphs/{graph}/builds/{build}/dist", s.handleDist)
 	mux.HandleFunc("GET /v1/graphs/{graph}/builds/{build}/dists", s.handleDists)
@@ -261,12 +276,26 @@ func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 // are not cancelled (the builders are not interruptible): each keeps its
 // semaphore slot until done, publishes into the now-unreachable entry and
 // is then garbage-collected with it.
+//
+// Snapshot cleanup ordering matters twice over. The registry entry is
+// removed FIRST: persistBuild's post-Put liveness check then guarantees
+// that a background snapshot racing this delete is cleaned up by one side
+// or the other, whichever runs last. And the store delete is attempted
+// even when the graph is already unregistered, so if it fails (500) the
+// operator can retry the DELETE and still reach the orphaned files.
 func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("graph")
 	s.mu.Lock()
 	_, ok := s.graphs[name]
 	delete(s.graphs, name)
 	s.mu.Unlock()
+	if s.cfg.Store != nil && nameRe.MatchString(name) {
+		if err := s.cfg.Store.DeleteGraph(name); err != nil {
+			writeErr(w, http.StatusInternalServerError,
+				"graph unregistered but snapshots not deleted (retry DELETE to clean them): %v", err)
+			return
+		}
+	}
 	if !ok {
 		writeErr(w, http.StatusNotFound, "no graph %q", name)
 		return
@@ -319,6 +348,13 @@ type buildInfo struct {
 	GraphM    int         `json:"graphEdges,omitempty"`
 	Stats     *buildStats `json:"stats,omitempty"`
 	Cache     *cacheInfo  `json:"cache,omitempty"`
+	// Restored marks builds rehydrated from a snapshot (warm start or
+	// upload) — ElapsedMS then reports the original build time.
+	Restored bool `json:"restored,omitempty"`
+	// Snapshot tracks background persistence when a Store is configured:
+	// pending → saved | failed (SnapshotError holds the failure).
+	Snapshot      string `json:"snapshot,omitempty"`
+	SnapshotError string `json:"snapshotError,omitempty"`
 }
 
 func (s *Server) handleCreateBuild(w http.ResponseWriter, r *http.Request) {
@@ -342,7 +378,7 @@ func (s *Server) handleCreateBuild(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	build, err := builderFor(req.Mode, req.Sources)
+	build, err := core.BuilderForMode(req.Mode, req.Sources)
 	if err != nil {
 		s.mu.Unlock()
 		writeErr(w, http.StatusBadRequest, "%v", err)
@@ -362,7 +398,7 @@ func (s *Server) handleCreateBuild(w http.ResponseWriter, r *http.Request) {
 	gg := g.g
 	s.mu.Unlock()
 
-	go s.runBuild(gg, be, build, req.Parallelism)
+	go s.runBuild(name, gg, be, build, req.Parallelism)
 	writeJSON(w, http.StatusAccepted, buildInfo{
 		ID: be.id, Graph: name, Mode: be.mode, Sources: be.sources,
 		Seed: be.seed, Status: StatusQueued,
@@ -388,8 +424,10 @@ func (s *Server) cacheEntriesFor(n int) int {
 // runBuild executes one structure build under the concurrency semaphore
 // and publishes the result (or failure) under the server lock. The build
 // timer starts only once the semaphore slot is acquired; time spent queued
-// behind other builds is reported separately.
-func (s *Server) runBuild(g2 *graph.Graph, be *buildEntry,
+// behind other builds is reported separately. When a Store is configured,
+// a ready build is snapshotted into it in the background — queries are
+// served the moment the build is published, not when the disk write lands.
+func (s *Server) runBuild(graphName string, g2 *graph.Graph, be *buildEntry,
 	build func(*graph.Graph, *core.Options) (*core.Structure, error), parallelism int) {
 	s.buildSem <- struct{}{}
 	defer func() { <-s.buildSem }()
@@ -413,8 +451,60 @@ func (s *Server) runBuild(g2 *graph.Graph, be *buildEntry,
 		be.st = st
 		be.set = set
 		be.status = StatusReady
+		if s.cfg.Store != nil {
+			be.snapState = SnapPending
+			go s.persistBuild(graphName, be)
+		}
 	}
 	s.mu.Unlock()
+}
+
+// snapshotOf assembles the snapshot of a ready build. Callers must hold
+// s.mu (read suffices); the returned snapshot only references immutable
+// state, so encoding may proceed outside the lock. It is a pure function
+// of the entry, so the background-persisted bytes and a live-encoded
+// GET response are identical; for restored entries the original
+// snapshot's timing fields are carried over rather than re-derived, so
+// re-encoding preserves provenance.
+func snapshotOf(graphName string, be *buildEntry) *snap.Snapshot {
+	meta := snap.Meta{
+		Graph:         graphName,
+		Build:         be.id,
+		Mode:          be.mode,
+		Seed:          be.seed,
+		ElapsedMS:     float64(be.elapsed.Microseconds()) / 1000,
+		CreatedUnixMS: be.created.UnixMilli(),
+	}
+	if be.restored {
+		meta.ElapsedMS = be.origMeta.ElapsedMS
+		meta.CreatedUnixMS = be.origMeta.CreatedUnixMS
+	}
+	return &snap.Snapshot{Structure: be.st, Meta: meta}
+}
+
+// persistBuild encodes one ready build into the store and records the
+// outcome. If the graph was deleted while the encode was in flight, the
+// freshly written snapshot is removed again so a later warm start cannot
+// resurrect a deleted graph.
+func (s *Server) persistBuild(graphName string, be *buildEntry) {
+	s.mu.RLock()
+	sn := snapshotOf(graphName, be)
+	s.mu.RUnlock()
+	err := s.cfg.Store.Put(graphName, be.id, func(w io.Writer) error {
+		return snap.Encode(w, sn)
+	})
+	s.mu.Lock()
+	if err != nil {
+		be.snapState = SnapFailed
+		be.snapErr = err.Error()
+	} else {
+		be.snapState = SnapSaved
+	}
+	_, alive := s.graphs[graphName]
+	s.mu.Unlock()
+	if err == nil && !alive {
+		_ = s.cfg.Store.DeleteGraph(graphName)
+	}
 }
 
 // newOracleSet builds a build's shared query state with the configured
@@ -454,6 +544,9 @@ func (s *Server) buildInfoLocked(graphName string, be *buildEntry) buildInfo {
 		cs := be.set.CacheStats()
 		info.Cache = &cacheInfo{Len: cs.Len, Capacity: cs.Capacity, Shards: cs.Shards,
 			Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions}
+		info.Restored = be.restored
+		info.Snapshot = be.snapState
+		info.SnapshotError = be.snapErr
 	}
 	return info
 }

@@ -45,12 +45,11 @@ func New(g *graph.Graph, src int, disabledEdges []int) *DAG {
 		if d.dist[v] <= 0 {
 			continue
 		}
-		g.ForNeighbors(v, func(u, eid int) bool {
-			if !off[eid] && d.dist[u] == d.dist[v]-1 {
-				d.preds[v] = append(d.preds[v], int32(u))
+		for _, a := range g.Arcs(v) {
+			if !off[int(a.ID)] && d.dist[a.To] == d.dist[v]-1 {
+				d.preds[v] = append(d.preds[v], a.To)
 			}
-			return true
-		})
+		}
 	}
 	return d
 }

@@ -1,0 +1,72 @@
+// Golden snapshot-compat test: a version-1 snapshot file is checked into
+// testdata/ and decoded against the PR 3 golden structure fingerprints on
+// every run. Silent format drift — an encoder or decoder change that
+// still round-trips in-process but breaks files written by earlier
+// commits — fails here, because the fixture bytes never change.
+//
+// If the format version is ever bumped, regenerate the fixture (build
+// dual/sparse-gnp-80, WriteSnapshotFile) in the SAME commit and keep the
+// old file decodable under its version.
+package ftbfs_test
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	ftbfs "repro"
+)
+
+const goldenSnapshotPath = "testdata/golden-v1-dual-sparse-gnp-80.ftbfs"
+
+// Fingerprints recorded in PR 3 (equivalence_test.go, case
+// "dual/sparse-gnp-80") — the decoded snapshot must reproduce the exact
+// structure and the exact oracle answer tables.
+const (
+	goldenStructureFP = "b6397b093386326806032c0b"
+	goldenOracleFP    = "717b6992aa8b4b3ccf7935a9"
+)
+
+func TestGoldenSnapshotDecodes(t *testing.T) {
+	sn, err := ftbfs.ReadSnapshotFile(goldenSnapshotPath)
+	if err != nil {
+		t.Fatalf("golden snapshot does not decode (format drift?): %v", err)
+	}
+	if sn.Meta.Graph != "golden" || sn.Meta.Build != "b1" || sn.Meta.Mode != "dual" {
+		t.Fatalf("golden metadata drifted: %+v", sn.Meta)
+	}
+	st := sn.Structure
+	if got := fingerprintStructure(st); got != goldenStructureFP {
+		t.Errorf("decoded structure fingerprint = %s, want %s", got, goldenStructureFP)
+	}
+	if got := fingerprintOracle(t, st, 60); got != goldenOracleFP {
+		t.Errorf("decoded oracle fingerprint = %s, want %s", got, goldenOracleFP)
+	}
+}
+
+// TestGoldenSnapshotEncodeStable pins the ENCODER to the checked-in
+// bytes: rebuilding the same structure and encoding it must reproduce the
+// fixture exactly. An encoder change that alters the wire format without
+// a version bump fails here.
+func TestGoldenSnapshotEncodeStable(t *testing.T) {
+	want, err := os.ReadFile(goldenSnapshotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ftbfs.BuildDualFTBFS(ftbfs.SparseGNP(80, 6, 2015), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err = ftbfs.EncodeSnapshot(&buf, &ftbfs.Snapshot{
+		Structure: st,
+		Meta:      ftbfs.SnapshotMeta{Graph: "golden", Build: "b1", Mode: "dual"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("encoding dual/sparse-gnp-80 produced %d bytes differing from the %d-byte fixture; "+
+			"format changes require a version bump and a regenerated fixture", buf.Len(), len(want))
+	}
+}
