@@ -19,12 +19,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -34,13 +37,18 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// SIGINT/SIGTERM cancel the run's context: the experiments' builders
+	// poll it cooperatively, so one signal stops a sweep mid-measurement
+	// (a second signal kills the process the usual way).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "ftbfsbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("ftbfsbench", flag.ContinueOnError)
 	var (
 		full     = fs.Bool("full", false, "full-scale sweep")
@@ -48,14 +56,20 @@ func run(args []string, stdout io.Writer) error {
 		sizes    = fs.String("sizes", "", "comma-separated n sweep override")
 		seeds    = fs.Int("seeds", 0, "replicate seeds per point")
 		snapPath = fs.String("snapshot", "", "bench warm-start vs rebuild on a snapshot file")
+		timeout  = fs.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *snapPath != "" {
-		return warmStartBench(*snapPath, stdout)
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
-	cfg := exp.Config{Full: *full, Seeds: *seeds}
+	if *snapPath != "" {
+		return warmStartBench(ctx, *snapPath, stdout)
+	}
+	cfg := exp.Config{Full: *full, Seeds: *seeds, Ctx: ctx}
 	if *sizes != "" {
 		for _, s := range strings.Split(*sizes, ",") {
 			v, err := strconv.Atoi(strings.TrimSpace(s))
@@ -93,6 +107,9 @@ func run(args []string, stdout io.Writer) error {
 		if len(wanted) > 0 && !wanted[e.id] {
 			continue
 		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("stopped before %s: %w", e.id, err)
+		}
 		start := time.Now()
 		tbl, err := e.fn(cfg)
 		if err != nil {
@@ -105,8 +122,9 @@ func run(args []string, stdout io.Writer) error {
 }
 
 // warmStartBench measures what the snapshot layer buys: load + rehydrate
-// time versus rebuilding the same structure from scratch.
-func warmStartBench(path string, stdout io.Writer) error {
+// time versus rebuilding the same structure from scratch. The rebuild —
+// the expensive half — honors ctx (SIGINT / -timeout).
+func warmStartBench(ctx context.Context, path string, stdout io.Writer) error {
 	start := time.Now()
 	sn, err := snap.ReadFile(path)
 	if err != nil {
@@ -165,7 +183,7 @@ func warmStartBench(path string, stdout io.Writer) error {
 		return nil
 	}
 	start = time.Now()
-	st2, err := build(st.G, &core.Options{Seed: sn.Meta.Seed})
+	st2, err := build(st.G, &core.Options{Seed: sn.Meta.Seed, Ctx: ctx})
 	if err != nil {
 		return err
 	}

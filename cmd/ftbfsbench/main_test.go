@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -13,7 +14,7 @@ import (
 
 func TestBenchSubset(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-only", "E4", "-sizes", "30,40"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-only", "E4", "-sizes", "30,40"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -24,17 +25,17 @@ func TestBenchSubset(t *testing.T) {
 
 func TestBenchBadFlags(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-sizes", "abc"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-sizes", "abc"}, &out); err == nil {
 		t.Fatal("bad sizes accepted")
 	}
-	if err := run([]string{"-sizes", "2"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-sizes", "2"}, &out); err == nil {
 		t.Fatal("tiny size accepted")
 	}
 }
 
 func TestBenchTwoExperiments(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-only", "e8,E10", "-sizes", "30"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-only", "e8,E10", "-sizes", "30"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -55,7 +56,7 @@ func TestWarmStartBench(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := run([]string{"-snapshot", path}, &out); err != nil {
+	if err := run(context.Background(), []string{"-snapshot", path}, &out); err != nil {
 		t.Fatalf("err=%v out=%s", err, out.String())
 	}
 	for _, want := range []string{"warm start total", "rebuild (dual)", "identical to the decoded one"} {
@@ -69,7 +70,7 @@ func TestWarmStartBench(t *testing.T) {
 		t.Fatal(err)
 	}
 	out.Reset()
-	if err := run([]string{"-snapshot", path2}, &out); err != nil {
+	if err := run(context.Background(), []string{"-snapshot", path2}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "rebuild: skipped") {

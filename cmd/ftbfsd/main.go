@@ -19,7 +19,10 @@
 //	  -d '{"name":"demo","gen":{"family":"gnp","n":200,"p":0.05,"seed":7}}'
 //	curl -s -X POST localhost:8080/v1/graphs/demo/builds \
 //	  -d '{"mode":"dual","sources":[0]}'
-//	curl -s 'localhost:8080/v1/graphs/demo/builds/b1'            # poll "queued"/"building" until "ready"
+//	curl -s 'localhost:8080/v1/graphs/demo/builds/b1'            # poll "queued"/"building" until "ready";
+//	                                                             # running builds report live "progress"
+//	curl -s -X DELETE 'localhost:8080/v1/graphs/demo/builds/b1'  # cancel a running/queued build
+//	curl -s 'localhost:8080/v1/stats'                            # build slots, queue depth, cache totals
 //	curl -s 'localhost:8080/v1/graphs/demo/builds/b1/dist?source=0&target=17&faults=3,9'
 //	curl -s -X POST localhost:8080/v1/graphs/demo/builds/b1/query \
 //	  -d '{"queries":[{"source":0,"target":17,"faults":[3,9]},{"source":0,"faults":[3]}]}'
@@ -71,6 +74,21 @@ func run(args []string) error {
 		CacheEntries:        *cache,
 		CacheShards:         *shards,
 		MaxBatchQueries:     *maxBatch,
+		// One structured line per terminal build so operators can audit
+		// the build plane (completions AND cancellations) without polling.
+		BuildLog: func(e server.BuildEvent) {
+			switch e.Status {
+			case server.StatusReady:
+				log.Printf("build graph=%s build=%s mode=%s sources=%v status=%s queuedMs=%.1f elapsedMs=%.1f dijkstras=%d edges=%d/%d",
+					e.Graph, e.Build, e.Mode, e.Sources, e.Status, e.QueuedMS, e.ElapsedMS, e.Dijkstras, e.Edges, e.GraphEdges)
+			case server.StatusFailed:
+				log.Printf("build graph=%s build=%s mode=%s sources=%v status=%s queuedMs=%.1f elapsedMs=%.1f dijkstras=%d err=%q",
+					e.Graph, e.Build, e.Mode, e.Sources, e.Status, e.QueuedMS, e.ElapsedMS, e.Dijkstras, e.Error)
+			default: // cancelled
+				log.Printf("build graph=%s build=%s mode=%s sources=%v status=%s queuedMs=%.1f elapsedMs=%.1f dijkstras=%d",
+					e.Graph, e.Build, e.Mode, e.Sources, e.Status, e.QueuedMS, e.ElapsedMS, e.Dijkstras)
+			}
+		},
 	}
 	if *snapDir != "" {
 		store, err := server.NewDiskStore(*snapDir)
@@ -124,6 +142,17 @@ func run(args []string) error {
 		log.Printf("received %v, shutting down", sig)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		return httpSrv.Shutdown(ctx)
+		// Drain the HTTP side, then cancel in-flight builds and wait for
+		// their goroutines. Build cancellation runs even when the HTTP
+		// drain times out on a stuck connection — builds must never be
+		// silently abandoned, whatever the client side is doing.
+		httpErr := httpSrv.Shutdown(ctx)
+		if err := srv.Shutdown(ctx); err != nil {
+			if httpErr != nil {
+				return fmt.Errorf("%w (also: http drain: %v)", err, httpErr)
+			}
+			return err
+		}
+		return httpErr
 	}
 }

@@ -11,16 +11,23 @@
 // ftbfsd or packed by ftbfssnap) — no rebuild, no text parsing; -sources
 // and -f override the snapshot's recorded values when given explicitly.
 //
+// An exhaustive pass over a big instance can run for minutes; SIGINT (or
+// -timeout) cancels it cooperatively and the run exits 1 reporting how
+// far it got instead of leaving the terminal hostage.
+//
 // Exit status 0 when the structure verifies, 2 when violations were found.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/edgelist"
 	"repro/internal/graph"
@@ -29,7 +36,9 @@ import (
 )
 
 func main() {
-	code, err := run(os.Args[1:], os.Stdout)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	code, err := run(ctx, os.Args[1:], os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ftbfsverify:", err)
 		os.Exit(1)
@@ -37,7 +46,7 @@ func main() {
 	os.Exit(code)
 }
 
-func run(args []string, stdout io.Writer) (int, error) {
+func run(ctx context.Context, args []string, stdout io.Writer) (int, error) {
 	fs := flag.NewFlagSet("ftbfsverify", flag.ContinueOnError)
 	var (
 		graphPath  = fs.String("graph", "", "graph edge-list file")
@@ -47,9 +56,15 @@ func run(args []string, stdout io.Writer) (int, error) {
 		f          = fs.Int("f", 2, "fault budget (0..2 exhaustive; >2 requires -sampled)")
 		sampled    = fs.Int("sampled", 0, "use N random fault sets instead of exhaustive")
 		seed       = fs.Int64("seed", 1, "sampling seed")
+		timeout    = fs.Duration("timeout", 0, "abort the pass after this long (0 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1, err
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	explicit := map[string]bool{}
 	fs.Visit(func(fl *flag.Flag) { explicit[fl.Name] = true })
@@ -118,24 +133,36 @@ func run(args []string, stdout io.Writer) (int, error) {
 			sources = append(sources, v)
 		}
 	}
+	vopts := &verify.Options{Ctx: ctx}
 	var rep verify.Report
 	switch {
 	case vertexFaults:
 		if *sampled > 0 {
 			return 1, fmt.Errorf("-sampled is not supported for vertex-failure structures (verification is exhaustive)")
 		}
-		rep = verify.VertexFTBFS(g, off, sources, *f, nil)
+		rep = verify.VertexFTBFS(g, off, sources, *f, vopts)
 	case *sampled > 0:
-		rep = verify.Sampled(g, off, sources, *f, *sampled, *seed, nil)
+		rep = verify.Sampled(g, off, sources, *f, *sampled, *seed, vopts)
 	default:
-		rep = verify.FTBFS(g, off, sources, *f, nil)
+		rep = verify.FTBFS(g, off, sources, *f, vopts)
+	}
+	// A recorded violation is definitive (the structure is invalid no
+	// matter what the unchecked fault sets would say), so an interrupted
+	// pass only counts as inconclusive when it found nothing.
+	if rep.Interrupted && len(rep.Violations) == 0 {
+		return 1, fmt.Errorf("interrupted after %d fault sets (%v); nothing proven about the rest",
+			rep.FaultSetsChecked, ctx.Err())
 	}
 	if rep.OK {
 		fmt.Fprintf(stdout, "OK: %d fault sets checked (%d pruned), structure %d/%d edges\n",
 			rep.FaultSetsChecked, rep.FaultSetsPruned, keptEdges, g.M())
 		return 0, nil
 	}
-	fmt.Fprintf(stdout, "FAILED: %d fault sets checked, violations:\n", rep.FaultSetsChecked)
+	suffix := ""
+	if rep.Interrupted {
+		suffix = " (interrupted; remaining fault sets unchecked)"
+	}
+	fmt.Fprintf(stdout, "FAILED: %d fault sets checked%s, violations:\n", rep.FaultSetsChecked, suffix)
 	for _, v := range rep.Violations {
 		fmt.Fprintf(stdout, "  %s\n", v)
 	}

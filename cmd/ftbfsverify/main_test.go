@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -27,7 +28,7 @@ func TestVerifyAccepts(t *testing.T) {
 	g := writeFile(t, dir, "g.txt", "n 4\n0 1\n1 2\n2 3\n0 3\n")
 	h := writeFile(t, dir, "h.txt", "n 4\n0 1\n1 2\n2 3\n0 3\n")
 	var out bytes.Buffer
-	code, err := run([]string{"-graph", g, "-structure", h, "-f", "1"}, &out)
+	code, err := run(context.Background(), []string{"-graph", g, "-structure", h, "-f", "1"}, &out)
 	if err != nil || code != 0 {
 		t.Fatalf("code=%d err=%v out=%s", code, err, out.String())
 	}
@@ -42,7 +43,7 @@ func TestVerifyRejects(t *testing.T) {
 	// Structure missing edge 0-3: fails already at f=0 (dist to 3 doubles).
 	h := writeFile(t, dir, "h.txt", "n 4\n0 1\n1 2\n2 3\n")
 	var out bytes.Buffer
-	code, err := run([]string{"-graph", g, "-structure", h, "-f", "0"}, &out)
+	code, err := run(context.Background(), []string{"-graph", g, "-structure", h, "-f", "0"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestVerifySampledMode(t *testing.T) {
 	g := writeFile(t, dir, "g.txt", "n 4\n0 1\n1 2\n2 3\n0 3\n")
 	h := writeFile(t, dir, "h.txt", "n 4\n0 1\n1 2\n2 3\n0 3\n")
 	var out bytes.Buffer
-	code, err := run([]string{"-graph", g, "-structure", h, "-f", "3", "-sampled", "50"}, &out)
+	code, err := run(context.Background(), []string{"-graph", g, "-structure", h, "-f", "3", "-sampled", "50"}, &out)
 	if err != nil || code != 0 {
 		t.Fatalf("code=%d err=%v", code, err)
 	}
@@ -67,7 +68,7 @@ func TestVerifyMultiSource(t *testing.T) {
 	g := writeFile(t, dir, "g.txt", "n 3\n0 1\n1 2\n0 2\n")
 	h := writeFile(t, dir, "h.txt", "n 3\n0 1\n1 2\n0 2\n")
 	var out bytes.Buffer
-	code, err := run([]string{"-graph", g, "-structure", h, "-sources", "0, 2", "-f", "1"}, &out)
+	code, err := run(context.Background(), []string{"-graph", g, "-structure", h, "-sources", "0, 2", "-f", "1"}, &out)
 	if err != nil || code != 0 {
 		t.Fatalf("code=%d err=%v", code, err)
 	}
@@ -89,7 +90,7 @@ func TestVerifyErrors(t *testing.T) {
 	}
 	for _, args := range cases {
 		var out bytes.Buffer
-		if _, err := run(args, &out); err == nil {
+		if _, err := run(context.Background(), args, &out); err == nil {
 			t.Fatalf("args %v accepted", args)
 		}
 	}
@@ -107,20 +108,20 @@ func TestVerifySnapshotInput(t *testing.T) {
 	}
 	// Sources and fault budget come from the snapshot; no rebuild happens.
 	var out bytes.Buffer
-	code, err := run([]string{"-snapshot", path}, &out)
+	code, err := run(context.Background(), []string{"-snapshot", path}, &out)
 	if err != nil || code != 0 || !strings.Contains(out.String(), "OK:") {
 		t.Fatalf("code=%d err=%v out=%s", code, err, out.String())
 	}
 	// Explicit -f overrides the recorded budget: the dual structure is
 	// also a valid f=1 structure.
 	out.Reset()
-	code, err = run([]string{"-snapshot", path, "-f", "1"}, &out)
+	code, err = run(context.Background(), []string{"-snapshot", path, "-f", "1"}, &out)
 	if err != nil || code != 0 {
 		t.Fatalf("override: code=%d err=%v out=%s", code, err, out.String())
 	}
 	// Sampled mode works off a snapshot too.
 	out.Reset()
-	code, err = run([]string{"-snapshot", path, "-sampled", "40"}, &out)
+	code, err = run(context.Background(), []string{"-snapshot", path, "-sampled", "40"}, &out)
 	if err != nil || code != 0 {
 		t.Fatalf("sampled: code=%d err=%v out=%s", code, err, out.String())
 	}
@@ -137,7 +138,7 @@ func TestVerifySnapshotVertexModel(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	code, err := run([]string{"-snapshot", path}, &out)
+	code, err := run(context.Background(), []string{"-snapshot", path}, &out)
 	if err != nil || code != 0 || !strings.Contains(out.String(), "OK:") {
 		t.Fatalf("vertex model: code=%d err=%v out=%s", code, err, out.String())
 	}
@@ -147,7 +148,31 @@ func TestVerifySnapshotExcludesEdgeLists(t *testing.T) {
 	dir := t.TempDir()
 	g := writeFile(t, dir, "g.txt", "n 3\n0 1\n1 2\n")
 	var out bytes.Buffer
-	if _, err := run([]string{"-snapshot", "x.ftbfs", "-graph", g}, &out); err == nil {
+	if _, err := run(context.Background(), []string{"-snapshot", "x.ftbfs", "-graph", g}, &out); err == nil {
 		t.Fatal("-snapshot with -graph accepted")
+	}
+}
+
+// TestInterruptedWithViolationIsDefinitive: a violation recorded before
+// the interruption is conclusive — the tool must report FAILED (exit 2)
+// with the counterexample, not discard it as "nothing proven". The
+// fault-free base check runs before any poll point, so a pre-cancelled
+// context still records an f=0 violation deterministically.
+func TestInterruptedWithViolation(t *testing.T) {
+	dir := t.TempDir()
+	g := writeFile(t, dir, "g.txt", "n 4\n0 1\n1 2\n2 3\n")
+	h := writeFile(t, dir, "h.txt", "n 4\n0 1\n1 2\n") // missing 2-3: fault-free distances broken
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out bytes.Buffer
+	code, err := run(ctx, []string{"-graph", g, "-structure", h, "-f", "2"}, &out)
+	if err != nil {
+		t.Fatalf("definitive failure reported as inconclusive: %v", err)
+	}
+	if code != 2 {
+		t.Fatalf("exit %d, want 2; output: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAILED") || !strings.Contains(out.String(), "interrupted") {
+		t.Fatalf("output missing FAILED/interrupted note: %s", out.String())
 	}
 }

@@ -4,39 +4,54 @@
 //
 // Usage:
 //
-//	lbgen -f 2 -n 200 [-sigma 1] [-certs]
+//	lbgen -f 2 -n 200 [-sigma 1] [-certs] [-timeout 30s]
+//
+// Instance generation is Θ(leaves · |X|) — quadratic in n — so SIGINT and
+// -timeout cancel it cooperatively through the same context plumbing the
+// builders use.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	ftbfs "repro"
 	"repro/internal/edgelist"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "lbgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("lbgen", flag.ContinueOnError)
 	var (
-		f     = fs.Int("f", 2, "fault budget of the instance")
-		n     = fs.Int("n", 200, "approximate vertex count")
-		sigma = fs.Int("sigma", 1, "number of sources")
-		certs = fs.Bool("certs", false, "print per-leaf necessity fault sets as comments")
+		f       = fs.Int("f", 2, "fault budget of the instance")
+		n       = fs.Int("n", 200, "approximate vertex count")
+		sigma   = fs.Int("sigma", 1, "number of sources")
+		certs   = fs.Bool("certs", false, "print per-leaf necessity fault sets as comments")
+		timeout = fs.Duration("timeout", 0, "abort generation after this long (0 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	if *sigma > 1 {
-		mi, err := ftbfs.LowerBoundMulti(*f, *sigma, *n)
+		mi, err := ftbfs.LowerBoundMultiCtx(ctx, *f, *sigma, *n)
 		if err != nil {
 			return err
 		}
@@ -44,7 +59,7 @@ func run(args []string, stdout io.Writer) error {
 			*f, mi.G.N(), mi.G.M(), *sigma, mi.Sources, mi.BipartiteCount)
 		return edgelist.Write(stdout, mi.G)
 	}
-	inst, err := ftbfs.LowerBound(*f, *n)
+	inst, err := ftbfs.LowerBoundCtx(ctx, *f, *n)
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -10,7 +11,7 @@ import (
 
 func TestLBGenSingleSource(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-f", "1", "-n", "100"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-f", "1", "-n", "100"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -30,7 +31,7 @@ func TestLBGenSingleSource(t *testing.T) {
 
 func TestLBGenCerts(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-f", "2", "-n", "130", "-certs"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-f", "2", "-n", "130", "-certs"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "# leaf 0") {
@@ -40,7 +41,7 @@ func TestLBGenCerts(t *testing.T) {
 
 func TestLBGenMultiSource(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-f", "1", "-n", "300", "-sigma", "2"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-f", "1", "-n", "300", "-sigma", "2"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "multi-source") {
@@ -50,10 +51,10 @@ func TestLBGenMultiSource(t *testing.T) {
 
 func TestLBGenErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-f", "2", "-n", "10"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-f", "2", "-n", "10"}, &out); err == nil {
 		t.Fatal("tiny n accepted")
 	}
-	if err := run([]string{"-f", "0", "-n", "100"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-f", "0", "-n", "100"}, &out); err == nil {
 		t.Fatal("f=0 accepted")
 	}
 }

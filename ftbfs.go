@@ -20,6 +20,7 @@
 package ftbfs
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/approx"
@@ -53,8 +54,17 @@ type EdgeSet = graph.EdgeSet
 // provenance and construction statistics.
 type Structure = core.Structure
 
-// Options configures the builders (tie-breaking seed, path collection).
+// Options configures the builders (tie-breaking seed, path collection,
+// parallelism, cancellation context and live progress sink).
 type Options = core.Options
+
+// Progress receives a running build's live monotonic counters (work
+// units, Dijkstras, kept edges); hand one to Options.Progress and
+// Snapshot it from any goroutine while the build runs.
+type Progress = core.Progress
+
+// ProgressSnapshot is one observation of a build's Progress counters.
+type ProgressSnapshot = core.ProgressSnapshot
 
 // Report is a verification outcome with counterexamples, if any.
 type Report = verify.Report
@@ -220,6 +230,10 @@ type ServerConfig = server.Config
 // ServerGenSpec describes a synthetic graph for Server.RegisterGraph.
 type ServerGenSpec = server.GenSpec
 
+// ServerBuildEvent is one terminal build outcome (ready, failed or
+// cancelled), delivered to ServerConfig.BuildLog.
+type ServerBuildEvent = server.BuildEvent
+
 // NewServer returns an empty ftbfsd registry (nil config for defaults);
 // serve its Handler with net/http.
 func NewServer(cfg *ServerConfig) *Server { return server.New(cfg) }
@@ -243,9 +257,20 @@ func LowerBound(f, n int) (*LowerBoundInstance, error) {
 	return lowerbound.NewInstance(f, n)
 }
 
+// LowerBoundCtx is LowerBound with cooperative cancellation of the
+// quadratic bipartite enumeration.
+func LowerBoundCtx(ctx context.Context, f, n int) (*LowerBoundInstance, error) {
+	return lowerbound.NewInstanceCtx(ctx, f, n)
+}
+
 // LowerBoundMulti builds the σ-source variant of Theorem 4.1.
 func LowerBoundMulti(f, sigma, n int) (*LowerBoundMultiInstance, error) {
 	return lowerbound.NewMultiInstance(f, sigma, n)
+}
+
+// LowerBoundMultiCtx is LowerBoundMulti with cooperative cancellation.
+func LowerBoundMultiCtx(ctx context.Context, f, sigma, n int) (*LowerBoundMultiInstance, error) {
+	return lowerbound.NewMultiInstanceCtx(ctx, f, sigma, n)
 }
 
 // Graph generators (all deterministic under their seeds, all connected).

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/bfs"
+	"repro/internal/cancel"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/setcover"
@@ -22,6 +23,11 @@ const MaxUniverse = 3_000_000
 // Build runs the Section-5 approximation and returns an f-failure FT-MBFS
 // structure for the given sources whose size is within O(log n) of the
 // minimum. Supported f: 0, 1, 2 (the universe grows as m^f).
+//
+// Options.Ctx cancels the pass cooperatively between BFS table rows and
+// cover vertices (Build then returns ctx.Err() and no structure);
+// Options.Progress counts one work unit per distance-table row and one
+// per covered vertex.
 func Build(g *graph.Graph, sources []int, f int, opts *core.Options) (*core.Structure, error) {
 	if len(sources) == 0 {
 		return nil, fmt.Errorf("approx: empty source set")
@@ -39,6 +45,13 @@ func Build(g *graph.Graph, sources []int, f int, opts *core.Options) (*core.Stru
 		return nil, fmt.Errorf("approx: universe %d×%d exceeds cap %d",
 			len(faultSets), len(sources), MaxUniverse)
 	}
+	ctx := opts.Context()
+	prog := opts.ProgressSink()
+	// Every work unit here is a whole BFS (table row) or a greedy cover
+	// pass, so poll per unit: the check is negligible against the unit
+	// and cancellation lands within one search instead of 32.
+	poll := cancel.New(ctx, 1)
+	opts.AnnounceTotal(int64(len(sources)*len(faultSets)) + int64(g.N()))
 
 	// Distance tables: dist[s][F] is the BFS distance array of G \ F from
 	// source index s.
@@ -47,10 +60,15 @@ func Build(g *graph.Graph, sources []int, f int, opts *core.Options) (*core.Stru
 	for si, s := range sources {
 		dist[si] = make([][]int32, len(faultSets))
 		for fi, fs := range faultSets {
+			if err := poll.Poll(); err != nil {
+				return nil, err
+			}
 			r.Run(s, fs, nil)
 			row := make([]int32, g.N())
 			copy(row, r.Dists())
 			dist[si][fi] = row
+			prog.AddUnits(1)
+			prog.AddDijkstras(1)
 		}
 	}
 
@@ -64,9 +82,15 @@ func Build(g *graph.Graph, sources []int, f int, opts *core.Options) (*core.Stru
 
 	// Per-vertex greedy cover.
 	for v := 0; v < g.N(); v++ {
+		if err := poll.Poll(); err != nil {
+			return nil, err
+		}
+		n0 := st.Edges.Len()
 		if err := coverVertex(g, v, sources, faultSets, dist, st.Edges); err != nil {
 			return nil, err
 		}
+		prog.AddUnits(1)
+		prog.AddEdges(int64(st.Edges.Len() - n0))
 	}
 	return st, nil
 }

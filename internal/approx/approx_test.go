@@ -1,6 +1,9 @@
 package approx
 
 import (
+	"context"
+	"errors"
+
 	"fmt"
 	"math"
 	"testing"
@@ -129,5 +132,37 @@ func TestApproxUniverseCap(t *testing.T) {
 	g := gen.Complete(60) // m = 1770 → ~1.57M pairs for f=2, ×3 sources > cap
 	if _, err := Build(g, []int{0, 1, 2}, 2, nil); err == nil {
 		t.Fatal("universe cap not enforced")
+	}
+}
+
+// TestBuildCancelled: the approximation pass honors Options.Ctx between
+// distance-table rows and cover vertices.
+func TestBuildCancelled(t *testing.T) {
+	g := gen.SparseGNP(30, 4, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st, err := Build(g, []int{0}, 1, &core.Options{Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st != nil {
+		t.Fatal("partial structure escaped")
+	}
+	// With a live context the counters complete and the result is
+	// unaffected by the progress plumbing.
+	prog := &core.Progress{}
+	st, err = Build(g, []int{0}, 1, &core.Options{Progress: prog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := prog.Snapshot()
+	if ps.UnitsDone != ps.UnitsTotal || ps.UnitsTotal == 0 {
+		t.Fatalf("units %d/%d at completion", ps.UnitsDone, ps.UnitsTotal)
+	}
+	if ps.Dijkstras != int64(st.Stats.Dijkstras) {
+		t.Fatalf("progress Dijkstras %d != stats %d", ps.Dijkstras, st.Stats.Dijkstras)
+	}
+	if ps.EdgesKept != int64(st.NumEdges()) {
+		t.Fatalf("progress edges %d != structure %d", ps.EdgesKept, st.NumEdges())
 	}
 }

@@ -1,0 +1,51 @@
+package cancel
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestPollerBackgroundFree(t *testing.T) {
+	p := New(context.Background(), 4)
+	for i := 0; i < 100; i++ {
+		if err := p.Poll(); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if err := p.Check(); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+}
+
+func TestPollerFirstCallChecks(t *testing.T) {
+	ctx, cancelFn := context.WithCancel(context.Background())
+	cancelFn()
+	for _, every := range []int{1, 2, 32, 0, -5} {
+		p := New(ctx, every)
+		if err := p.Poll(); !errors.Is(err, context.Canceled) {
+			t.Fatalf("every=%d: first Poll = %v, want Canceled", every, err)
+		}
+	}
+}
+
+func TestPollerCadence(t *testing.T) {
+	ctx, cancelFn := context.WithCancel(context.Background())
+	p := New(ctx, 8)
+	if err := p.Poll(); err != nil { // call 1: live ctx
+		t.Fatal(err)
+	}
+	cancelFn()
+	// Calls 2..8 are between inspection points; call 9 must report.
+	for i := 2; i <= 8; i++ {
+		if err := p.Poll(); err != nil {
+			t.Fatalf("call %d inspected early: %v", i, err)
+		}
+	}
+	if err := p.Poll(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("call 9 = %v, want Canceled", err)
+	}
+	if err := p.Check(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Check = %v, want Canceled", err)
+	}
+}

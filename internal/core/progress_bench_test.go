@@ -1,0 +1,51 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// These benchmarks pin the cost of the cancellation/progress plumbing:
+// an amortized ctx poll plus four atomic adds per work unit must stay
+// under 2% of build time (EXPERIMENTS.md records the measured pairs).
+
+func benchBuild(b *testing.B, opts *Options, n int,
+	build func(*Options) (*Structure, error)) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := build(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func ctxOpts() *Options {
+	// A cancellable (non-Background) context so the poller takes its
+	// real path, plus a live progress sink.
+	ctx, cancel := context.WithCancel(context.Background())
+	_ = cancel // released with the benchmark process
+	return &Options{Seed: 1, Ctx: ctx, Progress: &Progress{}}
+}
+
+func BenchmarkBuildDualPlain(b *testing.B) {
+	g := gen.SparseGNP(400, 5, 7)
+	benchBuild(b, &Options{Seed: 1}, 400, func(o *Options) (*Structure, error) { return BuildDual(g, 0, o) })
+}
+
+func BenchmarkBuildDualCtx(b *testing.B) {
+	g := gen.SparseGNP(400, 5, 7)
+	benchBuild(b, ctxOpts(), 400, func(o *Options) (*Structure, error) { return BuildDual(g, 0, o) })
+}
+
+func BenchmarkBuildExhaustivePlain(b *testing.B) {
+	g := gen.SparseGNP(90, 4, 7)
+	benchBuild(b, &Options{Seed: 1}, 90, func(o *Options) (*Structure, error) { return BuildExhaustive(g, 0, 2, o) })
+}
+
+func BenchmarkBuildExhaustiveCtx(b *testing.B) {
+	g := gen.SparseGNP(90, 4, 7)
+	benchBuild(b, ctxOpts(), 90, func(o *Options) (*Structure, error) { return BuildExhaustive(g, 0, 2, o) })
+}

@@ -6,10 +6,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 
+	"repro/internal/cancel"
 	"repro/internal/graph"
 	"repro/internal/replace"
 	"repro/internal/wsp"
@@ -96,6 +98,60 @@ type Options struct {
 	// with its own search engine over the SAME weight assignment, so the
 	// result is identical to the sequential build.
 	Parallelism int
+	// Ctx cancels the build: every builder polls it cooperatively at an
+	// amortized cadence inside its enumeration loops (internal/cancel) and,
+	// once cancelled, returns ctx.Err() and publishes NO partial
+	// structure. nil means the build can never be cancelled. The context
+	// does not alter the output: a completed build is bit-identical with
+	// or without one.
+	Ctx context.Context
+	// Progress, when non-nil, receives live monotonic counters (work
+	// units, Dijkstras, kept edges) the caller may Snapshot while the
+	// build runs. It too never alters the output.
+	Progress *Progress
+	// totalScale / totalAnnounced coordinate the work-unit total across
+	// composite builds (see AnnounceTotal): BuildMultiSource scales the
+	// first per-source announcement to the whole composite and
+	// suppresses the rest, so the live fraction never regresses at a
+	// source boundary.
+	totalScale     int
+	totalAnnounced bool
+}
+
+// AnnounceTotal publishes a builder's work-unit total into the progress
+// sink. Builders call this exactly once, instead of Progress.AddTotal,
+// so multi-source composition can pre-announce the full composite total
+// (per-source totals are source-independent for every per-source
+// builder) and keep UnitsDone/UnitsTotal monotone.
+func (o *Options) AnnounceTotal(n int64) {
+	if o == nil {
+		return
+	}
+	if o.totalAnnounced {
+		return
+	}
+	if o.totalScale > 1 {
+		n *= int64(o.totalScale)
+	}
+	o.Progress.AddTotal(n)
+}
+
+// Context resolves Options.Ctx (context.Background for nil options or an
+// unset field).
+func (o *Options) Context() context.Context {
+	if o != nil && o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+// ProgressSink resolves Options.Progress; a nil result is safe to publish
+// into (all Progress methods accept nil receivers).
+func (o *Options) ProgressSink() *Progress {
+	if o == nil {
+		return nil
+	}
+	return o.Progress
 }
 
 // Workers resolves Options.Parallelism to a goroutine count (1 for nil
@@ -137,6 +193,8 @@ func BuildSingle(g *graph.Graph, s int, opts *Options) (*Structure, error) {
 
 func buildWithEngine(g *graph.Graph, s int, opts *Options, faults int,
 	build func(*replace.Engine, int, bool) *replace.TargetResult) (*Structure, error) {
+	ctx := opts.Context()
+	prog := opts.ProgressSink()
 	w := wsp.NewAssignment(g.M(), opts.seed())
 	eng, err := replace.NewEngine(g, w, s)
 	if err != nil {
@@ -151,14 +209,29 @@ func buildWithEngine(g *graph.Graph, s int, opts *Options, faults int,
 	for _, id := range eng.TreeEdges() {
 		st.Edges.Add(id)
 	}
+	opts.AnnounceTotal(int64(g.N()))
+	prog.AddEdges(int64(st.Edges.Len()))
 	collect := opts.collect()
 	if collect {
 		st.Targets = make([]*replace.TargetResult, g.N())
 	}
 	workers := opts.Workers()
 	if workers == 1 {
+		poll := cancel.New(ctx, 1) // each target pays several searches; check per target
+		prevD := 0
 		for v := 0; v < g.N(); v++ {
+			if err := poll.Poll(); err != nil {
+				return nil, err
+			}
+			n0 := st.Edges.Len()
 			st.fold(build(eng, v, collect), collect)
+			prog.AddUnits(1)
+			prog.AddEdges(int64(st.Edges.Len() - n0))
+			if prog != nil {
+				d := eng.Stats().Dijkstras
+				prog.AddDijkstras(int64(d - prevD))
+				prevD = d
+			}
 		}
 		es := eng.Stats()
 		st.Stats.Dijkstras = es.Dijkstras
@@ -166,7 +239,10 @@ func buildWithEngine(g *graph.Graph, s int, opts *Options, faults int,
 		st.Stats.TieWarnings = es.TieWarnings
 		return st, nil
 	}
-	return st, st.buildParallel(g, w, s, workers, collect, build)
+	if err := st.buildParallel(ctx, prog, g, w, s, workers, collect, build); err != nil {
+		return nil, err
+	}
+	return st, nil
 }
 
 // fold merges one target's contribution into the structure.
@@ -195,8 +271,11 @@ func (s *Structure) fold(tr *replace.TargetResult, collect bool) {
 // buildParallel fans the per-target computation out over `workers`
 // goroutines, each with a private engine over the shared weight assignment,
 // and folds the results deterministically (target order is irrelevant: each
-// target's edge set is independent).
-func (s *Structure) buildParallel(g *graph.Graph, w *wsp.Assignment, src, workers int,
+// target's edge set is independent). Cancellation is cooperative: every
+// worker polls ctx between targets and the whole build returns ctx.Err()
+// — no partial fold is published.
+func (s *Structure) buildParallel(ctx context.Context, prog *Progress, g *graph.Graph,
+	w *wsp.Assignment, src, workers int,
 	collect bool, build func(*replace.Engine, int, bool) *replace.TargetResult) error {
 	type chunk struct {
 		results []*replace.TargetResult
@@ -215,19 +294,39 @@ func (s *Structure) buildParallel(g *graph.Graph, w *wsp.Assignment, src, worker
 				out[wi].err = err
 				return
 			}
+			poll := cancel.New(ctx, 1)
+			prevD := 0
 			for v := wi; v < n; v += workers {
+				if err := poll.Poll(); err != nil {
+					out[wi].err = err
+					return
+				}
 				if tr := build(eng, v, collect); tr != nil {
 					out[wi].results = append(out[wi].results, tr)
+					prog.AddEdges(int64(len(tr.HEdges)))
+				}
+				prog.AddUnits(1)
+				if prog != nil {
+					d := eng.Stats().Dijkstras
+					prog.AddDijkstras(int64(d - prevD))
+					prevD = d
 				}
 			}
 			out[wi].stats = eng.Stats()
 		}(wi)
 	}
 	wg.Wait()
+	// A cancelled worker means a cancelled build, whatever the others
+	// managed to finish.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for wi := range out {
 		if out[wi].err != nil {
 			return fmt.Errorf("core: worker %d: %w", wi, out[wi].err)
 		}
+	}
+	for wi := range out {
 		for _, tr := range out[wi].results {
 			s.fold(tr, collect)
 		}
@@ -243,18 +342,33 @@ func (s *Structure) buildParallel(g *graph.Graph, w *wsp.Assignment, src, worker
 // selected path instead of only last edges. Always a superset of the
 // BuildDual structure with the same seed.
 func BuildFullPaths(g *graph.Graph, s int, opts *Options) (*Structure, error) {
-	forced := Options{CollectPaths: true}
+	forced := Options{}
 	if opts != nil {
-		forced.Seed = opts.Seed
+		forced = *opts // incl. ctx/progress and composition flags
 	}
+	forced.CollectPaths = true
+	// This builder is two passes over the targets — the dual build, then
+	// the path-closure walk — so announce 2n units up front (through
+	// opts, honoring multi-source scale/suppression) and suppress the
+	// inner BuildDual announcement: the live fraction stays monotone and
+	// only reaches 1 when the closure pass finishes.
+	opts.AnnounceTotal(2 * int64(g.N()))
+	forced.totalAnnounced = true
 	st, err := BuildDual(g, s, &forced)
 	if err != nil {
 		return nil, err
 	}
+	prog := opts.ProgressSink()
+	poll := cancel.New(opts.Context(), cancel.PollEvery)
 	for _, tr := range st.Targets {
 		if tr == nil {
+			prog.AddUnits(1)
 			continue
 		}
+		if err := poll.Poll(); err != nil {
+			return nil, err
+		}
+		n0 := st.Edges.Len()
 		for _, rec := range tr.Records {
 			for _, ge := range rec.Path.Edges() {
 				if id, ok := g.EdgeID(ge.U, ge.V); ok {
@@ -262,6 +376,8 @@ func BuildFullPaths(g *graph.Graph, s int, opts *Options) (*Structure, error) {
 				}
 			}
 		}
+		prog.AddUnits(1)
+		prog.AddEdges(int64(st.Edges.Len() - n0))
 	}
 	if opts == nil || !opts.CollectPaths {
 		st.Targets = nil
@@ -295,9 +411,10 @@ func BuildExhaustive(g *graph.Graph, s int, f int, opts *Options) (*Structure, e
 	if f == 0 {
 		units = 1
 	}
-	unionTrees(st, w, s, opts.Workers(), units, false, func(wi, workers int, addTree func(faults []int)) {
-		if wi == 0 {
-			addTree(nil)
+	opts.AnnounceTotal(numFaultSets(m, f))
+	err := unionTrees(st, w, s, opts, units, false, func(wi, workers int, addTree func(faults []int) bool) {
+		if wi == 0 && !addTree(nil) {
+			return
 		}
 		if f < 1 {
 			return
@@ -306,22 +423,47 @@ func BuildExhaustive(g *graph.Graph, s int, f int, opts *Options) (*Structure, e
 		// ≡ wi (mod workers); the sets partition, the union does not
 		// depend on the partition.
 		for a := wi; a < m; a += workers {
-			addTree([]int{a})
+			if !addTree([]int{a}) {
+				return
+			}
 			if f < 2 {
 				continue
 			}
 			for b := a + 1; b < m; b++ {
-				addTree([]int{a, b})
+				if !addTree([]int{a, b}) {
+					return
+				}
 				if f < 3 {
 					continue
 				}
 				for c := b + 1; c < m; c++ {
-					addTree([]int{a, b, c})
+					if !addTree([]int{a, b, c}) {
+						return
+					}
 				}
 			}
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	return st, nil
+}
+
+// numFaultSets counts the fault sets |F| ≤ f over m items (the exhaustive
+// builders' work-unit total; int64 because C(m,3) overflows int32 fast).
+func numFaultSets(m, f int) int64 {
+	n, m64 := int64(1), int64(m)
+	if f >= 1 {
+		n += m64
+	}
+	if f >= 2 {
+		n += m64 * (m64 - 1) / 2
+	}
+	if f >= 3 {
+		n += m64 * (m64 - 1) * (m64 - 2) / 6
+	}
+	return n
 }
 
 // unionTrees fans canonical-tree enumeration out over `workers`
@@ -333,8 +475,16 @@ func BuildExhaustive(g *graph.Graph, s int, f int, opts *Options) (*Structure, e
 // (wi, workers) partition must visit every fault set exactly once; since
 // every tree is deterministic under W, the merged structure is identical
 // to the sequential build for any partition.
-func unionTrees(st *Structure, w *wsp.Assignment, s, workers, units int, vertexFaults bool,
-	enumerate func(wi, workers int, addTree func(faults []int))) {
+//
+// Cancellation: addTree polls opts.Ctx every cancel.PollEvery trees and returns
+// false once cancelled; enumerate must then stop its fan-out. A cancelled
+// enumeration makes unionTrees return ctx.Err() WITHOUT touching st's
+// edge set — callers discard st, so no partial structure escapes.
+func unionTrees(st *Structure, w *wsp.Assignment, s int, opts *Options, units int, vertexFaults bool,
+	enumerate func(wi, workers int, addTree func(faults []int) bool)) error {
+	ctx := opts.Context()
+	prog := opts.ProgressSink()
+	workers := opts.Workers()
 	if workers > units {
 		workers = max(1, units)
 	}
@@ -343,6 +493,7 @@ func unionTrees(st *Structure, w *wsp.Assignment, s, workers, units int, vertexF
 		edges     *graph.EdgeSet
 		dijkstras int
 		ties      int
+		err       error
 	}
 	out := make([]chunk, workers)
 	var wg sync.WaitGroup
@@ -352,7 +503,12 @@ func unionTrees(st *Structure, w *wsp.Assignment, s, workers, units int, vertexF
 			defer wg.Done()
 			search := wsp.NewSearch(g, w)
 			edges := graph.NewEdgeSet(g.M())
-			addTree := func(faults []int) {
+			poll := cancel.New(ctx, cancel.PollEvery)
+			addTree := func(faults []int) bool {
+				if err := poll.Poll(); err != nil {
+					out[wi].err = err
+					return false
+				}
 				o := wsp.Options{Target: -1}
 				if vertexFaults {
 					o.DisabledVertices = faults
@@ -361,11 +517,16 @@ func unionTrees(st *Structure, w *wsp.Assignment, s, workers, units int, vertexF
 				}
 				search.Run(s, o)
 				out[wi].dijkstras++
+				n0 := edges.Len()
 				for v := 0; v < g.N(); v++ {
 					if id := search.ParentEdgeOf(v); id >= 0 {
 						edges.Add(id)
 					}
 				}
+				prog.AddUnits(1)
+				prog.AddDijkstras(1)
+				prog.AddEdges(int64(edges.Len() - n0))
+				return true
 			}
 			enumerate(wi, workers, addTree)
 			out[wi].edges = edges
@@ -374,10 +535,16 @@ func unionTrees(st *Structure, w *wsp.Assignment, s, workers, units int, vertexF
 	}
 	wg.Wait()
 	for wi := range out {
+		if out[wi].err != nil {
+			return out[wi].err
+		}
+	}
+	for wi := range out {
 		st.Edges.Union(out[wi].edges)
 		st.Stats.Dijkstras += out[wi].dijkstras
 		st.Stats.TieWarnings += out[wi].ties
 	}
+	return nil
 }
 
 // BuildMultiSource composes per-source structures into an FT-MBFS structure
@@ -390,13 +557,43 @@ func BuildMultiSource(g *graph.Graph, sources []int, opts *Options,
 	}
 	uniq := append([]int(nil), sources...)
 	sort.Ints(uniq)
+	k := 1
+	for i := 1; i < len(uniq); i++ {
+		if uniq[i] != uniq[i-1] {
+			k++
+		}
+	}
+	ctx := opts.Context()
 	out := &Structure{G: g, Edges: graph.NewEdgeSet(g.M())}
+	first := true
 	for i, s := range uniq {
 		if i > 0 && s == uniq[i-1] {
 			continue
 		}
-		st, err := build(g, s, opts)
+		// The per-source build polls ctx inside its own loops; this check
+		// only keeps a cancelled multi-source build from starting the next
+		// source. Return the bare ctx.Err() so callers can errors.Is it.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Per-source totals are source-independent, so the first source's
+		// AnnounceTotal publishes k× its own total and the rest announce
+		// nothing — the composite's fraction stays monotone.
+		var so Options
+		if opts != nil {
+			so = *opts
+		}
+		if first {
+			so.totalScale = k
+			first = false
+		} else {
+			so.totalAnnounced = true
+		}
+		st, err := build(g, s, &so)
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			return nil, fmt.Errorf("core: source %d: %w", s, err)
 		}
 		out.Edges.Union(st.Edges)

@@ -36,9 +36,11 @@ func BuildVertexExhaustive(g *graph.Graph, s int, f int, opts *Options) (*Struct
 	if f == 0 {
 		units = 1
 	}
-	unionTrees(st, w, s, opts.Workers(), units, true, func(wi, workers int, addTree func(faults []int)) {
-		if wi == 0 {
-			addTree(nil)
+	// Work units: fault sets over the n-1 non-source vertices.
+	opts.AnnounceTotal(numFaultSets(n-1, f))
+	err := unionTrees(st, w, s, opts, units, true, func(wi, workers int, addTree func(faults []int) bool) {
+		if wi == 0 && !addTree(nil) {
+			return
 		}
 		if f < 1 {
 			return
@@ -49,16 +51,23 @@ func BuildVertexExhaustive(g *graph.Graph, s int, f int, opts *Options) (*Struct
 			if a == s {
 				continue
 			}
-			addTree([]int{a})
+			if !addTree([]int{a}) {
+				return
+			}
 			if f >= 2 {
 				for b := a + 1; b < n; b++ {
 					if b == s {
 						continue
 					}
-					addTree([]int{a, b})
+					if !addTree([]int{a, b}) {
+						return
+					}
 				}
 			}
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	return st, nil
 }

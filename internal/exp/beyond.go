@@ -28,11 +28,11 @@ func E13Selection(cfg Config) (*Table, error) {
 				continue
 			}
 			src := sourceFor(fam.Name, g, n)
-			cons, err := core.BuildDual(g, src, &core.Options{Seed: 1})
+			cons, err := core.BuildDual(g, src, cfg.opts(1))
 			if err != nil {
 				return nil, fmt.Errorf("E13 cons %s: %w", fam.Name, err)
 			}
-			canon, err := multifail.Build(g, src, 2, &core.Options{Seed: 1})
+			canon, err := multifail.Build(g, src, 2, cfg.opts(1))
 			if err != nil {
 				return nil, fmt.Errorf("E13 canon %s: %w", fam.Name, err)
 			}
@@ -68,20 +68,20 @@ func E12Beyond(cfg Config) (*Table, error) {
 			continue
 		}
 		for f := 0; f <= 3; f++ {
-			st, err := multifail.Build(g, 0, f, &core.Options{Seed: 1})
+			st, err := multifail.Build(g, 0, f, cfg.opts(1))
 			if err != nil {
 				return nil, fmt.Errorf("E12 %s f=%d: %w", fam.Name, f, err)
 			}
 			status := "sampled-ok"
 			if f <= 2 || g.M() <= 120 {
-				rep := verify.Structure(g, st, []int{0}, f, nil)
+				rep := verify.Structure(g, st, []int{0}, f, cfg.verifyOpts())
 				if !rep.OK {
 					return t, fmt.Errorf("E12 %s f=%d: verification failed: %v",
 						fam.Name, f, rep.Violations[0])
 				}
 				status = "exhaustive-ok"
 			} else {
-				rep := verify.Sampled(g, st.DisabledEdges(), []int{0}, f, 400, 1, nil)
+				rep := verify.Sampled(g, st.DisabledEdges(), []int{0}, f, 400, 1, cfg.verifyOpts())
 				if !rep.OK {
 					return t, fmt.Errorf("E12 %s f=%d: sampled verification failed: %v",
 						fam.Name, f, rep.Violations[0])

@@ -32,8 +32,13 @@ func E2LowerBound(cfg Config) (*Table, error) {
 		var xs, ys []float64
 		for _, n := range sizes {
 			scale := n * (f + 1) // towers grow with f; give the budget room
-			inst, err := lowerbound.NewInstance(f, scale)
+			inst, err := lowerbound.NewInstanceCtx(cfg.ctx(), f, scale)
 			if err != nil {
+				// "n too small" rows are skipped; a cancelled sweep must
+				// NOT masquerade as a completed (truncated) table.
+				if cerr := cfg.ctx().Err(); cerr != nil {
+					return nil, cerr
+				}
 				continue
 			}
 			nn := float64(inst.G.N())
@@ -56,8 +61,11 @@ func E2LowerBound(cfg Config) (*Table, error) {
 	// Multi-source sweep at fixed f=1.
 	for _, sigma := range []int{1, 2, 4} {
 		n := sizes[len(sizes)-1] * 4
-		mi, err := lowerbound.NewMultiInstance(1, sigma, n)
+		mi, err := lowerbound.NewMultiInstanceCtx(cfg.ctx(), 1, sigma, n)
 		if err != nil {
+			if cerr := cfg.ctx().Err(); cerr != nil {
+				return nil, cerr
+			}
 			continue
 		}
 		nn := float64(mi.G.N())
@@ -140,7 +148,7 @@ func E3Approx(cfg Config) (*Table, error) {
 		if c.nsrc == 2 {
 			sources = []int{0, n / 2}
 		}
-		ap, err := approx.Build(g, sources, c.f, nil)
+		ap, err := approx.Build(g, sources, c.f, cfg.opts(0))
 		if err != nil {
 			return nil, fmt.Errorf("E3 %s f=%d: %w", c.name, c.f, err)
 		}
@@ -149,12 +157,12 @@ func E3Approx(cfg Config) (*Table, error) {
 		if c.f == 2 {
 			build = core.BuildDual
 		}
-		exact, err = core.BuildMultiSource(g, sources, nil, build)
+		exact, err = core.BuildMultiSource(g, sources, cfg.opts(0), build)
 		if err != nil {
 			return nil, fmt.Errorf("E3 exact %s: %w", c.name, err)
 		}
 		// Both must verify.
-		if rep := verify.Structure(g, ap, sources, c.f, nil); !rep.OK {
+		if rep := verify.Structure(g, ap, sources, c.f, cfg.verifyOpts()); !rep.OK {
 			return nil, fmt.Errorf("E3 %s: approx failed verification: %v", c.name, rep.Violations[0])
 		}
 		u := float64(approx.NumFaultSets(g.M(), c.f) * len(sources))
@@ -241,11 +249,11 @@ func E9Verify(cfg Config) (*Table, error) {
 			continue
 		}
 		src := sourceFor(fam.Name, g, n)
-		st, err := core.BuildDual(g, src, &core.Options{Seed: 1})
+		st, err := core.BuildDual(g, src, cfg.opts(1))
 		if err != nil {
 			return nil, fmt.Errorf("E9 %s: %w", fam.Name, err)
 		}
-		rep := verify.Structure(g, st, []int{src}, 2, nil)
+		rep := verify.Structure(g, st, []int{src}, 2, cfg.verifyOpts())
 		viol := len(rep.Violations)
 		t.AddRow(fam.Name, itoa(g.N()), itoa(g.M()), itoa(st.NumEdges()),
 			itoa(rep.FaultSetsChecked), itoa(rep.FaultSetsPruned), itoa(viol))

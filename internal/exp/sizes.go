@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -8,6 +9,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/lowerbound"
+	"repro/internal/verify"
 )
 
 // Config scales the experiment suite. The zero value is upgraded to the
@@ -20,6 +22,42 @@ type Config struct {
 	// Full enables the slow extras (f = 3 lower bounds, larger
 	// approximation instances).
 	Full bool
+	// Ctx cancels a sweep mid-run: it is threaded into every builder,
+	// verifier and lower-bound construction the experiments invoke, so
+	// ftbfsbench's SIGINT/-timeout path stops inside a measurement, not
+	// after it. nil never cancels.
+	Ctx context.Context
+}
+
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
+}
+
+// opts returns builder options carrying the sweep's context. Seed
+// semantics match a plain &core.Options{Seed: seed} (and nil options for
+// seed 0), so threading the context changes no measured output.
+func (c Config) opts(seed int64) *core.Options {
+	return &core.Options{Seed: seed, Ctx: c.Ctx}
+}
+
+// optsCollect is opts plus replacement-path retention (the analysis
+// experiments E7/E8/E10).
+func (c Config) optsCollect(seed int64) *core.Options {
+	o := c.opts(seed)
+	o.CollectPaths = true
+	return o
+}
+
+// verifyOpts returns verifier options carrying the sweep's context (nil
+// when there is none, preserving the verifier's zero-value defaults).
+func (c Config) verifyOpts() *verify.Options {
+	if c.Ctx == nil {
+		return nil
+	}
+	return &verify.Options{Ctx: c.Ctx}
 }
 
 func (c Config) sizes() []int {
@@ -94,7 +132,7 @@ func E1DualSize(cfg Config) (*Table, error) {
 			for s := 0; s < cfg.seeds(); s++ {
 				g = fam.Make(n, int64(1000+s))
 				src := sourceFor(fam.Name, g, n)
-				st, err := core.BuildDual(g, src, &core.Options{Seed: int64(s + 1)})
+				st, err := core.BuildDual(g, src, cfg.opts(int64(s+1)))
 				if err != nil {
 					return nil, fmt.Errorf("E1 %s n=%d: %w", fam.Name, n, err)
 				}
@@ -128,11 +166,11 @@ func E6SingleVsDual(cfg Config) (*Table, error) {
 		for _, n := range cfg.sizes() {
 			g := fam.Make(n, 1000)
 			src := sourceFor(fam.Name, g, n)
-			one, err := core.BuildSingle(g, src, &core.Options{Seed: 1})
+			one, err := core.BuildSingle(g, src, cfg.opts(1))
 			if err != nil {
 				return nil, fmt.Errorf("E6 single %s: %w", fam.Name, err)
 			}
-			two, err := core.BuildDual(g, src, &core.Options{Seed: 1})
+			two, err := core.BuildDual(g, src, cfg.opts(1))
 			if err != nil {
 				return nil, fmt.Errorf("E6 dual %s: %w", fam.Name, err)
 			}
@@ -159,7 +197,7 @@ func E5PerVertex(cfg Config) (*Table, error) {
 		for _, n := range cfg.sizes() {
 			g := fam.Make(n, 1000)
 			src := sourceFor(fam.Name, g, n)
-			st, err := core.BuildDual(g, src, &core.Options{Seed: 1})
+			st, err := core.BuildDual(g, src, cfg.opts(1))
 			if err != nil {
 				return nil, fmt.Errorf("E5 %s: %w", fam.Name, err)
 			}
@@ -194,15 +232,15 @@ func E11Ablation(cfg Config) (*Table, error) {
 				continue
 			}
 			src := sourceFor(fam.Name, g, n)
-			dual, err := core.BuildDual(g, src, &core.Options{Seed: 1})
+			dual, err := core.BuildDual(g, src, cfg.opts(1))
 			if err != nil {
 				return nil, fmt.Errorf("E11 dual %s: %w", fam.Name, err)
 			}
-			full, err := core.BuildFullPaths(g, src, &core.Options{Seed: 1})
+			full, err := core.BuildFullPaths(g, src, cfg.opts(1))
 			if err != nil {
 				return nil, fmt.Errorf("E11 full %s: %w", fam.Name, err)
 			}
-			exh, err := core.BuildExhaustive(g, src, 2, &core.Options{Seed: 1})
+			exh, err := core.BuildExhaustive(g, src, 2, cfg.opts(1))
 			if err != nil {
 				return nil, fmt.Errorf("E11 exhaustive %s: %w", fam.Name, err)
 			}

@@ -22,7 +22,7 @@ func E7Classes(cfg Config) (*Table, error) {
 		n := cfg.sizes()[len(cfg.sizes())-1]
 		g := fam.Make(n, 1000)
 		src := sourceFor(fam.Name, g, n)
-		st, err := core.BuildDual(g, src, &core.Options{Seed: 1, CollectPaths: true})
+		st, err := core.BuildDual(g, src, cfg.optsCollect(1))
 		if err != nil {
 			return nil, fmt.Errorf("E7 %s: %w", fam.Name, err)
 		}
@@ -65,7 +65,7 @@ func E8Detours(cfg Config) (*Table, error) {
 		n := cfg.sizes()[len(cfg.sizes())-1]
 		g := fam.Make(n, 1000)
 		src := sourceFor(fam.Name, g, n)
-		st, err := core.BuildDual(g, src, &core.Options{Seed: 1, CollectPaths: true})
+		st, err := core.BuildDual(g, src, cfg.optsCollect(1))
 		if err != nil {
 			return nil, fmt.Errorf("E8 %s: %w", fam.Name, err)
 		}
@@ -108,7 +108,7 @@ func E10Kernel(cfg Config) (*Table, error) {
 		n := cfg.sizes()[len(cfg.sizes())-1]
 		g := fam.Make(n, 1000)
 		src := sourceFor(fam.Name, g, n)
-		st, err := core.BuildDual(g, src, &core.Options{Seed: 1, CollectPaths: true})
+		st, err := core.BuildDual(g, src, cfg.optsCollect(1))
 		if err != nil {
 			return nil, fmt.Errorf("E10 %s: %w", fam.Name, err)
 		}

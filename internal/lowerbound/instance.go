@@ -1,8 +1,10 @@
 package lowerbound
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/cancel"
 	"repro/internal/graph"
 )
 
@@ -27,6 +29,14 @@ type Instance struct {
 // the largest tower degree d such that the tower occupies at most half the
 // vertex budget, mirroring the paper's d = Θ((n/2c)^{1/(f+1)}).
 func NewInstance(f, n int) (*Instance, error) {
+	return NewInstanceCtx(context.Background(), f, n)
+}
+
+// NewInstanceCtx is NewInstance with cooperative cancellation: the
+// Θ(leaves · |X|) bipartite enumeration — the only part that grows beyond
+// linear — polls ctx at an amortized cadence and returns ctx.Err() once
+// cancelled (lbgen's SIGINT/-timeout path).
+func NewInstanceCtx(ctx context.Context, f, n int) (*Instance, error) {
 	if f < 1 {
 		return nil, fmt.Errorf("lowerbound: f must be ≥ 1, got %d", f)
 	}
@@ -37,12 +47,16 @@ func NewInstance(f, n int) (*Instance, error) {
 	if TowerSize(f, d) > n/2 {
 		return nil, fmt.Errorf("lowerbound: n=%d too small for f=%d (need ≥ %d)", n, f, 2*TowerSize(f, 2)+2)
 	}
-	return NewInstanceD(f, d, n)
+	return newInstanceD(ctx, f, d, n)
 }
 
 // NewInstanceD builds G*_f with an explicit tower degree d; the remaining
 // vertex budget becomes X.
 func NewInstanceD(f, d, n int) (*Instance, error) {
+	return newInstanceD(context.Background(), f, d, n)
+}
+
+func newInstanceD(ctx context.Context, f, d, n int) (*Instance, error) {
 	if f < 1 || d < 2 {
 		return nil, fmt.Errorf("lowerbound: need f ≥ 1, d ≥ 2; got f=%d d=%d", f, d)
 	}
@@ -60,8 +74,12 @@ func NewInstanceD(f, d, n int) (*Instance, error) {
 		xs[i] = b.vertex()
 		b.edge(vstar, xs[i])
 	}
+	poll := cancel.New(ctx, 1024) // bipartite units are cheap appends
 	for _, lf := range t.Leaves {
 		for _, x := range xs {
+			if err := poll.Poll(); err != nil {
+				return nil, err
+			}
 			b.edge(lf.V, x)
 		}
 	}
@@ -73,6 +91,9 @@ func NewInstanceD(f, d, n int) (*Instance, error) {
 	inst.Bipartite = make([]int, 0, len(t.Leaves)*len(xs))
 	for _, lf := range t.Leaves {
 		for _, x := range xs {
+			if err := poll.Poll(); err != nil {
+				return nil, err
+			}
 			id, ok := g.EdgeID(lf.V, x)
 			if !ok {
 				return nil, fmt.Errorf("lowerbound: missing bipartite edge (%d,%d)", lf.V, x)
@@ -129,6 +150,12 @@ type MultiInstance struct {
 // NewMultiInstance builds the σ-source instance with roughly n vertices,
 // sizing each tower to Θ((n/2σ)^{1/(f+1)}).
 func NewMultiInstance(f, sigma, n int) (*MultiInstance, error) {
+	return NewMultiInstanceCtx(context.Background(), f, sigma, n)
+}
+
+// NewMultiInstanceCtx is NewMultiInstance with cooperative cancellation of
+// the bipartite enumeration (see NewInstanceCtx).
+func NewMultiInstanceCtx(ctx context.Context, f, sigma, n int) (*MultiInstance, error) {
 	if f < 1 || sigma < 1 {
 		return nil, fmt.Errorf("lowerbound: need f ≥ 1, σ ≥ 1; got f=%d σ=%d", f, sigma)
 	}
@@ -155,9 +182,13 @@ func NewMultiInstance(f, sigma, n int) (*MultiInstance, error) {
 		b.edge(vstar, xs[i])
 	}
 	count := 0
+	poll := cancel.New(ctx, 1024) // bipartite units are cheap appends
 	for i := range towers {
 		for _, lf := range towers[i].Leaves {
 			for _, x := range xs {
+				if err := poll.Poll(); err != nil {
+					return nil, err
+				}
 				b.edge(lf.V, x)
 				count++
 			}

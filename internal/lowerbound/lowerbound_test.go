@@ -1,6 +1,9 @@
 package lowerbound
 
 import (
+	"context"
+	"errors"
+
 	"testing"
 
 	"repro/internal/bfs"
@@ -228,5 +231,29 @@ func TestMultiInstanceErrors(t *testing.T) {
 	}
 	if _, err := NewMultiInstance(2, 5, 60); err == nil {
 		t.Fatal("tiny n accepted")
+	}
+}
+
+// TestInstanceCancelled: the quadratic bipartite enumeration honors its
+// context (lbgen's SIGINT/-timeout path); a live context changes nothing.
+func TestInstanceCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewInstanceCtx(ctx, 2, 300); !errors.Is(err, context.Canceled) {
+		t.Fatalf("NewInstanceCtx: err = %v, want context.Canceled", err)
+	}
+	if _, err := NewMultiInstanceCtx(ctx, 1, 2, 400); !errors.Is(err, context.Canceled) {
+		t.Fatalf("NewMultiInstanceCtx: err = %v, want context.Canceled", err)
+	}
+	plain, err := NewInstance(2, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxed, err := NewInstanceCtx(context.Background(), 2, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.G.M() != ctxed.G.M() || len(plain.Bipartite) != len(ctxed.Bipartite) {
+		t.Fatalf("ctx-threaded instance differs: m %d vs %d", plain.G.M(), ctxed.G.M())
 	}
 }

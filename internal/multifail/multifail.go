@@ -27,6 +27,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/cancel"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/wsp"
@@ -41,7 +42,10 @@ const MaxSearches = 4_000_000
 // and Parallelism: targets are independent, so their relevant trees are
 // expanded by that many goroutines with private search engines over the
 // shared weight assignment (the search budget stays global), and the
-// resulting structure is identical to the sequential build.
+// resulting structure is identical to the sequential build. Options.Ctx
+// cancels the enumeration cooperatively (Build then returns ctx.Err() and
+// no structure) and Options.Progress receives live counters — one work
+// unit per completed target, one Dijkstra per relevant fault set.
 func Build(g *graph.Graph, s int, f int, opts *core.Options) (*core.Structure, error) {
 	if s < 0 || s >= g.N() {
 		return nil, fmt.Errorf("multifail: source %d out of range [0,%d)", s, g.N())
@@ -53,6 +57,8 @@ func Build(g *graph.Graph, s int, f int, opts *core.Options) (*core.Structure, e
 	if opts != nil {
 		seed = opts.Seed + 1
 	}
+	ctx := opts.Context()
+	prog := opts.ProgressSink()
 	w := wsp.NewAssignment(g.M(), seed)
 	st := &core.Structure{
 		G:       g,
@@ -60,6 +66,9 @@ func Build(g *graph.Graph, s int, f int, opts *core.Options) (*core.Structure, e
 		Faults:  f,
 		Edges:   graph.NewEdgeSet(g.M()),
 	}
+	// Work units are targets; the per-target relevant-tree size is not
+	// known up front, so Dijkstras is the finer-grained live counter.
+	opts.AnnounceTotal(int64(max(0, g.N()-1)))
 	// No more workers than targets; an idle worker would still allocate
 	// a search engine.
 	workers := min(opts.Workers(), max(1, g.N()-1))
@@ -82,6 +91,8 @@ func Build(g *graph.Graph, s int, f int, opts *core.Options) (*core.Structure, e
 				search:   wsp.NewSearch(g, w),
 				edges:    graph.NewEdgeSet(g.M()),
 				searches: &searches,
+				poll:     cancel.New(ctx, cancel.PollEvery),
+				prog:     prog,
 			}
 			for v := wi; v < g.N(); v += workers {
 				if v == s {
@@ -92,12 +103,18 @@ func Build(g *graph.Graph, s int, f int, opts *core.Options) (*core.Structure, e
 					out[wi].err = err
 					break
 				}
+				prog.AddUnits(1)
 			}
 			out[wi].edges = b.edges
 			out[wi].ties = b.search.TieWarnings
 		}(wi)
 	}
 	wg.Wait()
+	// Cancellation wins over whatever else the workers hit: the build is
+	// cancelled, not failed, and no partial structure is published.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for wi := range out {
 		if out[wi].err != nil {
 			return nil, out[wi].err
@@ -116,6 +133,8 @@ type builder struct {
 	edges    *graph.EdgeSet  // this worker's last-edge accumulator
 	searches *atomic.Int64   // Build-wide search counter against MaxSearches
 	seen     map[string]bool // canonical fault-set keys already expanded (per target)
+	poll     *cancel.Poller  // amortized cancellation check, one per worker
+	prog     *core.Progress  // live counters (nil-safe)
 }
 
 // key canonicalizes a fault set (order-independent).
@@ -137,17 +156,22 @@ func (b *builder) expand(v int, faults []int) error {
 		return nil
 	}
 	b.seen[k] = true
+	if err := b.poll.Poll(); err != nil {
+		return err
+	}
 	if b.searches.Add(1) > MaxSearches {
 		return fmt.Errorf("multifail: search budget %d exhausted (f=%d too deep for this graph)",
 			MaxSearches, b.f)
 	}
 	b.search.Run(b.s, wsp.Options{Target: v, DisabledEdges: faults})
+	b.prog.AddDijkstras(1)
 	if !b.search.Reachable(v) {
 		return nil // disconnected under F: no requirement
 	}
 	p := b.search.PathTo(v)
-	if id := b.search.ParentEdgeOf(v); id >= 0 {
+	if id := b.search.ParentEdgeOf(v); id >= 0 && !b.edges.Has(id) {
 		b.edges.Add(id)
+		b.prog.AddEdges(1)
 	}
 	if len(faults) >= b.f {
 		return nil

@@ -1,6 +1,10 @@
 package multifail
 
 import (
+	"context"
+	"errors"
+	"time"
+
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -192,5 +196,42 @@ func TestParallelBuildMatches(t *testing.T) {
 				t.Fatalf("f=%d workers=%d: stats %+v vs %+v", f, workers, par.Stats, seq.Stats)
 			}
 		}
+	}
+}
+
+// TestBuildCancelled: a cancelled context stops the relevant-fault-tree
+// enumeration — bare ctx.Err(), no partial structure — sequentially and
+// in parallel; progress counters report work done before the stop.
+func TestBuildCancelled(t *testing.T) {
+	g := gen.SparseGNP(60, 4, 3)
+	pre, cancelPre := context.WithCancel(context.Background())
+	cancelPre()
+	for _, workers := range []int{0, 4} {
+		st, err := Build(g, 0, 2, &core.Options{Seed: 1, Ctx: pre, Parallelism: workers})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if st != nil {
+			t.Fatalf("workers=%d: partial structure escaped", workers)
+		}
+	}
+
+	prog := &core.Progress{}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		for prog.Snapshot().Dijkstras < 20 {
+			time.Sleep(50 * time.Microsecond)
+		}
+		cancel()
+	}()
+	st, err := Build(g, 0, 3, &core.Options{Seed: 1, Ctx: ctx, Progress: prog, Parallelism: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-build: err = %v, want context.Canceled", err)
+	}
+	if st != nil {
+		t.Fatal("mid-build: partial structure escaped")
+	}
+	if ps := prog.Snapshot(); ps.Dijkstras < 20 {
+		t.Fatalf("progress lost work: %+v", ps)
 	}
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"regexp"
 	"strings"
@@ -91,12 +92,16 @@ func (sp *GenSpec) generate() (*graph.Graph, error) {
 }
 
 // Build lifecycle states: queued (waiting for a build slot) → building →
-// ready | failed.
+// ready | failed | cancelled. Cancellation (DELETE on the build, graph
+// deletion, or server shutdown) can land in either non-terminal state: a
+// queued build cancels without ever taking a slot, a building one returns
+// at its next cooperative poll point.
 const (
-	StatusQueued   = "queued"
-	StatusBuilding = "building"
-	StatusReady    = "ready"
-	StatusFailed   = "failed"
+	StatusQueued    = "queued"
+	StatusBuilding  = "building"
+	StatusReady     = "ready"
+	StatusFailed    = "failed"
+	StatusCancelled = "cancelled"
 )
 
 // Snapshot persistence states of a ready build (empty when the server has
@@ -125,6 +130,13 @@ type buildEntry struct {
 	elapsed time.Duration // pure build time, excluding the queue wait
 	st      *core.Structure
 	set     *oracle.OracleSet
+	// cancel cancels the build's context; done is closed when the build
+	// goroutine has fully exited (slot released, status terminal);
+	// progress carries the builder's live counters. All three are nil for
+	// restored (snapshot-rehydrated) entries, which never ran here.
+	cancel   context.CancelFunc
+	done     chan struct{}
+	progress *core.Progress
 	// restored marks entries rehydrated from a snapshot (warm start or
 	// PUT upload) rather than built; elapsed then reports the ORIGINAL
 	// build time carried in the snapshot metadata, and origMeta retains

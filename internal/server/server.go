@@ -10,22 +10,27 @@
 //	GET    /v1/graphs/{graph}               graph info + build IDs
 //	DELETE /v1/graphs/{graph}               unregister
 //	POST   /v1/graphs/{graph}/builds        start an async structure build
-//	GET    /v1/graphs/{graph}/builds/{build}        build status, stats, cache counters
+//	GET    /v1/graphs/{graph}/builds/{build}        build status, stats, live progress, cache counters
+//	DELETE /v1/graphs/{graph}/builds/{build}        cancel a queued/running build; remove a terminal one
 //	POST   /v1/graphs/{graph}/builds/{build}/query  JSON batch of {source,target?,faults} (NDJSON streaming opt-in)
 //	GET    /v1/graphs/{graph}/builds/{build}/dist   ?source&target&faults=3,9
 //	GET    /v1/graphs/{graph}/builds/{build}/dists  ?source&faults
 //	GET    /v1/graphs/{graph}/builds/{build}/route  ?source&target&faults
+//	GET    /v1/stats                        build-plane gauges: slots, queue, cache aggregate
 //	GET    /healthz
 //
 // Builds run asynchronously (they queue behind a bounded semaphore; poll
-// the build resource through "queued" and "building" until "ready"); the
-// query path is served by a pool of per-goroutine oracles over one shared
-// immutable OracleSet whose failure-event memo is sharded by key hash, so
+// the build resource through "queued" and "building" until "ready" —
+// running builds report live progress counters, and DELETE cancels them
+// cooperatively, normally within a few milliseconds); the query path is
+// served by a pool of per-goroutine oracles over one shared immutable
+// OracleSet whose failure-event memo is sharded by key hash, so
 // concurrent clients asking about one failure event share a single BFS
 // over the sparse structure without contending on a global lock.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -75,6 +80,32 @@ type Config struct {
 	// MaxSnapshotBytes bounds uploaded snapshot bodies on the PUT
 	// snapshot endpoint (default 1 GiB).
 	MaxSnapshotBytes int64
+	// BuildLog, when set, receives one event per build reaching a
+	// terminal state — ready, failed or cancelled — so operators can
+	// audit the build plane without polling build resources. It is called
+	// outside the registry lock, possibly from several goroutines at
+	// once, and must not block for long.
+	BuildLog func(BuildEvent)
+}
+
+// BuildEvent describes one terminal build outcome for Config.BuildLog.
+type BuildEvent struct {
+	Graph   string
+	Build   string
+	Mode    string
+	Sources []int
+	// Status is the terminal state: ready, failed or cancelled.
+	Status    string
+	QueuedMS  float64
+	ElapsedMS float64
+	// Dijkstras counts the searches actually run: the final build stats
+	// for ready builds, the live progress counter (work done before the
+	// stop) for cancelled and failed ones.
+	Dijkstras int64
+	// Edges is |E_H| and GraphEdges |E(G)|, populated for ready builds.
+	Edges      int
+	GraphEdges int
+	Error      string
 }
 
 // Server is the ftbfsd registry and HTTP handler factory. It is safe for
@@ -85,11 +116,22 @@ type Server struct {
 	graphs   map[string]*graphEntry
 	buildSeq int
 	buildSem chan struct{}
+	// baseCtx parents every build's context; stop cancels it (graceful
+	// shutdown). builds tracks the build goroutines plus their background
+	// snapshot writes so Shutdown can wait for all of them. closed (set
+	// under mu before Shutdown waits) rejects new builds, so a create
+	// racing Shutdown can neither leak past the WaitGroup nor Add from
+	// zero concurrently with Wait.
+	baseCtx context.Context
+	stop    context.CancelFunc
+	builds  sync.WaitGroup
+	closed  bool
 }
 
 // New returns a Server with the given config (nil for defaults).
 func New(cfg *Config) *Server {
 	s := &Server{graphs: make(map[string]*graphEntry)}
+	s.baseCtx, s.stop = context.WithCancel(context.Background())
 	if cfg != nil {
 		s.cfg = *cfg
 	}
@@ -150,8 +192,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
 	mux.HandleFunc("GET /v1/graphs/{graph}", s.handleGetGraph)
 	mux.HandleFunc("DELETE /v1/graphs/{graph}", s.handleDeleteGraph)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/graphs/{graph}/builds", s.handleCreateBuild)
 	mux.HandleFunc("GET /v1/graphs/{graph}/builds/{build}", s.handleGetBuild)
+	mux.HandleFunc("DELETE /v1/graphs/{graph}/builds/{build}", s.handleDeleteBuild)
 	mux.HandleFunc("GET /v1/graphs/{graph}/builds/{build}/snapshot", s.handleGetSnapshot)
 	mux.HandleFunc("PUT /v1/graphs/{graph}/builds/{build}/snapshot", s.handlePutSnapshot)
 	mux.HandleFunc("POST /v1/graphs/{graph}/builds/{build}/query", s.handleBatchQuery)
@@ -272,10 +316,12 @@ func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, info)
 }
 
-// handleDeleteGraph unregisters a graph. In-flight builds of the graph
-// are not cancelled (the builders are not interruptible): each keeps its
-// semaphore slot until done, publishes into the now-unreachable entry and
-// is then garbage-collected with it.
+// handleDeleteGraph unregisters a graph and cancels every in-flight or
+// queued build of it: each build's context is cancelled after the entry
+// leaves the registry, so a running builder returns at its next poll
+// point and frees its semaphore slot, and a queued one never starts.
+// The cancelled goroutines publish their terminal status into the
+// now-unreachable entry and are garbage-collected with it.
 //
 // Snapshot cleanup ordering matters twice over. The registry entry is
 // removed FIRST: persistBuild's post-Put liveness check then guarantees
@@ -286,9 +332,20 @@ func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("graph")
 	s.mu.Lock()
-	_, ok := s.graphs[name]
+	g, ok := s.graphs[name]
 	delete(s.graphs, name)
+	var cancels []context.CancelFunc
+	if ok {
+		for _, be := range g.builds {
+			if be.cancel != nil && (be.status == StatusQueued || be.status == StatusBuilding) {
+				cancels = append(cancels, be.cancel)
+			}
+		}
+	}
 	s.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
 	if s.cfg.Store != nil && nameRe.MatchString(name) {
 		if err := s.cfg.Store.DeleteGraph(name); err != nil {
 			writeErr(w, http.StatusInternalServerError,
@@ -340,7 +397,9 @@ type buildInfo struct {
 	Status  string `json:"status"`
 	Error   string `json:"error,omitempty"`
 	// QueuedMS is the time the build waited for a build slot; ElapsedMS
-	// is pure build time from slot acquisition (0 while queued).
+	// is pure build time from slot acquisition (0 while queued, live
+	// while building, final once terminal — including "cancelled", where
+	// it measures slot acquisition to cancellation).
 	QueuedMS  float64     `json:"queuedMs,omitempty"`
 	ElapsedMS float64     `json:"elapsedMs,omitempty"`
 	Faults    int         `json:"faults,omitempty"`
@@ -348,6 +407,9 @@ type buildInfo struct {
 	GraphM    int         `json:"graphEdges,omitempty"`
 	Stats     *buildStats `json:"stats,omitempty"`
 	Cache     *cacheInfo  `json:"cache,omitempty"`
+	// Progress reports the builder's live counters while the build runs
+	// (and, for cancelled builds, where the work stopped).
+	Progress *progressInfo `json:"progress,omitempty"`
 	// Restored marks builds rehydrated from a snapshot (warm start or
 	// upload) — ElapsedMS then reports the original build time.
 	Restored bool `json:"restored,omitempty"`
@@ -365,6 +427,11 @@ func (s *Server) handleCreateBuild(w http.ResponseWriter, r *http.Request) {
 	}
 	name := r.PathValue("graph")
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
 	g, ok := s.graphs[name]
 	if !ok {
 		s.mu.Unlock()
@@ -385,20 +452,25 @@ func (s *Server) handleCreateBuild(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.buildSeq++
+	ctx, cancel := context.WithCancel(s.baseCtx)
 	be := &buildEntry{
-		id:      fmt.Sprintf("b%d", s.buildSeq),
-		mode:    req.Mode,
-		sources: append([]int(nil), req.Sources...),
-		seed:    req.Seed,
-		status:  StatusQueued,
-		created: time.Now(),
+		id:       fmt.Sprintf("b%d", s.buildSeq),
+		mode:     req.Mode,
+		sources:  append([]int(nil), req.Sources...),
+		seed:     req.Seed,
+		status:   StatusQueued,
+		created:  time.Now(),
+		cancel:   cancel,
+		done:     make(chan struct{}),
+		progress: &core.Progress{},
 	}
 	g.builds[be.id] = be
 	g.order = append(g.order, be.id)
 	gg := g.g
+	s.builds.Add(1)
 	s.mu.Unlock()
 
-	go s.runBuild(name, gg, be, build, req.Parallelism)
+	go s.runBuild(ctx, name, gg, be, build, req.Parallelism)
 	writeJSON(w, http.StatusAccepted, buildInfo{
 		ID: be.id, Graph: name, Mode: be.mode, Sources: be.sources,
 		Seed: be.seed, Status: StatusQueued,
@@ -427,36 +499,113 @@ func (s *Server) cacheEntriesFor(n int) int {
 // behind other builds is reported separately. When a Store is configured,
 // a ready build is snapshotted into it in the background — queries are
 // served the moment the build is published, not when the disk write lands.
-func (s *Server) runBuild(graphName string, g2 *graph.Graph, be *buildEntry,
+//
+// The context is the build's cancellation plane: it is cancelled by
+// DELETE on the build, by deleting the graph, or by Server.Shutdown. A
+// build cancelled while queued never acquires the semaphore and never
+// starts; one cancelled mid-build returns from the builder at its next
+// cooperative poll point (ctx.Err(), no partial structure) and frees its
+// slot. Either way the entry lands in the terminal "cancelled" status and
+// be.done is closed once the goroutine has fully wound down.
+func (s *Server) runBuild(ctx context.Context, graphName string, g2 *graph.Graph, be *buildEntry,
 	build func(*graph.Graph, *core.Options) (*core.Structure, error), parallelism int) {
-	s.buildSem <- struct{}{}
+	defer s.builds.Done()
+	defer close(be.done)
+	defer be.cancel() // release the context once the build is over
+	select {
+	case s.buildSem <- struct{}{}:
+	case <-ctx.Done():
+		s.mu.Lock()
+		be.status = StatusCancelled
+		be.queued = time.Since(be.created)
+		s.mu.Unlock()
+		s.logBuild(graphName, be)
+		return
+	}
 	defer func() { <-s.buildSem }()
 	s.mu.Lock()
 	be.status = StatusBuilding
 	be.started = time.Now()
 	be.queued = be.started.Sub(be.created)
 	s.mu.Unlock()
-	opts := &core.Options{Seed: be.seed, Parallelism: parallelism}
+	opts := &core.Options{Seed: be.seed, Parallelism: parallelism, Ctx: ctx, Progress: be.progress}
 	st, err := build(g2, opts)
 	var set *oracle.OracleSet
-	if err == nil {
+	if err == nil && ctx.Err() == nil {
 		set, err = s.newOracleSet(st, g2.N())
 	}
 	s.mu.Lock()
 	be.elapsed = time.Since(be.started)
-	if err != nil {
+	switch {
+	case ctx.Err() != nil:
+		// Cancelled before the result was published; work that finished
+		// under the wire is discarded, queries never see it.
+		be.status = StatusCancelled
+	case err != nil:
 		be.status = StatusFailed
 		be.errMsg = err.Error()
-	} else {
+	default:
 		be.st = st
 		be.set = set
 		be.status = StatusReady
 		if s.cfg.Store != nil {
 			be.snapState = SnapPending
-			go s.persistBuild(graphName, be)
+			s.builds.Add(1) // safe: runBuild still holds its own slot
+			go func() {
+				defer s.builds.Done()
+				s.persistBuild(graphName, be)
+			}()
 		}
 	}
 	s.mu.Unlock()
+	s.logBuild(graphName, be)
+}
+
+// logBuild reports a terminal build outcome to Config.BuildLog.
+func (s *Server) logBuild(graphName string, be *buildEntry) {
+	if s.cfg.BuildLog == nil {
+		return
+	}
+	s.mu.RLock()
+	ev := BuildEvent{
+		Graph: graphName, Build: be.id, Mode: be.mode,
+		Sources: append([]int(nil), be.sources...),
+		Status:  be.status, Error: be.errMsg,
+		QueuedMS: durationMS(be.queued), ElapsedMS: durationMS(be.elapsed),
+		Dijkstras: be.progress.Snapshot().Dijkstras,
+	}
+	if be.status == StatusReady {
+		ev.Dijkstras = int64(be.st.Stats.Dijkstras)
+		ev.Edges = be.st.NumEdges()
+		ev.GraphEdges = be.st.G.M()
+	}
+	s.mu.RUnlock()
+	s.cfg.BuildLog(ev)
+}
+
+// Shutdown cancels every in-flight and queued build and waits — bounded
+// by ctx — for their goroutines (including background snapshot writes) to
+// exit. After a nil return, no build goroutine is left running, so the
+// process can exit without silently abandoning work. From the moment
+// Shutdown is entered the server rejects new builds with 503 — even a
+// create racing the wait cannot slip a goroutine past it — so draining
+// the HTTP layer first is good manners, not a correctness requirement.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.stop()
+	done := make(chan struct{})
+	go func() {
+		s.builds.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: shutdown: builds still running: %w", ctx.Err())
+	}
 }
 
 // snapshotOf assembles the snapshot of a ready build. Callers must hold
@@ -483,9 +632,9 @@ func snapshotOf(graphName string, be *buildEntry) *snap.Snapshot {
 }
 
 // persistBuild encodes one ready build into the store and records the
-// outcome. If the graph was deleted while the encode was in flight, the
-// freshly written snapshot is removed again so a later warm start cannot
-// resurrect a deleted graph.
+// outcome. If the graph — or just this build — was deleted while the
+// encode was in flight, the freshly written snapshot is removed again so
+// a later warm start cannot resurrect deleted state.
 func (s *Server) persistBuild(graphName string, be *buildEntry) {
 	s.mu.RLock()
 	sn := snapshotOf(graphName, be)
@@ -500,10 +649,18 @@ func (s *Server) persistBuild(graphName string, be *buildEntry) {
 	} else {
 		be.snapState = SnapSaved
 	}
-	_, alive := s.graphs[graphName]
+	g, alive := s.graphs[graphName]
+	buildAlive := false
+	if alive {
+		_, buildAlive = g.builds[be.id]
+	}
 	s.mu.Unlock()
-	if err == nil && !alive {
+	switch {
+	case err != nil:
+	case !alive:
 		_ = s.cfg.Store.DeleteGraph(graphName)
+	case !buildAlive:
+		_ = s.cfg.Store.Delete(graphName, be.id)
 	}
 }
 
@@ -517,16 +674,49 @@ func (s *Server) newOracleSet(st *core.Structure, n int) (*oracle.OracleSet, err
 	return oracle.NewSetCapacity(st, entries)
 }
 
+// progressInfo is the wire form of a build's live progress counters.
+type progressInfo struct {
+	// Fraction is UnitsDone/UnitsTotal clamped to [0,1] (0 while the
+	// builder has not yet announced its work-unit total).
+	Fraction   float64 `json:"fraction"`
+	UnitsDone  int64   `json:"unitsDone"`
+	UnitsTotal int64   `json:"unitsTotal"`
+	Dijkstras  int64   `json:"dijkstras"`
+	EdgesKept  int64   `json:"edgesKept"`
+}
+
+// durationMS renders a duration as fractional milliseconds (the API's
+// timing unit).
+func durationMS(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000
+}
+
 func (s *Server) buildInfoLocked(graphName string, be *buildEntry) buildInfo {
 	info := buildInfo{
 		ID: be.id, Graph: graphName, Mode: be.mode, Sources: be.sources,
 		Seed: be.seed, Status: be.status, Error: be.errMsg,
-		QueuedMS:  float64(be.queued.Microseconds()) / 1000,
-		ElapsedMS: float64(be.elapsed.Microseconds()) / 1000,
+		QueuedMS:  durationMS(be.queued),
+		ElapsedMS: durationMS(be.elapsed),
 	}
 	if be.status == StatusQueued {
 		// Still waiting for a slot: report the wait so far.
-		info.QueuedMS = float64(time.Since(be.created).Microseconds()) / 1000
+		info.QueuedMS = durationMS(time.Since(be.created))
+	}
+	if be.status == StatusBuilding {
+		// Live build time plus the builder's progress counters, readable
+		// without disturbing the build (atomic snapshots of monotone
+		// counters).
+		info.ElapsedMS = durationMS(time.Since(be.started))
+	}
+	if (be.status == StatusBuilding || be.status == StatusCancelled) && be.progress != nil {
+		ps := be.progress.Snapshot()
+		info.Progress = &progressInfo{
+			Fraction:   ps.Fraction(),
+			UnitsDone:  ps.UnitsDone,
+			UnitsTotal: ps.UnitsTotal,
+			Dijkstras:  ps.Dijkstras,
+			EdgesKept:  ps.EdgesKept,
+		}
 	}
 	if be.status == StatusReady {
 		info.Faults = be.st.Faults
@@ -564,6 +754,69 @@ func (s *Server) handleGetBuild(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
+}
+
+// cancelWaitMax bounds how long DELETE on a running build waits for the
+// build goroutine to observe the cancel before answering with whatever
+// state the build is in. Cooperative cancellation lands within a few poll
+// intervals (~ms); the bound only guards against a wedged builder.
+const cancelWaitMax = 10 * time.Second
+
+// handleDeleteBuild cancels or removes a build. An in-flight or queued
+// build is cancelled: its context is cancelled, the handler waits
+// (bounded) for the build goroutine to wind down — freeing its semaphore
+// slot — and answers 200 with the terminal entry (normally status
+// "cancelled"; "ready" if publication won the race). A build already in a
+// terminal state is removed from the registry and the snapshot store, and
+// the handler answers 204 — so cancelling and then re-DELETEing fully
+// disposes of a build.
+//
+// Store cleanup mirrors graph deletion: the registry entry goes first,
+// and the store delete is attempted even when the build is already gone
+// from the registry, so a failed store delete (500) can be retried and
+// still reach the orphaned snapshot — otherwise a warm start would
+// resurrect the deleted build. persistBuild's post-Put liveness check
+// covers a background snapshot write racing this delete.
+func (s *Server) handleDeleteBuild(w http.ResponseWriter, r *http.Request) {
+	graphName, buildID := r.PathValue("graph"), r.PathValue("build")
+	s.mu.Lock()
+	g, be, err := s.resolveLocked(r)
+	if err == nil && (be.status == StatusQueued || be.status == StatusBuilding) {
+		cancel, done := be.cancel, be.done
+		s.mu.Unlock()
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(cancelWaitMax):
+		}
+		s.mu.RLock()
+		info := s.buildInfoLocked(g.name, be)
+		s.mu.RUnlock()
+		writeJSON(w, http.StatusOK, info)
+		return
+	}
+	if err == nil {
+		delete(g.builds, be.id)
+		for i, id := range g.order {
+			if id == be.id {
+				g.order = append(g.order[:i], g.order[i+1:]...)
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+	if s.cfg.Store != nil && nameRe.MatchString(graphName) && nameRe.MatchString(buildID) {
+		if serr := s.cfg.Store.Delete(graphName, buildID); serr != nil {
+			writeErr(w, http.StatusInternalServerError,
+				"build unregistered but snapshot not deleted (retry DELETE to clean it): %v", serr)
+			return
+		}
+	}
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // resolveLocked looks up the graph and build named in the request path.

@@ -27,6 +27,9 @@ type Store interface {
 	Open(graph, build string) (io.ReadCloser, error)
 	// List enumerates every stored key in deterministic order.
 	List() ([]StoreKey, error)
+	// Delete removes the snapshot under one (graph, build) key (a no-op
+	// when absent). DELETE on a terminal build uses it.
+	Delete(graph, build string) error
 	// DeleteGraph removes every snapshot of the named graph (a no-op when
 	// none are stored).
 	DeleteGraph(graph string) error
@@ -109,6 +112,17 @@ func (s *MemStore) List() ([]StoreKey, error) {
 		return out[i].Build < out[j].Build
 	})
 	return out, nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(graph, build string) error {
+	if err := checkStoreKey(graph, build); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	delete(s.snaps, StoreKey{Graph: graph, Build: build})
+	s.mu.Unlock()
+	return nil
 }
 
 // DeleteGraph implements Store.
@@ -203,6 +217,19 @@ func (s *DiskStore) List() ([]StoreKey, error) {
 		return out[i].Build < out[j].Build
 	})
 	return out, nil
+}
+
+// Delete implements Store. Removing the last snapshot of a graph leaves
+// its (empty) directory behind; List skips directories without snapshot
+// files, and DeleteGraph removes the directory itself.
+func (s *DiskStore) Delete(graph, build string) error {
+	if err := checkStoreKey(graph, build); err != nil {
+		return err
+	}
+	if err := os.Remove(s.path(graph, build)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("server: snapshot delete: %w", err)
+	}
+	return nil
 }
 
 // DeleteGraph implements Store.

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/bfs"
+	"repro/internal/cancel"
 	"repro/internal/graph"
 )
 
@@ -27,14 +28,23 @@ func ftbfsParallel(g *graph.Graph, offH []int, sources []int, f int, opts *Optio
 	hv := newHView(g, offH) // immutable; shared across workers
 
 	type local struct {
-		violations []Violation
-		checked    int
-		pruned     int
+		violations  []Violation
+		checked     int
+		pruned      int
+		interrupted bool
 	}
 
 	runRange := func(s int, prune bool, wi int, loc *local) {
 		rg := bfs.NewRunner(g)
 		rh := hv.newRunner()
+		poll := cancel.New(opts.ctx(), cancel.PollEvery)
+		interrupted := func() bool {
+			if poll.Poll() != nil {
+				loc.interrupted = true
+				return true
+			}
+			return false
+		}
 		check := func(faults []int) {
 			rg.Run(s, faults, nil)
 			dh := rh.run(s, faults)
@@ -54,7 +64,7 @@ func ftbfsParallel(g *graph.Graph, offH []int, sources []int, f int, opts *Optio
 		}
 		m := g.M()
 		for a := wi; a < m; a += workers {
-			if len(loc.violations) >= maxV {
+			if len(loc.violations) >= maxV || interrupted() {
 				return
 			}
 			if prune && !inH[a] && f < 2 {
@@ -68,6 +78,9 @@ func ftbfsParallel(g *graph.Graph, offH []int, sources []int, f int, opts *Optio
 			}
 			if f >= 2 {
 				for b := a + 1; b < m; b++ {
+					if interrupted() {
+						return
+					}
 					if prune && !inH[a] && !inH[b] {
 						loc.pruned++
 					} else {
@@ -75,6 +88,9 @@ func ftbfsParallel(g *graph.Graph, offH []int, sources []int, f int, opts *Optio
 					}
 					if f >= 3 {
 						for c := b + 1; c < m; c++ {
+							if interrupted() {
+								return
+							}
 							if prune && !inH[a] && !inH[b] && !inH[c] {
 								loc.pruned++
 								continue
@@ -127,6 +143,7 @@ func ftbfsParallel(g *graph.Graph, offH []int, sources []int, f int, opts *Optio
 				rep.FaultSetsChecked += locals[i].checked
 				rep.FaultSetsPruned += locals[i].pruned
 				rep.Violations = append(rep.Violations, locals[i].violations...)
+				rep.Interrupted = rep.Interrupted || locals[i].interrupted
 			}
 		}
 	}
@@ -148,6 +165,6 @@ func ftbfsParallel(g *graph.Graph, offH []int, sources []int, f int, opts *Optio
 	if len(rep.Violations) > maxV {
 		rep.Violations = rep.Violations[:maxV]
 	}
-	rep.OK = len(rep.Violations) == 0
+	rep.OK = len(rep.Violations) == 0 && !rep.Interrupted
 	return rep
 }

@@ -13,10 +13,12 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/bfs"
+	"repro/internal/cancel"
 	"repro/internal/graph"
 )
 
@@ -47,6 +49,10 @@ type Report struct {
 	// FaultSetsPruned counts fault sets skipped by the disjointness
 	// lemma.
 	FaultSetsPruned int
+	// Interrupted reports that Options.Ctx was cancelled before the pass
+	// finished: the counts cover only the fault sets reached, nothing was
+	// proven about the rest, and OK is therefore false.
+	Interrupted bool
 }
 
 // Options tunes a verification pass. The zero value gives an exhaustive,
@@ -61,6 +67,17 @@ type Options struct {
 	// that many goroutines. Violations are reported in deterministic
 	// order; the early-exit cap becomes per-worker.
 	Parallelism int
+	// Ctx cancels the pass cooperatively (SIGINT / -timeout in
+	// ftbfsverify): the enumeration polls it at an amortized cadence and
+	// returns early with Report.Interrupted set. nil never cancels.
+	Ctx context.Context
+}
+
+func (o *Options) ctx() context.Context {
+	if o != nil && o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 func (o *Options) workers() int {
@@ -167,6 +184,15 @@ func FTBFS(g *graph.Graph, offH []int, sources []int, f int, opts *Options) Repo
 	rg := bfs.NewRunner(g)
 	rh := newHView(g, offH).newRunner()
 	maxV := opts.maxViol()
+	poll := cancel.New(opts.ctx(), cancel.PollEvery)
+	interrupted := func() bool {
+		if poll.Poll() != nil {
+			rep.Interrupted = true
+			rep.OK = false
+			return true
+		}
+		return false
+	}
 
 	check := func(s int, faults []int) bool {
 		// H \ F realized inside the materialized H subgraph.
@@ -201,6 +227,9 @@ func FTBFS(g *graph.Graph, offH []int, sources []int, f int, opts *Options) Repo
 		m := g.M()
 		if f >= 1 {
 			for a := 0; a < m; a++ {
+				if interrupted() {
+					return rep
+				}
 				if prune && !inH[a] {
 					rep.FaultSetsPruned++
 				} else {
@@ -211,6 +240,9 @@ func FTBFS(g *graph.Graph, offH []int, sources []int, f int, opts *Options) Repo
 				}
 				if f >= 2 {
 					for b := a + 1; b < m; b++ {
+						if interrupted() {
+							return rep
+						}
 						if prune && !inH[a] && !inH[b] {
 							rep.FaultSetsPruned++
 						} else {
@@ -221,6 +253,9 @@ func FTBFS(g *graph.Graph, offH []int, sources []int, f int, opts *Options) Repo
 						}
 						if f >= 3 {
 							for c := b + 1; c < m; c++ {
+								if interrupted() {
+									return rep
+								}
 								if prune && !inH[a] && !inH[b] && !inH[c] {
 									rep.FaultSetsPruned++
 									continue
@@ -255,7 +290,13 @@ func Sampled(g *graph.Graph, offH []int, sources []int, f int, trials int, seed 
 	rh := newHView(g, offH).newRunner()
 	maxV := opts.maxViol()
 	m := g.M()
+	poll := cancel.New(opts.ctx(), cancel.PollEvery)
 	for t := 0; t < trials; t++ {
+		if poll.Poll() != nil {
+			rep.Interrupted = true
+			rep.OK = false
+			return rep
+		}
 		k := rng.Intn(f + 1)
 		faults := make([]int, 0, k)
 		seen := make(map[int]bool, k)

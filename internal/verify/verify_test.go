@@ -1,6 +1,8 @@
 package verify
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/core"
@@ -266,5 +268,45 @@ func TestSampledZeroFaultBudget(t *testing.T) {
 	rep := Sampled(g, nil, []int{0}, 0, 10, 1, nil)
 	if !rep.OK || rep.FaultSetsChecked != 10 {
 		t.Fatalf("sampled f=0: %+v", rep)
+	}
+}
+
+// TestVerifyInterrupted: a cancelled context stops every verification
+// mode early with Interrupted set (and therefore OK false) instead of
+// burning through the full fault-set enumeration.
+func TestVerifyInterrupted(t *testing.T) {
+	g := gen.SparseGNP(30, 4, 3)
+	st, err := core.BuildDual(g, 0, &core.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	full := FTBFS(g, st.DisabledEdges(), []int{0}, 2, nil)
+	if !full.OK {
+		t.Fatal("structure should verify uninterrupted")
+	}
+	for name, rep := range map[string]Report{
+		"sequential": FTBFS(g, st.DisabledEdges(), []int{0}, 2, &Options{Ctx: ctx}),
+		"parallel":   FTBFS(g, st.DisabledEdges(), []int{0}, 2, &Options{Ctx: ctx, Parallelism: 4}),
+		"sampled":    Sampled(g, st.DisabledEdges(), []int{0}, 2, 500, 1, &Options{Ctx: ctx}),
+	} {
+		if !rep.Interrupted {
+			t.Errorf("%s: Interrupted not set", name)
+		}
+		if rep.OK {
+			t.Errorf("%s: OK despite interruption", name)
+		}
+		if rep.FaultSetsChecked >= full.FaultSetsChecked && name != "sampled" {
+			t.Errorf("%s: checked %d fault sets, full pass checks %d — no early stop",
+				name, rep.FaultSetsChecked, full.FaultSetsChecked)
+		}
+	}
+	vst, err := core.BuildVertexExhaustive(g, 0, 1, &core.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := VertexFTBFS(g, vst.DisabledEdges(), []int{0}, 1, &Options{Ctx: ctx}); !rep.Interrupted || rep.OK {
+		t.Errorf("vertex: Interrupted=%v OK=%v", rep.Interrupted, rep.OK)
 	}
 }

@@ -2,6 +2,7 @@ package verify
 
 import (
 	"repro/internal/bfs"
+	"repro/internal/cancel"
 	"repro/internal/graph"
 )
 
@@ -20,6 +21,15 @@ func VertexFTBFS(g *graph.Graph, offH []int, sources []int, f int, opts *Options
 	// apply to H's subgraph unchanged — no translation needed.
 	rh := bfs.NewRunner(newHView(g, offH).sub)
 	maxV := opts.maxViol()
+	poll := cancel.New(opts.ctx(), cancel.PollEvery)
+	interrupted := func() bool {
+		if poll.Poll() != nil {
+			rep.Interrupted = true
+			rep.OK = false
+			return true
+		}
+		return false
+	}
 
 	check := func(s int, faults []int) {
 		rg.Run(s, nil, faults)
@@ -61,6 +71,9 @@ func VertexFTBFS(g *graph.Graph, offH []int, sources []int, f int, opts *Options
 				if isSource[a] {
 					continue
 				}
+				if interrupted() {
+					return rep
+				}
 				check(s, []int{a})
 				if len(rep.Violations) >= maxV {
 					return rep
@@ -69,6 +82,9 @@ func VertexFTBFS(g *graph.Graph, offH []int, sources []int, f int, opts *Options
 					for b := a + 1; b < n; b++ {
 						if isSource[b] {
 							continue
+						}
+						if interrupted() {
+							return rep
 						}
 						check(s, []int{a, b})
 						if len(rep.Violations) >= maxV {
