@@ -1,0 +1,218 @@
+// Command ftbfslint runs the repo's static-analysis suite
+// (repro/internal/lint) over Go packages. It speaks the `go vet -vettool`
+// unit-checker protocol, so the canonical invocation is
+//
+//	go build -o ftbfslint ./cmd/ftbfslint
+//	go vet -vettool=$PWD/ftbfslint ./...
+//
+// in which mode the go command invokes this binary once per package with a
+// JSON config file describing the package's sources and the export data of
+// its dependencies. Invoked any other way (e.g. `ftbfslint ./...`), the
+// binary re-executes `go vet -vettool=<itself>` with the given package
+// patterns, so both spellings work.
+//
+// Exit status: 0 no findings, 1 tool error, 2 findings (matching vet).
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+	switch {
+	case len(args) == 1 && args[0] == "-V=full":
+		printVersion()
+	case len(args) == 1 && args[0] == "-flags":
+		// The go command asks a vettool for its flag set before use; this
+		// suite has no tool-level flags.
+		fmt.Println("[]")
+		os.Exit(0)
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		os.Exit(unitCheck(args[0]))
+	case len(args) >= 1 && (args[0] == "-h" || args[0] == "-help" || args[0] == "--help"):
+		usage()
+	default:
+		standalone(args)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: ftbfslint [packages]  (or as go vet -vettool=ftbfslint)\n\nanalyzers:\n")
+	for _, a := range lint.Suite() {
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintf(os.Stderr, "\nsuppress a finding with //lint:ignore <analyzer> <reason> on or above its line\n")
+	os.Exit(2)
+}
+
+// printVersion implements the -V=full handshake the go command uses to
+// fingerprint vet tools for build caching: the tool must print one line
+// ending in a content hash of itself.
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, string(h.Sum(nil)[:12]))
+	os.Exit(0)
+}
+
+// standalone re-invokes the suite through `go vet -vettool=<self>` so that
+// the go command handles package loading, export data and caching.
+func standalone(patterns []string) {
+	exe, err := os.Executable()
+	if err != nil {
+		fatal(err)
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fatal(err)
+	}
+	os.Exit(0)
+}
+
+// vetConfig is the JSON the go command writes for each package when
+// driving a -vettool (the unitchecker wire format).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	ModulePath                string
+	ModuleVersion             string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// importerFunc adapts a closure to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func unitCheck(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatal(fmt.Errorf("parsing vet config %s: %w", cfgFile, err))
+	}
+
+	// The go command requires the facts file to exist even though this
+	// suite exports none; without it the result is not cached.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // downstream packages only need facts, and we have none
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	// Dependencies arrive as compiler export data: ImportMap resolves the
+	// source-level import path to the canonical package path, PackageFile
+	// locates that package's export file.
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		canonical, ok := cfg.ImportMap[path]
+		if !ok {
+			return nil, fmt.Errorf("cannot resolve import %q", path)
+		}
+		return compilerImporter.Import(canonical)
+	})
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tcfg := types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(cfg.Compiler, build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fatal(fmt.Errorf("type-checking %s: %w", cfg.ImportPath, err))
+	}
+
+	diags, err := lint.RunAnalyzers(fset, files, pkg, info, lint.Suite())
+	if err != nil {
+		fatal(err)
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	return 2
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "ftbfslint: %v\n", err)
+	os.Exit(1)
+}

@@ -38,6 +38,8 @@ func NewRunner(g *graph.Graph) *Runner {
 
 // Run executes BFS from src with the given edges and vertices disabled.
 // Results are valid until the next Run.
+//
+//ftbfs:hotpath
 func (r *Runner) Run(src int, disabledEdges []int, disabledVertices []int) {
 	r.epoch++
 	if r.epoch == 0 {
@@ -77,6 +79,8 @@ func (r *Runner) Run(src int, disabledEdges []int, disabledVertices []int) {
 // scanFast is the scan loop for runs with nothing masked: the epoch arrays
 // need not be consulted, so each arc costs one contiguous read plus one dist
 // probe.
+//
+//ftbfs:hotpath
 func (r *Runner) scanFast() {
 	dist, parent, queue := r.dist, r.parent, r.queue
 	off, arcs := r.g.ArcData()
@@ -96,6 +100,8 @@ func (r *Runner) scanFast() {
 }
 
 // scanMasked is the scan loop honoring the per-run edge/vertex masks.
+//
+//ftbfs:hotpath
 func (r *Runner) scanMasked(ep uint32) {
 	off, arcs := r.g.ArcData()
 	for head := 0; head < len(r.queue); head++ {
@@ -115,6 +121,8 @@ func (r *Runner) scanMasked(ep uint32) {
 
 // Dist returns the hop distance to v from the last run's source, or
 // Unreachable.
+//
+//ftbfs:hotpath
 func (r *Runner) Dist(v int) int32 { return r.dist[v] }
 
 // Dists returns the internal distance slice for the last run. The slice is

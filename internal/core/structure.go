@@ -5,6 +5,8 @@
 // cf. Obs. 1.6), a full-path-union ablation, and multi-source composition.
 package core
 
+//ftbfs:builders
+
 import (
 	"context"
 	"fmt"
@@ -518,6 +520,7 @@ func unionTrees(st *Structure, w *wsp.Assignment, s int, opts *Options, units in
 				search.Run(s, o)
 				out[wi].dijkstras++
 				n0 := edges.Len()
+				//lint:ignore ctxpoll ParentEdgeOf is an O(1) accessor over the finished search, and addTree already polls once per tree above
 				for v := 0; v < g.N(); v++ {
 					if id := search.ParentEdgeOf(v); id >= 0 {
 						edges.Add(id)

@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicField enforces two atomicity invariants:
+//
+//  1. A plain integer field annotated `//ftbfs:atomic` may only be touched
+//     as `&x.f` passed directly to a sync/atomic function — never read or
+//     written directly, and never aliased through a non-atomic pointer.
+//  2. A struct that (transitively) contains a sync/atomic value type —
+//     core.Progress is the canonical case — must not be copied by value:
+//     dereference copies, value assignments, value arguments and value
+//     ranges all tear the counters out of their atomic boxes. Composite
+//     literals are allowed (a value that is still being built has no
+//     concurrent readers), as is the zero value.
+//
+// Rule 2 needs no annotation: it keys on the field types, which survive
+// export data, so it also protects types defined in other packages.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "//ftbfs:atomic fields only move through sync/atomic; atomic-bearing structs are never copied",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(pass *Pass) error {
+	marked := collectAtomicFields(pass)
+	for _, fd := range funcDecls(pass.Files) {
+		checkAtomicFunc(pass, fd, marked)
+	}
+	return nil
+}
+
+// collectAtomicFields maps //ftbfs:atomic-annotated field objects to their
+// struct's name.
+func collectAtomicFields(pass *Pass) map[*types.Var]string {
+	out := make(map[*types.Var]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !hasDirective(field.Doc, "atomic") && !hasDirective(field.Comment, "atomic") {
+					continue
+				}
+				if isAtomicValueType(pass.Info.TypeOf(field.Type)) {
+					pass.Reportf(field.Pos(),
+						"field %s is already a sync/atomic type; drop the redundant //ftbfs:atomic", fieldName(field))
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+						out[v] = ts.Name.Name
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isAtomicValueType reports whether t is one of sync/atomic's value types
+// (Int32, Int64, Uint64, Bool, Value, Pointer[T], ...).
+func isAtomicValueType(t types.Type) bool {
+	n := namedOf(t)
+	return n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// bearsAtomic reports whether t is a struct type that transitively
+// contains a sync/atomic value type (through embedded/nested structs and
+// arrays, not through pointers — a pointer shares, it does not copy).
+func bearsAtomic(t types.Type) bool {
+	seen := make(map[types.Type]bool)
+	var walk func(types.Type) bool
+	walk = func(t types.Type) bool {
+		if t == nil || seen[t] {
+			return false
+		}
+		seen[t] = true
+		if isAtomicValueType(t) {
+			return true
+		}
+		switch u := t.Underlying().(type) {
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				if walk(u.Field(i).Type()) {
+					return true
+				}
+			}
+		case *types.Array:
+			return walk(u.Elem())
+		}
+		return false
+	}
+	return walk(t)
+}
+
+func checkAtomicFunc(pass *Pass, fd *ast.FuncDecl, marked map[*types.Var]string) {
+	// allowed collects the &x.f operands that appear directly as arguments
+	// of sync/atomic calls; any marked-field selector not in this set is a
+	// violation.
+	allowed := make(map[*ast.SelectorExpr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isPkgFuncCall(pass.Info, call, "sync/atomic") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op == token.AND {
+				if sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr); ok {
+					allowed[sel] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			selection := pass.Info.Selections[x]
+			if selection == nil || selection.Kind() != types.FieldVal {
+				return true
+			}
+			fv, ok := selection.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			structName, markedField := marked[fv]
+			if markedField && !allowed[x] {
+				pass.Reportf(x.Sel.Pos(),
+					"%s.%s is //ftbfs:atomic: access it only as &%s passed to a sync/atomic function",
+					structName, fv.Name(), exprPath(x))
+			}
+		case *ast.StarExpr:
+			// *p of a pointer to an atomic-bearing struct copies it unless
+			// the deref is just a selector/call base.
+			if t := pass.Info.TypeOf(x.X); t != nil {
+				if p, ok := types.Unalias(t).(*types.Pointer); ok && bearsAtomic(p.Elem()) && !isSelectorBase(fd.Body, x) {
+					pass.Reportf(x.Pos(), "*%s copies %s, tearing its atomic fields; keep the pointer",
+						exprPath(x.X), typeShort(p.Elem()))
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				if i >= len(x.Lhs) {
+					break
+				}
+				// `_ = v` keeps nothing: no copy escapes the statement.
+				if id, ok := ast.Unparen(x.Lhs[i]).(*ast.Ident); ok && id.Name == "_" {
+					continue
+				}
+				checkAtomicCopyExpr(pass, rhs)
+			}
+		case *ast.CallExpr:
+			checkAtomicValueArgs(pass, x)
+		}
+		return true
+	})
+}
+
+// checkAtomicCopyExpr flags an assignment RHS whose value is an
+// atomic-bearing struct copied out of an existing variable (composite
+// literals and calls construct fresh values and are fine; the *p case is
+// reported by the StarExpr arm).
+func checkAtomicCopyExpr(pass *Pass, rhs ast.Expr) {
+	e := ast.Unparen(rhs)
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+	default:
+		return
+	}
+	if t := pass.Info.TypeOf(e); t != nil && bearsAtomic(t) {
+		pass.Reportf(rhs.Pos(), "assignment copies %s by value, tearing its atomic fields; use a pointer",
+			typeShort(t))
+	}
+}
+
+// checkAtomicValueArgs flags atomic-bearing structs passed by value.
+func checkAtomicValueArgs(pass *Pass, call *ast.CallExpr) {
+	for _, arg := range call.Args {
+		e := ast.Unparen(arg)
+		switch e.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+		default:
+			continue
+		}
+		if t := pass.Info.TypeOf(e); t != nil && bearsAtomic(t) {
+			pass.Reportf(arg.Pos(), "call passes %s by value, tearing its atomic fields; pass a pointer",
+				typeShort(t))
+		}
+	}
+}
+
+// isSelectorBase reports whether star is the immediate base of a selector
+// ((*p).f — a read through the pointer, not a copy). The parser usually
+// folds that into an implicit deref, so this is a rare edge.
+func isSelectorBase(body *ast.BlockStmt, star *ast.StarExpr) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && ast.Unparen(sel.X) == star {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// typeShort renders a type without its full import path.
+func typeShort(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

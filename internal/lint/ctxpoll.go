@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxPoll keeps builder packages cancellable. A package opts in with a
+// bare `//ftbfs:builders` comment; in such packages:
+//
+//  1. Every exported function named Build* or Search* must visibly wire up
+//     cancellation: construct a cancel.Poller, poll one, or forward a
+//     context-carrying value (context.Context, *cancel.Poller, or a
+//     pointer to a struct with a context.Context field, like
+//     *core.Options) to another function. A builder that does none of
+//     these ships uncancellable.
+//  2. Every loop that invokes a search primitive (anything in the bfs,
+//     wsp, replace or spdag packages) must poll inside the loop body or
+//     forward a context-carrying value into it — the loops whose bounds
+//     grow with graph size or fault-set count are exactly the loops that
+//     call the search engines.
+//
+// The check is flow-insensitive: forwarding a context counts as polling
+// because the callee is checked on its own. What it cannot see is a
+// forwarded context that the callee ignores — that callee is flagged when
+// its own package is analyzed, if it opted in.
+var CtxPoll = &Analyzer{
+	Name: "ctxpoll",
+	Doc:  "exported builders in //ftbfs:builders packages construct and poll a cancel.Poller in every search loop",
+	Run:  runCtxPoll,
+}
+
+// searchPkgs are the expensive-primitive homes: a loop calling into any of
+// these is assumed to scale with graph size or fault-set count.
+var searchPkgs = []string{"internal/bfs", "internal/wsp", "internal/replace", "internal/spdag"}
+
+func runCtxPoll(pass *Pass) error {
+	if !packageHasDirective(pass.Files, "builders") {
+		return nil
+	}
+	// Test files run builders synchronously to completion; demanding
+	// cancellation plumbing there would force every benchmark and table
+	// test to thread a context it never cancels.
+	files := make([]*ast.File, 0, len(pass.Files))
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		files = append(files, f)
+	}
+	for _, fd := range funcDecls(files) {
+		exported := fd.Name.IsExported() &&
+			(strings.HasPrefix(fd.Name.Name, "Build") || strings.HasPrefix(fd.Name.Name, "Search"))
+		if exported && !bodyWiresCancellation(pass, fd.Body) {
+			pass.Reportf(fd.Name.Pos(),
+				"exported builder %s neither constructs/polls a cancel.Poller nor forwards a context: it ships uncancellable",
+				fd.Name.Name)
+			// The per-loop check would repeat the same story for every
+			// loop of an unwired builder; one finding is enough.
+			continue
+		}
+		checkSearchLoops(pass, fd)
+	}
+	return nil
+}
+
+// bodyWiresCancellation reports whether the body constructs a Poller,
+// polls one, or makes any call that forwards a context-carrying value.
+func bodyWiresCancellation(pass *Pass, body ast.Node) bool {
+	wired := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if wired {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isCancelConstruct(pass, call) || isPollCall(pass, call) || forwardsContext(pass, call) {
+			wired = true
+			return false
+		}
+		return true
+	})
+	return wired
+}
+
+// isCancelConstruct matches cancel.New(...) from the internal/cancel
+// package.
+func isCancelConstruct(pass *Pass, call *ast.CallExpr) bool {
+	return isPkgFuncCall(pass.Info, call, "internal/cancel", "New")
+}
+
+// isPollCall matches Poll/Check method calls on a *cancel.Poller.
+func isPollCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Poll" && sel.Sel.Name != "Check") {
+		return false
+	}
+	return typeFromPath(pass.Info.TypeOf(sel.X), "internal/cancel", "Poller")
+}
+
+// forwardsContext reports whether any argument (or the method receiver)
+// carries cancellation into the callee: a context.Context, a
+// *cancel.Poller, or a pointer to a struct with a context.Context field.
+func forwardsContext(pass *Pass, call *ast.CallExpr) bool {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if selection := pass.Info.Selections[sel]; selection != nil && selection.Kind() == types.MethodVal {
+			if carriesContext(pass.Info.TypeOf(sel.X)) {
+				return true
+			}
+		}
+	}
+	for _, arg := range call.Args {
+		if carriesContext(pass.Info.TypeOf(arg)) {
+			return true
+		}
+	}
+	return false
+}
+
+// carriesContext classifies context-carrying types.
+func carriesContext(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if typeFromPath(t, "context", "Context") || typeFromPath(t, "internal/cancel", "Poller") {
+		return true
+	}
+	p, ok := types.Unalias(t).(*types.Pointer)
+	if !ok {
+		return false
+	}
+	st, ok := p.Elem().Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		if typeFromPath(ft, "context", "Context") || typeFromPath(ft, "internal/cancel", "Poller") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkSearchLoops flags every for/range statement that calls a search
+// primitive somewhere in its body without also polling or forwarding a
+// context in that same body.
+func checkSearchLoops(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			body = loop.Body
+		case *ast.RangeStmt:
+			body = loop.Body
+		default:
+			return true
+		}
+		if !callsSearchPrimitive(pass, body) {
+			return true
+		}
+		if bodyWiresCancellation(pass, body) {
+			return true
+		}
+		pass.Reportf(n.Pos(),
+			"loop calls a search primitive (%s) but neither polls a cancel.Poller nor forwards a context inside the loop",
+			searchCalleeName(pass, body))
+		// Nested loops inside an already-flagged loop share the fix;
+		// descending would only repeat the finding.
+		return false
+	})
+}
+
+func callsSearchPrimitive(pass *Pass, body ast.Node) bool {
+	return searchCalleeName(pass, body) != ""
+}
+
+// searchCalleeName returns "pkg.Func" of the first search-primitive call
+// in body, or "".
+func searchCalleeName(pass *Pass, body ast.Node) string {
+	name := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := calleeObj(pass.Info, call)
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg() == pass.Pkg {
+			return true
+		}
+		for _, p := range searchPkgs {
+			if isPkgPathSuffix(fn.Pkg(), p) {
+				name = fn.Pkg().Name() + "." + fn.Name()
+				return false
+			}
+		}
+		return true
+	})
+	return name
+}

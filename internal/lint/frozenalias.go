@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FrozenAlias protects the frozen CSR's shared arrays. Graph.ArcData,
+// Graph.CSRData and EdgeSet.Words hand out read-only aliases of the
+// representation that every concurrent reader shares; a write through such
+// an alias corrupts distances under live queries. Outside the graph
+// package itself, any local bound (flow-insensitively, anywhere in the
+// function) to a result of those methods must not be the target of an
+// element assignment, ++/--, append, or the destination of copy. Reading,
+// slicing and passing the alias on are fine — encoders do exactly that;
+// a callee that writes is caught when its own package is analyzed.
+var FrozenAlias = &Analyzer{
+	Name: "frozenalias",
+	Doc:  "aliases returned by Graph.ArcData/CSRData and EdgeSet.Words are never written outside internal/graph",
+	Run:  runFrozenAlias,
+}
+
+// frozenMethods maps receiver type name to the methods returning frozen
+// aliases (all on package path suffix internal/graph).
+var frozenMethods = map[string]map[string]bool{
+	"Graph":   {"ArcData": true, "CSRData": true},
+	"EdgeSet": {"Words": true},
+}
+
+func runFrozenAlias(pass *Pass) error {
+	if isPkgPathSuffix(pass.Pkg, "internal/graph") {
+		return nil // the representation's owner may mutate it
+	}
+	for _, fd := range funcDecls(pass.Files) {
+		checkFrozenFunc(pass, fd)
+	}
+	return nil
+}
+
+// isFrozenCall reports whether call is g.ArcData()/g.CSRData()/s.Words()
+// and returns a label for diagnostics.
+func isFrozenCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	selection := pass.Info.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return "", false
+	}
+	recv := namedOf(selection.Recv())
+	if recv == nil || !isPkgPathSuffix(recv.Obj().Pkg(), "internal/graph") {
+		return "", false
+	}
+	methods, ok := frozenMethods[recv.Obj().Name()]
+	if !ok || !methods[sel.Sel.Name] {
+		return "", false
+	}
+	return recv.Obj().Name() + "." + sel.Sel.Name, true
+}
+
+func checkFrozenFunc(pass *Pass, fd *ast.FuncDecl) {
+	// Pass 1: locals bound to frozen-alias results, including through
+	// multi-value assignment (off, arcs := g.ArcData()).
+	aliased := make(map[*types.Var]string)
+	bind := func(lhs ast.Expr, label string) {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if v, ok := pass.Info.Defs[id].(*types.Var); ok {
+				aliased[v] = label
+			} else if v, ok := pass.Info.Uses[id].(*types.Var); ok {
+				aliased[v] = label
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Rhs) == 1 {
+				if call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr); ok {
+					if label, ok := isFrozenCall(pass, call); ok {
+						for _, lhs := range st.Lhs {
+							bind(lhs, label)
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if len(st.Values) == 1 {
+				if call, ok := ast.Unparen(st.Values[0]).(*ast.CallExpr); ok {
+					if label, ok := isFrozenCall(pass, call); ok {
+						for _, name := range st.Names {
+							bind(name, label)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(aliased) == 0 {
+		return
+	}
+
+	lookup := func(e ast.Expr) (string, bool) {
+		// The alias itself or a reslice of it: arcs, arcs[i:j].
+		for {
+			switch x := ast.Unparen(e).(type) {
+			case *ast.Ident:
+				if v, ok := pass.Info.Uses[x].(*types.Var); ok {
+					label, ok := aliased[v]
+					return label, ok
+				}
+				return "", false
+			case *ast.SliceExpr:
+				e = x.X
+			default:
+				return "", false
+			}
+		}
+	}
+
+	// Pass 2: writes through the aliases.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if label, ok := lookup(ix.X); ok {
+						pass.Reportf(lhs.Pos(),
+							"element write through a frozen %s alias: concurrent readers share this array", label)
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if ix, ok := ast.Unparen(st.X).(*ast.IndexExpr); ok {
+				if label, ok := lookup(ix.X); ok {
+					pass.Reportf(st.Pos(),
+						"element write through a frozen %s alias: concurrent readers share this array", label)
+				}
+			}
+		case *ast.CallExpr:
+			id, ok := ast.Unparen(st.Fun).(*ast.Ident)
+			if !ok || len(st.Args) == 0 {
+				return true
+			}
+			switch {
+			case id.Name == "append" && pass.Info.Uses[id] == types.Universe.Lookup("append"):
+				if label, ok := lookup(st.Args[0]); ok {
+					pass.Reportf(st.Pos(),
+						"append to a frozen %s alias can write in place when capacity allows; copy first", label)
+				}
+			case id.Name == "copy" && pass.Info.Uses[id] == types.Universe.Lookup("copy"):
+				if label, ok := lookup(st.Args[0]); ok {
+					pass.Reportf(st.Pos(),
+						"copy into a frozen %s alias overwrites the shared array; allocate a destination", label)
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,402 @@
+// Package lint is ftbfslint: a repo-specific static-analysis suite that
+// machine-checks the engineering invariants this module's hot paths are
+// built on — invariants that previously held only by reviewer discipline.
+// It is organized like golang.org/x/tools/go/analysis (an Analyzer with a
+// Run func over a Pass), but implemented on the standard library alone so
+// the module stays dependency-free; cmd/ftbfslint drives the suite either
+// standalone or as a `go vet -vettool` backend.
+//
+// The analyzers key on a small normalized annotation grammar:
+//
+//	// guarded by mu            (struct field) field may only be touched with
+//	//                          the sibling mutex `mu` held
+//	// guarded by Server.mu     (struct field) guarded by the mutex field `mu`
+//	//                          of the package-local type Server
+//	//ftbfs:holds mu            (func) callers are documented to hold `mu`;
+//	//                          the function body is checked as if locked
+//	//ftbfs:atomic              (struct field) plain integer field that must
+//	//                          only be touched through sync/atomic
+//	//ftbfs:hotpath             (func) must not contain per-call allocation
+//	//                          constructs
+//	//ftbfs:builders            (package comment, any file) marks a builder
+//	//                          package whose exported Build*/Search* entry
+//	//                          points must be cancellable
+//
+// Findings are suppressed staticcheck-style with
+//
+//	//lint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// on the offending line or the line directly above it; the reason is
+// mandatory and an ignore that matches no finding is itself reported, so
+// suppressions cannot silently outlive the code they excused.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker. The shape mirrors
+// x/tools/go/analysis so the checks could be ported to the real framework
+// if the module ever takes on the dependency.
+type Analyzer struct {
+	Name string // short lower-case identifier, used in //lint:ignore
+	Doc  string // one-paragraph description of the enforced invariant
+	Run  func(*Pass) error
+}
+
+// A Pass hands one type-checked package to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Suite returns the ftbfslint analyzers in stable order.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		LockGuard,
+		AtomicField,
+		CtxPoll,
+		FrozenAlias,
+		HotAlloc,
+	}
+}
+
+// RunAnalyzers runs the analyzers over one type-checked package and
+// returns the surviving diagnostics: findings suppressed by a well-formed
+// //lint:ignore are dropped, malformed or unused ignore directives are
+// reported as findings of the pseudo-analyzer "ignore", and the result is
+// sorted by position.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    files,
+			Pkg:      pkg,
+			Info:     info,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	diags = applyIgnores(fset, files, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// ---- //lint:ignore suppression ----
+
+var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)(?:\s+(.*))?$`)
+
+type ignoreDirective struct {
+	pos       token.Position
+	analyzers []string
+	reason    string
+	used      bool
+}
+
+// applyIgnores drops diagnostics covered by a //lint:ignore on the same
+// line or the line directly above, and appends "ignore" diagnostics for
+// directives that are malformed (no reason) or matched nothing.
+func applyIgnores(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	// file -> line -> directives scoped to that line.
+	scope := make(map[string]map[int][]*ignoreDirective)
+	var all []*ignoreDirective
+	var kept []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				d := &ignoreDirective{
+					pos:       pos,
+					analyzers: strings.Split(m[1], ","),
+					reason:    strings.TrimSpace(m[2]),
+				}
+				if d.reason == "" {
+					kept = append(kept, Diagnostic{
+						Pos:      pos,
+						Analyzer: "ignore",
+						Message:  "//lint:ignore needs a reason: //lint:ignore <analyzer> <why this is safe>",
+					})
+					continue
+				}
+				all = append(all, d)
+				lines := scope[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]*ignoreDirective)
+					scope[pos.Filename] = lines
+				}
+				// The directive covers its own line (trailing comment) and
+				// the next line (comment above the statement).
+				lines[pos.Line] = append(lines[pos.Line], d)
+				lines[pos.Line+1] = append(lines[pos.Line+1], d)
+			}
+		}
+	}
+	for _, d := range diags {
+		suppressed := false
+		for _, dir := range scope[d.Pos.Filename][d.Pos.Line] {
+			for _, name := range dir.analyzers {
+				if name == d.Analyzer {
+					dir.used = true
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for _, dir := range all {
+		if !dir.used {
+			kept = append(kept, Diagnostic{
+				Pos:      dir.pos,
+				Analyzer: "ignore",
+				Message: fmt.Sprintf("//lint:ignore %s matched no finding on this or the next line; delete it",
+					strings.Join(dir.analyzers, ",")),
+			})
+		}
+	}
+	return kept
+}
+
+// ---- shared annotation scanning ----
+
+// guardedRe is the normalized guarded-field grammar: "guarded by mu" or
+// "guarded by Type.mu" anywhere in the field's doc or trailing comment.
+var guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)(?:\.([A-Za-z_][A-Za-z0-9_]*))?`)
+
+// guardSpec names the mutex a field is guarded by: either a sibling field
+// (typeName == "") or a mutex field of another package-local type.
+type guardSpec struct {
+	typeName string // "" for a sibling mutex
+	mutex    string
+}
+
+// fieldComments joins a field's doc and line comments.
+func fieldComments(f *ast.Field) string {
+	var b strings.Builder
+	if f.Doc != nil {
+		b.WriteString(f.Doc.Text())
+	}
+	if f.Comment != nil {
+		b.WriteString(" ")
+		b.WriteString(f.Comment.Text())
+	}
+	return b.String()
+}
+
+// parseGuard extracts a guard annotation from a field's comments.
+func parseGuard(f *ast.Field) (guardSpec, bool) {
+	m := guardedRe.FindStringSubmatch(fieldComments(f))
+	if m == nil {
+		return guardSpec{}, false
+	}
+	if m[2] != "" {
+		return guardSpec{typeName: m[1], mutex: m[2]}, true
+	}
+	return guardSpec{mutex: m[1]}, true
+}
+
+// hasDirective reports whether a comment group contains the given
+// //ftbfs: directive (exact word match on the directive name).
+func hasDirective(doc *ast.CommentGroup, name string) bool {
+	_, ok := directiveArg(doc, name)
+	return ok
+}
+
+// directiveArg returns the argument text of an //ftbfs:<name> directive in
+// the comment group ("" when the directive is bare).
+func directiveArg(doc *ast.CommentGroup, name string) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	prefix := "//ftbfs:" + name
+	for _, c := range doc.List {
+		if c.Text == prefix {
+			return "", true
+		}
+		if rest, ok := strings.CutPrefix(c.Text, prefix+" "); ok {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+// packageHasDirective reports whether any comment in the package carries
+// the bare //ftbfs:<name> directive.
+func packageHasDirective(files []*ast.File, name string) bool {
+	want := "//ftbfs:" + name
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if c.Text == want {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// ---- shared type helpers ----
+
+// deref strips one level of pointer.
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// namedOf returns the named type behind t (through one pointer and
+// aliases), or nil.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = deref(types.Unalias(t))
+	if n, ok := types.Unalias(t).(*types.Named); ok {
+		return n
+	}
+	return nil
+}
+
+// isPkgPathSuffix reports whether pkg is non-nil and its import path is
+// path or ends in "/"+path. Matching by suffix lets test fixtures stand in
+// stub packages under any root while still matching the real module.
+func isPkgPathSuffix(pkg *types.Package, path string) bool {
+	if pkg == nil {
+		return false
+	}
+	p := pkg.Path()
+	return p == path || strings.HasSuffix(p, "/"+path)
+}
+
+// typeFromPath reports whether t's named type is declared in a package
+// matching path (by isPkgPathSuffix) with the given type name.
+func typeFromPath(t types.Type, path, name string) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj() == nil {
+		return false
+	}
+	return n.Obj().Name() == name && isPkgPathSuffix(n.Obj().Pkg(), path)
+}
+
+// calleeObj resolves the called function/method object of a call, or nil.
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel := info.Selections[fun]; sel != nil {
+			return sel.Obj()
+		}
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// isPkgFuncCall reports whether call invokes a package-level function of a
+// package whose import path matches pkgPath (suffix match) with one of the
+// given names (any name when names is empty).
+func isPkgFuncCall(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	obj := calleeObj(info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || !isPkgPathSuffix(fn.Pkg(), pkgPath) {
+		return false
+	}
+	if len(names) == 0 {
+		return true
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// funcDecls yields every function declaration in the pass's files.
+func funcDecls(files []*ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// rootIdent walks to the base identifier of a selector/index/paren chain:
+// rootIdent(s.graphs[k].builds) == s. Returns nil for non-ident roots
+// (calls, literals).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

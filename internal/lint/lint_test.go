@@ -1,0 +1,60 @@
+package lint_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// The loader is shared: the source importer type-checks the standard
+// library from GOROOT, and paying that once per `go test` run instead of
+// once per analyzer keeps the suite fast.
+var (
+	loaderOnce sync.Once
+	loader     *lint.Loader
+)
+
+func fixtureLoader() *lint.Loader {
+	loaderOnce.Do(func() {
+		loader = lint.NewLoader("", "", "testdata/src")
+	})
+	return loader
+}
+
+func TestLockGuard(t *testing.T) {
+	linttest.Run(t, fixtureLoader(), lint.LockGuard, "lockguardtest")
+}
+
+func TestAtomicField(t *testing.T) {
+	linttest.Run(t, fixtureLoader(), lint.AtomicField, "atomicfieldtest")
+}
+
+func TestCtxPoll(t *testing.T) {
+	linttest.Run(t, fixtureLoader(), lint.CtxPoll, "ctxpolltest")
+}
+
+func TestCtxPollWithoutMarker(t *testing.T) {
+	linttest.Run(t, fixtureLoader(), lint.CtxPoll, "ctxpollquiet")
+}
+
+func TestFrozenAlias(t *testing.T) {
+	linttest.Run(t, fixtureLoader(), lint.FrozenAlias, "frozenaliastest")
+}
+
+func TestHotAlloc(t *testing.T) {
+	linttest.Run(t, fixtureLoader(), lint.HotAlloc, "hotalloctest")
+}
+
+// TestSuiteOnSeedbed double-checks that the seeded-bug baseline package is
+// clean under the full suite (the seeded test depends on it).
+func TestSuiteOnSeedbed(t *testing.T) {
+	diags, err := fixtureLoader().Analyze("seedbed", lint.Suite())
+	if err != nil {
+		t.Fatalf("analyzing seedbed: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("seedbed must be clean, got: %s", d)
+	}
+}

@@ -1,0 +1,379 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockGuard enforces the `// guarded by <mu>` field annotation: a field so
+// annotated may only be accessed in functions that visibly hold the named
+// mutex. The check is flow-insensitive and intra-function: a function
+// "holds" the mutex if its body contains a Lock/RLock-family call on it
+// (anywhere — lock ordering and early unlocks are out of scope, see
+// DESIGN.md), or if the function is annotated `//ftbfs:holds <mu>`
+// documenting that its callers lock. Locals freshly built from a composite
+// literal or new() are exempt: an object that has never been shared needs
+// no lock. Writes in functions that only ever take the read lock are
+// reported separately — an RLock can never justify a mutation.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "fields annotated `guarded by mu` are only accessed with the named mutex visibly held",
+	Run:  runLockGuard,
+}
+
+type guardedField struct {
+	spec       guardSpec
+	structName string
+}
+
+func runLockGuard(pass *Pass) error {
+	guarded := collectGuardedFields(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, fd := range funcDecls(pass.Files) {
+		checkLockGuardFunc(pass, fd, guarded)
+	}
+	return nil
+}
+
+// collectGuardedFields maps field objects to their guard annotation and
+// validates the annotation grammar (the named mutex must exist).
+func collectGuardedFields(pass *Pass) map[*types.Var]guardedField {
+	out := make(map[*types.Var]guardedField)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				spec, ok := parseGuard(field)
+				if !ok {
+					continue
+				}
+				if !validateGuard(pass, ts, st, field, spec) {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+						out[v] = guardedField{spec: spec, structName: ts.Name.Name}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// validateGuard checks that the annotation names a mutex that exists: a
+// sibling field, or a field of the named package-local type.
+func validateGuard(pass *Pass, ts *ast.TypeSpec, st *ast.StructType, field *ast.Field, spec guardSpec) bool {
+	if spec.typeName == "" {
+		for _, sib := range st.Fields.List {
+			for _, name := range sib.Names {
+				if name.Name == spec.mutex && isMutexType(pass.Info.TypeOf(sib.Type)) {
+					return true
+				}
+			}
+		}
+		pass.Reportf(field.Pos(), "field %s is `guarded by %s` but %s has no sync.Mutex/RWMutex field %q",
+			fieldName(field), spec.mutex, ts.Name.Name, spec.mutex)
+		return false
+	}
+	obj := pass.Pkg.Scope().Lookup(spec.typeName)
+	tn, ok := obj.(*types.TypeName)
+	if ok {
+		if s, ok := tn.Type().Underlying().(*types.Struct); ok {
+			for i := 0; i < s.NumFields(); i++ {
+				if s.Field(i).Name() == spec.mutex && isMutexType(s.Field(i).Type()) {
+					return true
+				}
+			}
+		}
+	}
+	pass.Reportf(field.Pos(), "field %s is `guarded by %s.%s` but no such mutex exists in this package",
+		fieldName(field), spec.typeName, spec.mutex)
+	return false
+}
+
+func fieldName(f *ast.Field) string {
+	if len(f.Names) > 0 {
+		return f.Names[0].Name
+	}
+	return "(embedded)"
+}
+
+func isMutexType(t types.Type) bool {
+	return typeFromPath(t, "sync", "Mutex") || typeFromPath(t, "sync", "RWMutex")
+}
+
+// lockSet records which mutexes a function body visibly manipulates.
+type lockSet struct {
+	// sibling holds canonical "<base>.<mu>" strings from lock calls, so an
+	// access through the same base expression matches.
+	sibling map[string]lockKind
+	// byType holds "<TypeName>.<mu>" for lock calls on any value of a
+	// package-local named type, matching Type.mu guard annotations.
+	byType map[string]lockKind
+}
+
+type lockKind struct{ read, write bool }
+
+// scanLocks walks a function body for <expr>.<mu>.Lock()-family calls.
+func scanLocks(pass *Pass, body *ast.BlockStmt) lockSet {
+	ls := lockSet{sibling: map[string]lockKind{}, byType: map[string]lockKind{}}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		var write bool
+		switch sel.Sel.Name {
+		case "Lock", "Unlock", "TryLock":
+			write = true
+		case "RLock", "RUnlock", "TryRLock":
+		default:
+			return true
+		}
+		mu, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok || !isMutexType(pass.Info.TypeOf(mu)) {
+			return true
+		}
+		merge := func(m map[string]lockKind, key string) {
+			k := m[key]
+			k.read = k.read || !write
+			k.write = k.write || write
+			m[key] = k
+		}
+		merge(ls.sibling, exprPath(mu.X)+"."+mu.Sel.Name)
+		if n := namedOf(pass.Info.TypeOf(mu.X)); n != nil && n.Obj().Pkg() == pass.Pkg {
+			merge(ls.byType, n.Obj().Name()+"."+mu.Sel.Name)
+		}
+		return true
+	})
+	return ls
+}
+
+// exprPath canonicalizes a selector/index chain to a comparable string:
+// s.graphs[k] -> "s.graphs[]". Unrenderable roots become "?".
+func exprPath(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprPath(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprPath(x.X) + "[]"
+	case *ast.StarExpr:
+		return exprPath(x.X)
+	default:
+		return "?"
+	}
+}
+
+// holdsAnnotations parses every //ftbfs:holds directive of the function
+// (one mutex per directive line; both `mu` and `Type.mu` forms).
+func holdsAnnotations(fd *ast.FuncDecl) []guardSpec {
+	if fd.Doc == nil {
+		return nil
+	}
+	var out []guardSpec
+	for _, c := range fd.Doc.List {
+		rest, ok := strings.CutPrefix(c.Text, "//ftbfs:holds ")
+		if !ok {
+			continue
+		}
+		for _, tok := range strings.Fields(rest) {
+			if t, m, ok := strings.Cut(tok, "."); ok {
+				out = append(out, guardSpec{typeName: t, mutex: m})
+			} else {
+				out = append(out, guardSpec{mutex: tok})
+			}
+		}
+	}
+	return out
+}
+
+func checkLockGuardFunc(pass *Pass, fd *ast.FuncDecl, guarded map[*types.Var]guardedField) {
+	locks := scanLocks(pass, fd.Body)
+	holds := holdsAnnotations(fd)
+	fresh := freshLocals(pass, fd.Body)
+	writes := writeTargets(fd.Body)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection := pass.Info.Selections[sel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return true
+		}
+		fv, ok := selection.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		gf, ok := guarded[fv]
+		if !ok {
+			return true
+		}
+		if root := rootIdent(sel.X); root != nil {
+			if obj, ok := pass.Info.Uses[root].(*types.Var); ok && fresh[obj] {
+				return true
+			}
+		}
+		isWrite := writes[sel]
+		muName := gf.spec.String()
+		var kind lockKind
+		var held bool
+		if gf.spec.typeName == "" {
+			kind, held = locks.sibling[exprPath(sel.X)+"."+gf.spec.mutex]
+			// A method of the guarded struct may also lock through a
+			// different alias of the same type; fall back to the type key.
+			if !held {
+				k2, h2 := locks.byType[gf.structName+"."+gf.spec.mutex]
+				kind, held = k2, h2
+			}
+		} else {
+			kind, held = locks.byType[gf.spec.typeName+"."+gf.spec.mutex]
+		}
+		for _, h := range holds {
+			// A bare `guarded by mu` on a field of T is satisfied by either
+			// `//ftbfs:holds mu` or the explicit `//ftbfs:holds T.mu`.
+			if h == gf.spec ||
+				(gf.spec.typeName == "" && h.mutex == gf.spec.mutex &&
+					(h.typeName == "" || h.typeName == gf.structName)) {
+				return true
+			}
+		}
+		if !held {
+			pass.Reportf(sel.Sel.Pos(),
+				"%s.%s is guarded by %s, but %s neither locks it nor is annotated //ftbfs:holds %s",
+				gf.structName, fv.Name(), muName, funcTitle(fd), muName)
+			return true
+		}
+		if isWrite && !kind.write {
+			pass.Reportf(sel.Sel.Pos(),
+				"%s.%s is written while %s only ever takes the read lock on %s",
+				gf.structName, fv.Name(), funcTitle(fd), muName)
+		}
+		return true
+	})
+}
+
+func (s guardSpec) String() string {
+	if s.typeName != "" {
+		return s.typeName + "." + s.mutex
+	}
+	return s.mutex
+}
+
+func funcTitle(fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		t := fd.Recv.List[0].Type
+		return fmt.Sprintf("method (%s).%s", exprPath(t), fd.Name.Name)
+	}
+	return "function " + fd.Name.Name
+}
+
+// freshLocals returns local variables initialized from a composite
+// literal, &composite literal, or new(): values that cannot be shared with
+// another goroutine before this function publishes them.
+func freshLocals(pass *Pass, body *ast.BlockStmt) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	record := func(name *ast.Ident, rhs ast.Expr) {
+		v, ok := pass.Info.Defs[name].(*types.Var)
+		if !ok {
+			return
+		}
+		switch x := ast.Unparen(rhs).(type) {
+		case *ast.CompositeLit:
+			out[v] = true
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := x.X.(*ast.CompositeLit); ok {
+					out[v] = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "new" && pass.Info.Uses[id] == types.Universe.Lookup("new") {
+				out[v] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if st.Tok != token.DEFINE || len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i, lhs := range st.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					record(id, st.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(st.Names) == len(st.Values) {
+				for i, name := range st.Names {
+					record(name, st.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// writeTargets marks the selector expressions that a body mutates:
+// assignment left-hand sides (including through an index, which mutates
+// the indexed map/slice), ++/--, and delete() arguments.
+func writeTargets(body *ast.BlockStmt) map[*ast.SelectorExpr]bool {
+	out := make(map[*ast.SelectorExpr]bool)
+	mark := func(e ast.Expr) {
+		for {
+			switch x := ast.Unparen(e).(type) {
+			case *ast.SelectorExpr:
+				out[x] = true
+				return
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			default:
+				return
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if st.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range st.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(st.X)
+		case *ast.CallExpr:
+			if id, ok := st.Fun.(*ast.Ident); ok && id.Name == "delete" && len(st.Args) > 0 {
+				mark(st.Args[0])
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,69 @@
+// Package atomicfieldtest is the atomicfield analyzer fixture.
+package atomicfieldtest
+
+import "sync/atomic"
+
+type stats struct {
+	//ftbfs:atomic
+	hits int64
+	name string
+}
+
+func inc(s *stats) { atomic.AddInt64(&s.hits, 1) }
+
+func load(s *stats) int64 { return atomic.LoadInt64(&s.hits) }
+
+func swap(s *stats, v int64) int64 { return atomic.SwapInt64(&s.hits, v) }
+
+func name(s *stats) string { return s.name }
+
+func badInc(s *stats) { s.hits++ } // want `ftbfs:atomic`
+
+func badRead(s *stats) int64 { return s.hits } // want `ftbfs:atomic`
+
+func badWrite(s *stats) { s.hits = 0 } // want `ftbfs:atomic`
+
+func badAlias(s *stats) *int64 { return &s.hits } // want `ftbfs:atomic`
+
+type redundant struct {
+	//ftbfs:atomic
+	n atomic.Int64 // want `redundant`
+}
+
+// progress mirrors core.Progress: a struct of sync/atomic values that
+// must never be copied.
+type progress struct {
+	done  atomic.Int64
+	total atomic.Int64
+}
+
+type wrapper struct {
+	p progress // nested: wrapper bears atomics too
+}
+
+func badDeref(p *progress) progress { return *p } // want `tearing`
+
+func badAssign(p *progress) {
+	v := *p // want `tearing`
+	_ = v
+}
+
+func badCopyVar(w *wrapper) {
+	v := w.p // want `tearing`
+	_ = v
+}
+
+func takeByValue(p progress) int64 { return p.done.Load() }
+
+func badArg(p *progress) int64 {
+	return takeByValue(*p) // want `tearing`
+}
+
+func goodPointerUse(p *progress) int64 {
+	p.done.Add(1)
+	return p.done.Load()
+}
+
+func goodFresh() *progress {
+	return &progress{}
+}

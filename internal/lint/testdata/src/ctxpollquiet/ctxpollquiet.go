@@ -1,0 +1,29 @@
+// Package ctxpollquiet repeats the bad shapes from ctxpolltest WITHOUT
+// the builders package marker: the ctxpoll analyzer must stay silent on
+// packages that never opted in.
+package ctxpollquiet
+
+import (
+	"repro/internal/bfs"
+	"repro/internal/graph"
+)
+
+func BuildBad(g *graph.Graph) int32 {
+	d := bfs.Distances(g, 0, nil)
+	if len(d) == 0 {
+		return 0
+	}
+	return d[0]
+}
+
+func helperLoop(g *graph.Graph, srcs []int) int32 {
+	r := bfs.NewRunner(g)
+	var acc int32
+	for _, src := range srcs {
+		r.Run(src, nil, nil)
+		acc += r.Dist(0)
+	}
+	return acc
+}
+
+var _ = helperLoop

@@ -1,0 +1,100 @@
+// Package ctxpolltest is the ctxpoll analyzer fixture: it opts in with
+// the builders marker below, so exported Build*/Search* functions and
+// search-calling loops are checked.
+package ctxpolltest
+
+//ftbfs:builders
+
+import (
+	"context"
+
+	"repro/internal/bfs"
+	"repro/internal/cancel"
+	"repro/internal/graph"
+)
+
+// Options mirrors core.Options: a pointer to it carries cancellation.
+type Options struct {
+	Ctx context.Context
+	Src int
+}
+
+// BuildGood constructs a poller and polls inside its search loop.
+func BuildGood(ctx context.Context, g *graph.Graph, srcs []int) (int32, error) {
+	poll := cancel.New(ctx, cancel.PollEvery)
+	var acc int32
+	for _, src := range srcs {
+		if err := poll.Poll(); err != nil {
+			return 0, err
+		}
+		d := bfs.Distances(g, src, nil)
+		if len(d) > 0 {
+			acc += d[0]
+		}
+	}
+	return acc, nil
+}
+
+// BuildDelegating forwards a context-carrying value; the callee is
+// responsible for polling and is checked on its own.
+func BuildDelegating(opts *Options, g *graph.Graph) int32 {
+	return buildInner(opts, g)
+}
+
+func buildInner(opts *Options, g *graph.Graph) int32 {
+	poll := cancel.New(opts.Ctx, cancel.PollEvery)
+	var acc int32
+	for i := 0; i < g.N(); i++ {
+		if err := poll.Poll(); err != nil {
+			return acc
+		}
+		d := bfs.Distances(g, i, nil)
+		if len(d) > 0 {
+			acc += d[0]
+		}
+	}
+	return acc
+}
+
+func BuildBad(g *graph.Graph) int32 { // want `ships uncancellable`
+	d := bfs.Distances(g, 0, nil)
+	if len(d) == 0 {
+		return 0
+	}
+	return d[0]
+}
+
+func SearchBad(g *graph.Graph, u, v int) int32 { // want `ships uncancellable`
+	r := bfs.NewRunner(g)
+	r.Run(u, nil, nil)
+	return r.Dist(v)
+}
+
+// BuildLoopMiss wires a poller up top but forgets to poll inside the
+// loop that actually runs the searches.
+func BuildLoopMiss(ctx context.Context, g *graph.Graph, srcs []int) int32 {
+	poll := cancel.New(ctx, cancel.PollEvery)
+	_ = poll
+	var acc int32
+	for _, src := range srcs { // want `neither polls`
+		d := bfs.Distances(g, src, nil)
+		if len(d) > 0 {
+			acc += d[0]
+		}
+	}
+	return acc
+}
+
+// helperLoop is unexported, so rule 1 does not apply — but its search
+// loop is still checked.
+func helperLoop(g *graph.Graph, srcs []int) int32 {
+	r := bfs.NewRunner(g)
+	var acc int32
+	for _, src := range srcs { // want `neither polls`
+		r.Run(src, nil, nil)
+		acc += r.Dist(0)
+	}
+	return acc
+}
+
+var _ = helperLoop

@@ -1,0 +1,71 @@
+// Package frozenaliastest is the frozenalias analyzer fixture.
+package frozenaliastest
+
+import "repro/internal/graph"
+
+func readOK(g *graph.Graph) int32 {
+	off, arcs := g.ArcData()
+	var acc int32
+	for i := range arcs {
+		acc += arcs[i].To + off[0]
+	}
+	return acc
+}
+
+func passOK(g *graph.Graph) []graph.Arc {
+	_, arcs := g.ArcData()
+	consume(arcs)
+	return arcs[:1]
+}
+
+func consume(arcs []graph.Arc) { _ = arcs }
+
+// copyOK writes into a private copy, not the alias.
+func copyOK(g *graph.Graph) {
+	_, arcs := g.ArcData()
+	own := make([]graph.Arc, len(arcs))
+	copy(own, arcs)
+	if len(own) > 0 {
+		own[0] = graph.Arc{}
+	}
+}
+
+func badElem(g *graph.Graph) {
+	_, arcs := g.ArcData()
+	arcs[0] = graph.Arc{} // want `element write`
+}
+
+func badIncDec(g *graph.Graph) {
+	off, _ := g.ArcData()
+	off[0]++ // want `element write`
+}
+
+func badAppend(g *graph.Graph) []graph.Arc {
+	_, arcs := g.ArcData()
+	return append(arcs, graph.Arc{}) // want `append`
+}
+
+func badCopy(g *graph.Graph, src []int32) {
+	off, _ := g.ArcData()
+	copy(off, src) // want `copy into`
+}
+
+func badReslice(g *graph.Graph) {
+	_, arcs := g.ArcData()
+	arcs[1:][0] = graph.Arc{} // want `element write`
+}
+
+func badWords(s *graph.EdgeSet) {
+	words := s.Words()
+	words[0] |= 1 // want `element write`
+}
+
+func badSorted(g *graph.Graph) {
+	_, _, _, sorted := g.CSRData()
+	sorted[0] = graph.Arc{} // want `element write`
+}
+
+func badVarDecl(s *graph.EdgeSet) {
+	var words = s.Words()
+	words[0] = 7 // want `element write`
+}

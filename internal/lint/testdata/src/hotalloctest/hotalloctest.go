@@ -1,0 +1,60 @@
+// Package hotalloctest is the hotalloc analyzer fixture.
+package hotalloctest
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+func sink(v interface{}) { _ = v }
+
+// hotBad piles up every rejected construct.
+//
+//ftbfs:hotpath
+func hotBad(n int, s string) int {
+	buf := make([]int32, n)       // want `make allocates`
+	xs := []int{1, 2}             // want `slice literal`
+	m := map[string]int{}         // want `map literal`
+	p := &graph.Arc{To: 1}        // want `&composite literal`
+	f := func() int { return n }  // want `closure`
+	msg := fmt.Sprintf("n=%d", n) // want `fmt call`
+	t := s + msg                  // want `string concatenation`
+	b := []byte(s)                // want `conversion copies`
+	sink(n)                       // want `boxes`
+	return len(buf) + xs[0] + len(m) + int(p.To) + f() + len(t) + len(b)
+}
+
+// hotGood exercises the deliberate caveats: append, taking the address
+// of a scalar local, struct value literals, constant concatenation and
+// pointer-shaped interface arguments are all allowed.
+//
+//ftbfs:hotpath
+func hotGood(scratch []int32, x int32) []int32 {
+	scratch = append(scratch, x)
+	v := int64(x)
+	p := &v
+	a := graph.Arc{To: x}
+	const prefix = "g" + "o"
+	if *p > 0 && prefix == "go" {
+		scratch = append(scratch, a.To)
+	}
+	sink(p)
+	return scratch
+}
+
+// cold is unannotated: the same constructs pass unremarked.
+func cold(n int) []int {
+	return append([]int{}, make([]int, n)...)
+}
+
+// hotSuppressed shows the escape hatch: a finding excused with a reason.
+//
+//ftbfs:hotpath
+func hotSuppressed(n int) map[int]int {
+	//lint:ignore hotalloc the scratch map is allocated once per run and reused across queries
+	m := make(map[int]int, n)
+	return m
+}
+
+var _ = cold

@@ -1,0 +1,88 @@
+// Package lockguardtest is the lockguard analyzer fixture.
+package lockguardtest
+
+import "sync"
+
+type counter struct {
+	mu sync.RWMutex
+	n  int            // guarded by mu
+	m  map[string]int // guarded by mu
+}
+
+func (c *counter) goodWrite() {
+	c.mu.Lock()
+	c.n++
+	c.m["k"] = c.n
+	c.mu.Unlock()
+}
+
+func (c *counter) goodRead() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+func (c *counter) badWrite() {
+	c.n++ // want `guarded by mu`
+}
+
+func badParamRead(c *counter) int {
+	return c.n // want `guarded by mu`
+}
+
+func (c *counter) badWriteUnderRLock() {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.n = 4 // want `read lock`
+}
+
+// lockedHelper is called with the lock held.
+//
+//ftbfs:holds mu
+func (c *counter) lockedHelper() int { return c.n }
+
+func newCounter() *counter {
+	c := &counter{m: map[string]int{}}
+	c.n = 1 // fresh local: not yet shared
+	return c
+}
+
+// aliasLock locks through one name and touches through another; the
+// type-keyed fallback accepts it (flow-insensitivity caveat).
+func aliasLock(a, b *counter) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return b.n
+}
+
+type registry struct {
+	mu sync.Mutex
+}
+
+type entry struct {
+	status string // guarded by registry.mu
+}
+
+func update(r *registry, e *entry) {
+	r.mu.Lock()
+	e.status = "x"
+	r.mu.Unlock()
+}
+
+func badUpdate(e *entry) {
+	e.status = "x" // want `guarded by registry.mu`
+}
+
+// publish is documented to run with the registry lock held.
+//
+//ftbfs:holds registry.mu
+func publish(e *entry) {
+	e.status = "published"
+}
+
+type broken struct {
+	x int // guarded by nosuch; want `no sync.Mutex/RWMutex field "nosuch"`
+}
+
+//lint:ignore lockguard this ignore matches nothing and must be reported // want `matched no finding`
+func unrelated() {}

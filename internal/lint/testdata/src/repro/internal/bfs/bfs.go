@@ -1,0 +1,22 @@
+// Package bfs is a fixture stub of repro/internal/bfs: its calls count as
+// search primitives for the ctxpoll analyzer.
+package bfs
+
+import "repro/internal/graph"
+
+// Runner is the reusable BFS scratch stub.
+type Runner struct {
+	g *graph.Graph
+}
+
+// NewRunner returns a runner bound to g.
+func NewRunner(g *graph.Graph) *Runner { return &Runner{g: g} }
+
+// Run executes one BFS.
+func (r *Runner) Run(src int, disabledEdges []int, disabledVertices []int) {}
+
+// Dist returns a distance.
+func (r *Runner) Dist(v int) int32 { return 0 }
+
+// Distances is the one-shot BFS stub.
+func Distances(g *graph.Graph, src int, disabledEdges []int) []int32 { return nil }

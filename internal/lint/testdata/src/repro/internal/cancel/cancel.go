@@ -1,0 +1,41 @@
+// Package cancel is a fixture stub of repro/internal/cancel: the
+// analyzers match it by path suffix and type/function names, so the stub
+// only needs the Poller surface.
+package cancel
+
+import "context"
+
+// PollEvery mirrors the real package's default cadence.
+const PollEvery = 32
+
+// Poller is the amortized cancellation poller stub.
+type Poller struct {
+	ctx  context.Context
+	done <-chan struct{}
+}
+
+// New returns a Poller over ctx.
+func New(ctx context.Context, every int) *Poller {
+	return &Poller{ctx: ctx, done: ctx.Done()}
+}
+
+// Poll reports ctx.Err() at the amortized cadence.
+func (c *Poller) Poll() error {
+	if c.done == nil {
+		return nil
+	}
+	select {
+	case <-c.done:
+		return c.ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// Check reports ctx.Err() immediately.
+func (c *Poller) Check() error {
+	if c.done == nil {
+		return nil
+	}
+	return c.ctx.Err()
+}

@@ -21,6 +21,8 @@
 // f ≥ 2 on sparse graphs: O(Σ_v depth(v)^f) searches instead of O(m^f).
 package multifail
 
+//ftbfs:builders
+
 import (
 	"fmt"
 	"sort"

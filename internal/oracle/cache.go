@@ -20,19 +20,30 @@ const (
 )
 
 // hashKey mixes the source and the sorted fault IDs (FNV-1a over their
-// little-endian bytes).
+// little-endian bytes). mixWord used to be a closure here; ftbfslint's
+// hotalloc analyzer flagged it ("closure in a //ftbfs:hotpath function:
+// func literals allocate their captured environment") — it captured h, so
+// every hash of every lookup allocated. A top-level helper threads the
+// state explicitly and costs nothing.
+//
+//ftbfs:hotpath
 func hashKey(src int, canon []int32) uint64 {
 	h := uint64(fnvOffset64)
-	mix := func(v uint32) {
-		h = (h ^ uint64(v&0xff)) * fnvPrime64
-		h = (h ^ uint64(v>>8&0xff)) * fnvPrime64
-		h = (h ^ uint64(v>>16&0xff)) * fnvPrime64
-		h = (h ^ uint64(v>>24&0xff)) * fnvPrime64
-	}
-	mix(uint32(src))
+	h = mixWord(h, uint32(src))
 	for _, id := range canon {
-		mix(uint32(id))
+		h = mixWord(h, uint32(id))
 	}
+	return h
+}
+
+// mixWord folds one little-endian word into an FNV-1a state.
+//
+//ftbfs:hotpath
+func mixWord(h uint64, v uint32) uint64 {
+	h = (h ^ uint64(v&0xff)) * fnvPrime64
+	h = (h ^ uint64(v>>8&0xff)) * fnvPrime64
+	h = (h ^ uint64(v>>16&0xff)) * fnvPrime64
+	h = (h ^ uint64(v>>24&0xff)) * fnvPrime64
 	return h
 }
 
@@ -59,12 +70,12 @@ type cacheEntry struct {
 // or zero-capacity cache is valid and caches nothing.
 type lruCache struct {
 	mu        sync.Mutex
-	capacity  int
-	entries   map[uint64]*cacheEntry
-	head      cacheEntry // sentinel; head.next is most recent
-	hits      int64
-	misses    int64
-	evictions int64
+	capacity  int                    // immutable after newLRUCache
+	entries   map[uint64]*cacheEntry // guarded by mu
+	head      cacheEntry             // guarded by mu; sentinel, head.next is most recent
+	hits      int64                  // guarded by mu
+	misses    int64                  // guarded by mu
+	evictions int64                  // guarded by mu
 }
 
 func newLRUCache(capacity int) *lruCache {
@@ -77,6 +88,7 @@ func newLRUCache(capacity int) *lruCache {
 	return c
 }
 
+//ftbfs:hotpath
 func keyEqual(e *cacheEntry, src int32, canon []int32) bool {
 	if e.src != src || len(e.faults) != len(canon) {
 		return false
@@ -89,6 +101,10 @@ func keyEqual(e *cacheEntry, src int32, canon []int32) bool {
 	return true
 }
 
+// moveToFront relinks e as most recent.
+//
+//ftbfs:holds mu
+//ftbfs:hotpath
 func (c *lruCache) moveToFront(e *cacheEntry) {
 	e.prev.next = e.next
 	e.next.prev = e.prev
@@ -97,6 +113,8 @@ func (c *lruCache) moveToFront(e *cacheEntry) {
 
 // get returns the cached distance table for the key, moving it to the
 // front. It never allocates.
+//
+//ftbfs:hotpath
 func (c *lruCache) get(hash uint64, src int32, canon []int32) ([]int32, bool) {
 	if c.capacity <= 0 {
 		return nil, false
@@ -151,6 +169,10 @@ func (c *lruCache) add(hash uint64, src int32, canon []int32, dist []int32) []in
 	return dist
 }
 
+// pushFront links e in as most recent.
+//
+//ftbfs:holds mu
+//ftbfs:hotpath
 func (c *lruCache) pushFront(e *cacheEntry) {
 	e.next = c.head.next
 	e.prev = &c.head
@@ -158,6 +180,9 @@ func (c *lruCache) pushFront(e *cacheEntry) {
 	c.head.next = e
 }
 
+// unlink removes e from the list and the index.
+//
+//ftbfs:holds mu
 func (c *lruCache) unlink(e *cacheEntry) {
 	e.prev.next = e.next
 	e.next.prev = e.prev
@@ -242,10 +267,12 @@ func newShardedCache(capacity, shards int) *shardedCache {
 	return c
 }
 
+//ftbfs:hotpath
 func (c *shardedCache) shard(hash uint64) *lruCache {
 	return c.shards[hash&c.mask]
 }
 
+//ftbfs:hotpath
 func (c *shardedCache) get(hash uint64, src int32, canon []int32) ([]int32, bool) {
 	return c.shard(hash).get(hash, src, canon)
 }

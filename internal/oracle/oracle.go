@@ -173,6 +173,8 @@ func (o *Oracle) prepare(s int, faults []int) ([]int32, error) {
 // canonical per-failure-event key — without allocating once the scratch
 // has grown. Deduplication matters: faults {3,3} and {3} are the same
 // failure event and must share one cache entry and one budget slot.
+//
+//ftbfs:hotpath
 func (o *Oracle) canonicalize(faults []int) []int32 {
 	o.canon = o.canon[:0]
 	for _, id := range faults {
@@ -185,6 +187,8 @@ func (o *Oracle) canonicalize(faults []int) []int32 {
 
 // translate maps canonical G fault IDs into sub-graph IDs, dropping faults
 // on edges H never kept (removing an absent edge is a no-op).
+//
+//ftbfs:hotpath
 func (o *Oracle) translate(canon []int32) []int {
 	o.faults = o.faults[:0]
 	for _, id := range canon {

@@ -113,23 +113,22 @@ const (
 )
 
 // buildEntry is one (possibly in-flight) structure build over a registered
-// graph. Fields other than status/err/st/set/started/queued/elapsed are
-// immutable after creation; the mutable ones are written by the build
-// goroutine under the server lock (once at semaphore acquisition, once at
-// completion).
+// graph. Fields not marked `guarded by Server.mu` are immutable after
+// creation; the guarded ones are written by the build goroutine under the
+// server lock (once at semaphore acquisition, once at completion).
 type buildEntry struct {
 	id      string
 	mode    string
 	sources []int
 	seed    int64
-	status  string
-	errMsg  string
-	created time.Time     // when the build was accepted (queue entry)
-	started time.Time     // when it acquired a build slot (zero while queued)
-	queued  time.Duration // time spent waiting for the slot
-	elapsed time.Duration // pure build time, excluding the queue wait
-	st      *core.Structure
-	set     *oracle.OracleSet
+	status  string            // guarded by Server.mu
+	errMsg  string            // guarded by Server.mu
+	created time.Time         // when the build was accepted (queue entry)
+	started time.Time         // guarded by Server.mu; when it acquired a build slot (zero while queued)
+	queued  time.Duration     // guarded by Server.mu; time spent waiting for the slot
+	elapsed time.Duration     // guarded by Server.mu; pure build time, excluding the queue wait
+	st      *core.Structure   // guarded by Server.mu
+	set     *oracle.OracleSet // guarded by Server.mu
 	// cancel cancels the build's context; done is closed when the build
 	// goroutine has fully exited (slot released, status terminal);
 	// progress carries the builder's live counters. All three are nil for
@@ -145,9 +144,9 @@ type buildEntry struct {
 	restored bool
 	origMeta snap.Meta
 	// snapState/snapErr track background snapshot persistence (see the
-	// Snap* constants); written under the server lock.
-	snapState string
-	snapErr   string
+	// Snap* constants).
+	snapState string // guarded by Server.mu
+	snapErr   string // guarded by Server.mu
 }
 
 // graphEntry is one registered graph plus its builds.
@@ -155,8 +154,8 @@ type graphEntry struct {
 	name    string
 	g       *graph.Graph
 	created time.Time
-	builds  map[string]*buildEntry
-	order   []string // build IDs in creation order
+	builds  map[string]*buildEntry // guarded by Server.mu
+	order   []string               // guarded by Server.mu; build IDs in creation order
 }
 
 var nameRe = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)

@@ -113,19 +113,19 @@ type BuildEvent struct {
 type Server struct {
 	cfg      Config
 	mu       sync.RWMutex
-	graphs   map[string]*graphEntry
-	buildSeq int
+	graphs   map[string]*graphEntry // guarded by mu
+	buildSeq int                    // guarded by mu
 	buildSem chan struct{}
 	// baseCtx parents every build's context; stop cancels it (graceful
 	// shutdown). builds tracks the build goroutines plus their background
-	// snapshot writes so Shutdown can wait for all of them. closed (set
-	// under mu before Shutdown waits) rejects new builds, so a create
-	// racing Shutdown can neither leak past the WaitGroup nor Add from
-	// zero concurrently with Wait.
+	// snapshot writes so Shutdown can wait for all of them. closed
+	// (guarded by mu, set before Shutdown waits) rejects new builds, so a
+	// create racing Shutdown can neither leak past the WaitGroup nor Add
+	// from zero concurrently with Wait.
 	baseCtx context.Context
 	stop    context.CancelFunc
 	builds  sync.WaitGroup
-	closed  bool
+	closed  bool // guarded by mu
 }
 
 // New returns a Server with the given config (nil for defaults).
@@ -615,6 +615,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // GET response are identical; for restored entries the original
 // snapshot's timing fields are carried over rather than re-derived, so
 // re-encoding preserves provenance.
+//
+//ftbfs:holds Server.mu
 func snapshotOf(graphName string, be *buildEntry) *snap.Snapshot {
 	meta := snap.Meta{
 		Graph:         graphName,
@@ -691,6 +693,10 @@ func durationMS(d time.Duration) float64 {
 	return float64(d.Microseconds()) / 1000
 }
 
+// buildInfoLocked renders one build's wire info. Callers must hold s.mu
+// (read suffices).
+//
+//ftbfs:holds Server.mu
 func (s *Server) buildInfoLocked(graphName string, be *buildEntry) buildInfo {
 	info := buildInfo{
 		ID: be.id, Graph: graphName, Mode: be.mode, Sources: be.sources,
@@ -821,6 +827,8 @@ func (s *Server) handleDeleteBuild(w http.ResponseWriter, r *http.Request) {
 
 // resolveLocked looks up the graph and build named in the request path.
 // Callers must hold s.mu (read suffices).
+//
+//ftbfs:holds Server.mu
 func (s *Server) resolveLocked(r *http.Request) (*graphEntry, *buildEntry, error) {
 	g, ok := s.graphs[r.PathValue("graph")]
 	if !ok {
@@ -1010,6 +1018,10 @@ type batchStreamTrailer struct {
 var maxBatchResultValues = 4 << 20
 
 // answerQuery resolves one batch item with the request's pooled handle.
+// It is the per-item dispatch of every query endpoint, so it must not
+// allocate beyond the result it returns.
+//
+//ftbfs:hotpath
 func answerQuery(o *oracle.Oracle, q *batchQuery) batchResult {
 	switch {
 	case q.Route:

@@ -59,7 +59,7 @@ func checkStoreKey(graph, build string) error {
 // that only ever stream snapshots through.
 type MemStore struct {
 	mu    sync.RWMutex
-	snaps map[StoreKey][]byte
+	snaps map[StoreKey][]byte // guarded by mu
 }
 
 // NewMemStore returns an empty in-memory store.
