@@ -7,16 +7,28 @@
 //
 // in which mode the go command invokes this binary once per package with a
 // JSON config file describing the package's sources and the export data of
-// its dependencies. Invoked any other way (e.g. `ftbfslint ./...`), the
-// binary re-executes `go vet -vettool=<itself>` with the given package
-// patterns, so both spellings work.
+// its dependencies. The whole-program analyzers ride the same protocol:
+// lock-order facts are serialized to each package's vetx output and read
+// back from dependencies' vetx files, so cross-package acquisition edges
+// survive the per-package invocation model (and the go command's vet
+// cache). Invoked any other way (e.g. `ftbfslint ./...`), the binary
+// re-executes `go vet -vettool=<itself>` with the given arguments, so both
+// spellings work.
+//
+// Flags (forwarded by the go command when given to `go vet`):
+//
+//	-json          emit findings as NDJSON on stdout (one object per line)
+//	-timing        print per-analyzer wall time to stderr
+//	-update-locks  regenerate snapschema.lock/apisurface.lock and exit
 //
 // Exit status: 0 no findings, 1 tool error, 2 findings (matching vet).
 package main
 
 import (
+	"bufio"
 	"crypto/sha256"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/build"
@@ -27,32 +39,43 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"path/filepath"
+	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/lint"
 )
 
+var (
+	flagV           = flag.String("V", "", "print version and exit (the go command's vettool handshake)")
+	flagFlags       = flag.Bool("flags", false, "print the tool's flag set as JSON and exit")
+	flagJSON        = flag.Bool("json", false, "emit findings as NDJSON on stdout")
+	flagTiming      = flag.Bool("timing", false, "print per-analyzer wall time to stderr")
+	flagUpdateLocks = flag.Bool("update-locks", false, "regenerate snapschema.lock/apisurface.lock instead of checking them")
+)
+
 func main() {
-	args := os.Args[1:]
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
 	switch {
-	case len(args) == 1 && args[0] == "-V=full":
+	case *flagV != "":
 		printVersion()
-	case len(args) == 1 && args[0] == "-flags":
-		// The go command asks a vettool for its flag set before use; this
-		// suite has no tool-level flags.
-		fmt.Println("[]")
-		os.Exit(0)
+	case *flagFlags:
+		printFlags()
 	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
 		os.Exit(unitCheck(args[0]))
-	case len(args) >= 1 && (args[0] == "-h" || args[0] == "-help" || args[0] == "--help"):
-		usage()
+	case *flagUpdateLocks:
+		regenerateLocks()
 	default:
-		standalone(args)
+		standalone()
 	}
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: ftbfslint [packages]  (or as go vet -vettool=ftbfslint)\n\nanalyzers:\n")
+	fmt.Fprintf(os.Stderr, "usage: ftbfslint [-json] [-timing] [packages]  (or as go vet -vettool=ftbfslint)\n")
+	fmt.Fprintf(os.Stderr, "       ftbfslint -update-locks\n\nanalyzers:\n")
 	for _, a := range lint.Suite() {
 		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 	}
@@ -81,15 +104,73 @@ func printVersion() {
 	os.Exit(0)
 }
 
+// printFlags answers the go command's -flags probe. Declared flags become
+// acceptable on the `go vet` command line, are forwarded to every unit
+// invocation, and enter the vet cache key (so `-update-locks` runs are
+// never served from a stale cache).
+func printFlags() {
+	type toolFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	out := []toolFlag{
+		{"json", true, "emit findings as NDJSON on stdout"},
+		{"timing", true, "print per-analyzer wall time to stderr"},
+		{"update-locks", true, "regenerate snapschema.lock/apisurface.lock instead of checking them"},
+	}
+	data, err := json.Marshal(out)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(data))
+	os.Exit(0)
+}
+
 // standalone re-invokes the suite through `go vet -vettool=<self>` so that
-// the go command handles package loading, export data and caching.
-func standalone(patterns []string) {
+// the go command handles package loading, export data and caching. All
+// original arguments are forwarded verbatim: the go command accepts the
+// flags this tool declared in its -flags answer. With -json, NDJSON lines
+// (which the go command relays on its stderr) are routed back to stdout,
+// so `ftbfslint -json ./... > findings.ndjson` does the expected thing.
+func standalone() {
 	exe, err := os.Executable()
 	if err != nil {
 		fatal(err)
 	}
-	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, os.Args[1:]...)...)
 	cmd.Stdout = os.Stdout
+	if *flagJSON {
+		pr, pw, err := os.Pipe()
+		if err != nil {
+			fatal(err)
+		}
+		cmd.Stderr = pw
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			sc := bufio.NewScanner(pr)
+			sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+			for sc.Scan() {
+				line := sc.Text()
+				if strings.HasPrefix(line, "{") {
+					fmt.Fprintln(os.Stdout, line)
+				} else {
+					fmt.Fprintln(os.Stderr, line)
+				}
+			}
+		}()
+		err = cmd.Run()
+		pw.Close()
+		<-done
+		if err != nil {
+			if ee, ok := err.(*exec.ExitError); ok {
+				os.Exit(ee.ExitCode())
+			}
+			fatal(err)
+		}
+		os.Exit(0)
+	}
 	cmd.Stderr = os.Stderr
 	if err := cmd.Run(); err != nil {
 		if ee, ok := err.(*exec.ExitError); ok {
@@ -113,6 +194,7 @@ type vetConfig struct {
 	IgnoredFiles              []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	Standard                  map[string]bool
 	ModulePath                string
 	ModuleVersion             string
@@ -135,25 +217,90 @@ func unitCheck(cfgFile string) int {
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		fatal(fmt.Errorf("parsing vet config %s: %w", cfgFile, err))
 	}
+	deps := readDepFacts(cfg.PackageVetx)
 
-	// The go command requires the facts file to exist even though this
-	// suite exports none; without it the result is not cached.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			fatal(err)
+	// VetxOnly: the go command only needs this package's facts for a
+	// downstream target. Lock-scope packages get the real extraction;
+	// everything else forwards its dependencies' edges without even
+	// parsing, so the pre-pass stays cheap on the long tail.
+	if cfg.VetxOnly && !lint.LockScopePath(cfg.ImportPath) {
+		writeFacts(cfg.VetxOutput, lint.PassthroughFacts(cfg.ImportPath, deps))
+		return 0
+	}
+
+	fset, files, pkg, info, ret := typecheckUnit(&cfg)
+	if files == nil {
+		// Typecheck failed with SucceedOnTypecheckFailure; still satisfy
+		// the facts contract so downstream units load.
+		writeFacts(cfg.VetxOutput, lint.PassthroughFacts(cfg.ImportPath, deps))
+		return ret
+	}
+
+	if cfg.VetxOnly {
+		writeFacts(cfg.VetxOutput, lint.ComputeLockFacts(fset, files, pkg, info, deps))
+		return 0
+	}
+
+	lcfg := &lint.Config{
+		ModulePath:  cfg.ModulePath,
+		LockDir:     findLockDir(cfg.Dir),
+		UpdateLocks: *flagUpdateLocks,
+		Deps:        deps,
+	}
+	if *flagTiming {
+		lcfg.Timings = make(map[string]time.Duration)
+	}
+	diags, err := lint.RunAnalyzers(fset, files, pkg, info, lint.Suite(), lcfg)
+	if err != nil {
+		fatal(err)
+	}
+	facts := lcfg.Facts
+	if facts == nil {
+		facts = lint.PassthroughFacts(cfg.ImportPath, deps)
+	}
+	writeFacts(cfg.VetxOutput, facts)
+
+	if *flagTiming {
+		for _, name := range sortedTimingKeys(lcfg.Timings) {
+			fmt.Fprintf(os.Stderr, "ftbfslint: timing %s %s %s\n", cfg.ImportPath, name, lcfg.Timings[name].Round(time.Microsecond))
 		}
 	}
-	if cfg.VetxOnly {
-		return 0 // downstream packages only need facts, and we have none
+	if len(diags) == 0 {
+		return 0
 	}
+	// One rendering per mode: the human format on stderr is what the CI
+	// problem matcher parses; -json replaces it with NDJSON. The go
+	// command merges a vettool's stdout into its own stderr stream, so
+	// NDJSON is emitted there too — the standalone wrapper demultiplexes
+	// it back onto stdout.
+	enc := json.NewEncoder(os.Stderr)
+	for _, d := range diags {
+		if *flagJSON {
+			enc.Encode(map[string]any{
+				"file":     d.Pos.Filename,
+				"line":     d.Pos.Line,
+				"col":      d.Pos.Column,
+				"analyzer": d.Analyzer,
+				"message":  d.Message,
+			})
+		} else {
+			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	return 2
+}
 
+// typecheckUnit parses and type-checks the unit's sources against its
+// dependencies' compiler export data. On tolerated failure it returns a
+// nil file slice and the process exit code.
+func typecheckUnit(cfg *vetConfig) (*token.FileSet, []*ast.File, *types.Package, *types.Info, int) {
 	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, name := range cfg.GoFiles {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return 0
+				return fset, nil, nil, nil, 0
 			}
 			fatal(err)
 		}
@@ -178,14 +325,7 @@ func unitCheck(cfgFile string) int {
 		return compilerImporter.Import(canonical)
 	})
 
-	info := &types.Info{
-		Types:      make(map[ast.Expr]types.TypeAndValue),
-		Defs:       make(map[*ast.Ident]types.Object),
-		Uses:       make(map[*ast.Ident]types.Object),
-		Selections: make(map[*ast.SelectorExpr]*types.Selection),
-		Implicits:  make(map[ast.Node]types.Object),
-		Scopes:     make(map[ast.Node]*types.Scope),
-	}
+	info := newTypeInfo()
 	tcfg := types.Config{
 		Importer:  imp,
 		Sizes:     types.SizesFor(cfg.Compiler, build.Default.GOARCH),
@@ -194,22 +334,194 @@ func unitCheck(cfgFile string) int {
 	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return 0
+			return fset, nil, nil, nil, 0
 		}
 		fatal(fmt.Errorf("type-checking %s: %w", cfg.ImportPath, err))
 	}
+	return fset, files, pkg, info, 0
+}
 
-	diags, err := lint.RunAnalyzers(fset, files, pkg, info, lint.Suite())
+func newTypeInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// readDepFacts loads the lock-order facts of every dependency's vetx
+// file, in deterministic (path-sorted) order. Absent or empty files —
+// packages built by an older tool, or std packages vetted without
+// facts — decode to nil and are skipped.
+func readDepFacts(vetx map[string]string) []*lint.PackageFacts {
+	paths := make([]string, 0, len(vetx))
+	for p := range vetx {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var deps []*lint.PackageFacts
+	for _, p := range paths {
+		data, err := os.ReadFile(vetx[p])
+		if err != nil {
+			continue
+		}
+		if f := lint.DecodeFacts(data); f != nil {
+			deps = append(deps, f)
+		}
+	}
+	return deps
+}
+
+// writeFacts satisfies the go command's facts contract: the vetx output
+// file must exist for the unit's result to be cached.
+func writeFacts(path string, facts *lint.PackageFacts) {
+	if path == "" {
+		return
+	}
+	if err := os.WriteFile(path, lint.EncodeFacts(facts), 0o666); err != nil {
+		fatal(err)
+	}
+}
+
+// findLockDir walks up from the unit's directory to the module root (the
+// directory holding go.mod) and returns its lock-file directory, or ""
+// when there is none — which disables the schema-lock analyzers, e.g.
+// when vetting a checkout that predates them.
+func findLockDir(dir string) string {
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			ld := filepath.Join(d, "internal", "lint", "testdata")
+			if st, err := os.Stat(ld); err == nil && st.IsDir() {
+				return ld
+			}
+			return ""
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return ""
+		}
+		d = parent
+	}
+}
+
+func sortedTimingKeys(m map[string]time.Duration) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---- standalone lock regeneration ----
+
+// listedPkg is the slice of `go list -json` output regenerateLocks needs.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+}
+
+// regenerateLocks rewrites both lock files from the current tree. It goes
+// through `go list -export -deps` rather than `go vet` so regeneration is
+// a single deterministic pass over exactly two packages (the facade and
+// internal/snap), with dependencies loaded from compiler export data.
+func regenerateLocks() {
+	wd, err := os.Getwd()
 	if err != nil {
 		fatal(err)
 	}
-	if len(diags) == 0 {
-		return 0
+	root, modPath := findModule(wd)
+	if root == "" {
+		fatal(fmt.Errorf("-update-locks: no go.mod found above %s", wd))
 	}
-	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", d.Pos, d.Analyzer, d.Message)
+	lockDir := filepath.Join(root, "internal", "lint", "testdata")
+	if err := os.MkdirAll(lockDir, 0o755); err != nil {
+		fatal(err)
 	}
-	return 2
+	targets := []string{modPath, modPath + "/internal/snap"}
+
+	cmd := exec.Command("go", append([]string{"list", "-export", "-deps", "-json=ImportPath,Dir,Export,GoFiles"}, targets...)...)
+	cmd.Dir = root
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		fatal(fmt.Errorf("go list -export: %w", err))
+	}
+	exports := make(map[string]string)
+	pkgs := make(map[string]*listedPkg)
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for dec.More() {
+		var p listedPkg
+		if err := dec.Decode(&p); err != nil {
+			fatal(fmt.Errorf("parsing go list output: %w", err))
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		pkgs[p.ImportPath] = &p
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	for _, target := range targets {
+		lp := pkgs[target]
+		if lp == nil {
+			fatal(fmt.Errorf("-update-locks: %s not found by go list", target))
+		}
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				fatal(err)
+			}
+			files = append(files, f)
+		}
+		info := newTypeInfo()
+		tcfg := types.Config{Importer: imp, Sizes: types.SizesFor("gc", build.Default.GOARCH)}
+		pkg, err := tcfg.Check(target, fset, files, info)
+		if err != nil {
+			fatal(fmt.Errorf("type-checking %s: %w", target, err))
+		}
+		lcfg := &lint.Config{ModulePath: modPath, LockDir: lockDir, UpdateLocks: true}
+		if _, err := lint.RunAnalyzers(fset, files, pkg, info, []*lint.Analyzer{lint.SnapSchema, lint.APISurface}, lcfg); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "ftbfslint: wrote %s and %s\n",
+		filepath.Join(lockDir, lint.SnapSchemaLockFile), filepath.Join(lockDir, lint.APISurfaceLockFile))
+	os.Exit(0)
+}
+
+// findModule walks up from dir to the first go.mod and returns the module
+// root directory and module path ("", "" when none).
+func findModule(dir string) (string, string) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return d, strings.TrimSpace(rest)
+				}
+			}
+			return d, ""
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", ""
+		}
+		d = parent
+	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// PackageFacts is the whole-program side channel between per-package
+// ftbfslint runs. Under `go vet -vettool` each package run writes its
+// facts to the vetx output file and reads its dependencies' facts from
+// theirs (the same mechanism x/tools analysis facts ride); the in-process
+// Loader computes them directly. The payload is the lock-order state:
+// which locks each function may acquire (transitively), and every
+// lock-order edge observed so far. Edges are unioned downward through the
+// import graph, so any package that can see two packages' locks also sees
+// every ordering constraint between them.
+type PackageFacts struct {
+	// Path is the canonical import path the facts were computed for.
+	Path string `json:"path"`
+	// Funcs maps package functions to the locks they may acquire.
+	Funcs []FuncLocks `json:"funcs,omitempty"`
+	// Edges is the accumulated lock-order graph: own edges plus every
+	// dependency edge, deduplicated.
+	Edges []LockEdge `json:"edges,omitempty"`
+}
+
+// FuncLocks is the lock summary of one function: the set of canonical
+// lock IDs the function (or anything it calls) may acquire while running
+// on the caller's goroutine.
+type FuncLocks struct {
+	// Func is "Name" for package functions, "Type.Name" for methods.
+	Func     string   `json:"func"`
+	Acquires []string `json:"acquires"`
+}
+
+// LockEdge records that To was acquired while From was held. Pos is the
+// acquisition site ("file:line:col"), Desc the human acquisition path
+// (who held what, and through which call the second lock was taken).
+type LockEdge struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	Pos  string `json:"pos"`
+	Desc string `json:"desc"`
+}
+
+// EncodeFacts serializes facts for a vetx file. nil encodes to an empty
+// payload (a package with nothing to say).
+func EncodeFacts(f *PackageFacts) []byte {
+	if f == nil {
+		return nil
+	}
+	data, err := json.Marshal(f)
+	if err != nil {
+		// Marshal of these plain structs cannot fail; keep the signature
+		// write-friendly.
+		panic(fmt.Sprintf("lint: encoding facts: %v", err))
+	}
+	return data
+}
+
+// DecodeFacts parses a vetx payload. Empty or unparseable data (a vetx
+// file written by a different tool version) decodes to nil: facts are an
+// accuracy upgrade, never a correctness requirement.
+func DecodeFacts(data []byte) *PackageFacts {
+	if len(data) == 0 {
+		return nil
+	}
+	var f PackageFacts
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil
+	}
+	return &f
+}
+
+// PassthroughFacts builds the facts of a package outside lock scope: no
+// functions of its own, dependency edges forwarded so ordering
+// constraints survive import chains that pass through neutral packages.
+func PassthroughFacts(path string, deps []*PackageFacts) *PackageFacts {
+	return &PackageFacts{Path: path, Edges: mergeEdges(nil, deps)}
+}
+
+// mergeEdges unions own edges with every dependency's edges,
+// deduplicating by (From, To) — the first witness wins — and sorting for
+// deterministic output.
+func mergeEdges(own []LockEdge, deps []*PackageFacts) []LockEdge {
+	seen := make(map[[2]string]bool)
+	var out []LockEdge
+	add := func(e LockEdge) {
+		k := [2]string{e.From, e.To}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		out = append(out, e)
+	}
+	for _, e := range own {
+		add(e)
+	}
+	for _, d := range deps {
+		if d == nil {
+			continue
+		}
+		for _, e := range d.Edges {
+			add(e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// depAcquires indexes dependency facts as pkgPath -> funcKey -> acquired
+// lock IDs.
+func depAcquires(deps []*PackageFacts) map[string]map[string][]string {
+	idx := make(map[string]map[string][]string)
+	for _, d := range deps {
+		if d == nil {
+			continue
+		}
+		m := idx[d.Path]
+		if m == nil {
+			m = make(map[string][]string)
+			idx[d.Path] = m
+		}
+		for _, fl := range d.Funcs {
+			m[fl.Func] = fl.Acquires
+		}
+	}
+	return idx
+}

@@ -1,0 +1,518 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LeakCheck enforces release discipline on the three leak-prone resources
+// this codebase actually allocates:
+//
+//   - context.WithCancel/WithTimeout/WithDeadline: the returned
+//     CancelFunc must be called on every return path (a call or defer
+//     that structurally dominates the exit), escape into longer-lived
+//     state (stored, passed, returned, captured by a closure), and never
+//     be discarded into _.
+//   - time.NewTicker/NewTimer: a visible .Stop() somewhere, or an escape.
+//   - go statements in //ftbfs:builders packages and internal/server:
+//     each launch must be preceded by a sync.WaitGroup Add in the same
+//     function, or the goroutine body must visibly signal completion
+//     (defer wg.Done(), close(done), or a channel send) — otherwise
+//     shutdown cannot wait for it.
+//
+// Flow sensitivity is structural, not CFG-exact: a cancel call covers an
+// exit when it appears earlier in the same block as the definition or in
+// a block enclosing the exit. Returns a branch cannot reach (sibling
+// switch cases before the definition ran) are excluded by the same
+// structural containment. Test files are skipped: test-process resources
+// die with the test binary.
+var LeakCheck = &Analyzer{
+	Name: "leakcheck",
+	Doc:  "CancelFuncs called on all return paths, tickers/timers stopped, builder goroutines visibly tracked",
+	Run:  runLeakCheck,
+}
+
+func runLeakCheck(pass *Pass) error {
+	files := nonTestFiles(pass.Fset, pass.Files)
+	goScope := packageHasDirective(pass.Files, "builders") || isPkgPathSuffix(pass.Pkg, "internal/server")
+	for _, f := range files {
+		lc := &leakCheck{pass: pass, parents: buildParents(f)}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					lc.checkUnit(fn.Body, funcTitle(fn), goScope)
+				}
+			case *ast.FuncLit:
+				lc.checkUnit(fn.Body, "function literal", goScope)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type leakCheck struct {
+	pass    *Pass
+	parents map[ast.Node]ast.Node
+}
+
+// buildParents records each node's syntactic parent for upward walks.
+func buildParents(root ast.Node) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// cancelDef is one tracked `ctx, cancel := context.WithX(...)` site.
+type cancelDef struct {
+	stmt  ast.Stmt // the defining statement
+	ident *ast.Ident
+	obj   types.Object
+	from  string // WithCancel, WithTimeout, WithDeadline
+}
+
+type tickerDef struct {
+	stmt  ast.Stmt
+	ident *ast.Ident
+	obj   types.Object
+	kind  string // Ticker, Timer
+}
+
+// checkUnit analyzes one function body (declaration or literal). Nested
+// literals are their own units; their contents are skipped here and
+// visited by the caller's Inspect.
+func (lc *leakCheck) checkUnit(body *ast.BlockStmt, name string, goScope bool) {
+	var cancels []cancelDef
+	var tickers []tickerDef
+	var gos []*ast.GoStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == body {
+			return true
+		}
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			if goScope {
+				gos = append(gos, st)
+			}
+			return false
+		case *ast.AssignStmt:
+			lc.collectAssign(st, st.Lhs, st.Rhs, &cancels, &tickers)
+		case *ast.ValueSpec:
+			if len(st.Names) > 0 && len(st.Values) > 0 {
+				lhs := make([]ast.Expr, len(st.Names))
+				for i, id := range st.Names {
+					lhs[i] = id
+				}
+				if ds, ok := lc.enclosingStmt(st).(ast.Stmt); ok {
+					lc.collectSpec(ds, lhs, st.Values, &cancels, &tickers)
+				}
+			}
+		}
+		return true
+	})
+	for _, d := range cancels {
+		lc.checkCancel(body, d, name)
+	}
+	for _, d := range tickers {
+		lc.checkTicker(body, d)
+	}
+	for _, g := range gos {
+		lc.checkGoStmt(body, g)
+	}
+}
+
+func (lc *leakCheck) collectAssign(st *ast.AssignStmt, lhs, rhs []ast.Expr, cancels *[]cancelDef, tickers *[]tickerDef) {
+	lc.collectSpec(st, lhs, rhs, cancels, tickers)
+}
+
+func (lc *leakCheck) collectSpec(def ast.Stmt, lhs, rhs []ast.Expr, cancels *[]cancelDef, tickers *[]tickerDef) {
+	if len(rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	info := lc.pass.Info
+	switch {
+	case isPkgFuncCall(info, call, "context", "WithCancel", "WithTimeout", "WithDeadline") && len(lhs) == 2:
+		fn := calleeObj(info, call).(*types.Func)
+		id, ok := ast.Unparen(lhs[1]).(*ast.Ident)
+		if !ok {
+			return // stored straight into a field/element: escapes
+		}
+		if id.Name == "_" {
+			lc.pass.Reportf(call.Pos(),
+				"the CancelFunc returned by context.%s is discarded; the context (and its timer/goroutine) can never be released", fn.Name())
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj != nil {
+			*cancels = append(*cancels, cancelDef{stmt: def, ident: id, obj: obj, from: fn.Name()})
+		}
+	case isPkgFuncCall(info, call, "time", "NewTicker", "NewTimer") && len(lhs) == 1:
+		fn := calleeObj(info, call).(*types.Func)
+		kind := strings.TrimPrefix(fn.Name(), "New")
+		id, ok := ast.Unparen(lhs[0]).(*ast.Ident)
+		if !ok {
+			return
+		}
+		if id.Name == "_" {
+			lc.pass.Reportf(call.Pos(), "time.%s discarded at creation; it can never be stopped", kind)
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj != nil {
+			*tickers = append(*tickers, tickerDef{stmt: def, ident: id, obj: obj, kind: kind})
+		}
+	}
+}
+
+// ---- cancel-func path coverage ----
+
+type cancelCall struct {
+	stmt    ast.Stmt // the ExprStmt or DeferStmt
+	isDefer bool
+}
+
+func (lc *leakCheck) checkCancel(unit *ast.BlockStmt, d cancelDef, unitName string) {
+	var calls []cancelCall
+	escaped := false
+	ast.Inspect(unit, func(n ast.Node) bool {
+		if escaped {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || id == d.ident {
+			return true
+		}
+		if lc.pass.Info.Uses[id] != d.obj {
+			return true
+		}
+		p := lc.parents[id]
+		if call, ok := p.(*ast.CallExpr); ok && call.Fun == id {
+			if lc.enclosingFuncBody(id) != unit {
+				// cancel() captured inside a nested closure: its run time
+				// is not path-analyzable here; trust the capture.
+				escaped = true
+				return true
+			}
+			switch s := lc.parents[call].(type) {
+			case *ast.ExprStmt:
+				calls = append(calls, cancelCall{stmt: s})
+			case *ast.DeferStmt:
+				calls = append(calls, cancelCall{stmt: s, isDefer: true})
+			default:
+				escaped = true // part of a larger expression
+			}
+			return true
+		}
+		// `_ = cancel` only placates the compiler; the func still never
+		// runs. Everything else (argument, store, return, send, capture)
+		// hands the release duty to longer-lived code.
+		if as, ok := p.(*ast.AssignStmt); ok && allBlank(as.Lhs) {
+			return true
+		}
+		escaped = true
+		return false
+	})
+	if escaped {
+		return
+	}
+	for _, exit := range lc.exits(unit, d.stmt) {
+		if lc.covered(calls, d.stmt, exit) {
+			continue
+		}
+		what := "this return path"
+		if _, ok := exit.node.(*ast.ReturnStmt); !ok {
+			what = "the fall-through exit"
+		}
+		lc.pass.Reportf(exit.pos,
+			"context.CancelFunc %s (from context.%s) is not called on %s: the context leaks; call it on every path or defer it at the definition",
+			d.ident.Name, d.from, what)
+	}
+}
+
+type exitPoint struct {
+	pos  token.Pos
+	node ast.Node // *ast.ReturnStmt, or the unit body for fall-through
+}
+
+// exits lists the unit's return statements that execution can reach
+// after def ran, plus a virtual exit at the closing brace when the last
+// statement does not terminate.
+func (lc *leakCheck) exits(unit *ast.BlockStmt, def ast.Stmt) []exitPoint {
+	var out []exitPoint
+	ast.Inspect(unit, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != unit {
+			return false
+		}
+		if ret, ok := n.(*ast.ReturnStmt); ok && ret.Pos() > def.End() && lc.defReachable(def, ret) {
+			out = append(out, exitPoint{pos: ret.Pos(), node: ret})
+		}
+		return true
+	})
+	if canFallThrough(unit) {
+		out = append(out, exitPoint{pos: unit.Rbrace, node: unit})
+	}
+	return out
+}
+
+// defReachable reports whether a path that executed def can go on to
+// reach n: n sits after def inside def's own statement-list, or after
+// one of def's enclosing statements in that statement's list. A return
+// in a sibling branch (a switch case def's case never ran) fails both.
+func (lc *leakCheck) defReachable(def ast.Stmt, n ast.Node) bool {
+	nContainers := lc.containersOf(n)
+	for a := ast.Node(def); a != nil; a = lc.parents[a] {
+		if _, ok := a.(ast.Stmt); !ok {
+			continue
+		}
+		if c := lc.containerOf(a); c != nil && nContainers[c] && n.Pos() > a.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// covered reports whether some cancel call dominates the exit: it ends
+// before the exit begins and sits either in the definition's own
+// statement list (so any path past it executed the call) or in a
+// statement list enclosing the exit.
+func (lc *leakCheck) covered(calls []cancelCall, def ast.Stmt, exit exitPoint) bool {
+	defContainer := lc.containerOf(def)
+	exitContainers := lc.containersOf(exit.node)
+	if exit.node == nil {
+		exitContainers = nil
+	}
+	for _, c := range calls {
+		if c.stmt.End() >= exit.pos {
+			continue
+		}
+		cc := lc.containerOf(c.stmt)
+		if cc == defContainer || exitContainers[cc] {
+			return true
+		}
+	}
+	return false
+}
+
+// containerOf is the nearest enclosing statement list holder.
+func (lc *leakCheck) containerOf(n ast.Node) ast.Node {
+	for p := lc.parents[n]; p != nil; p = lc.parents[p] {
+		switch p.(type) {
+		case *ast.BlockStmt, *ast.CaseClause, *ast.CommClause:
+			return p
+		}
+	}
+	return nil
+}
+
+// containersOf is the set of statement-list holders enclosing n
+// (including, for a block node, n itself).
+func (lc *leakCheck) containersOf(n ast.Node) map[ast.Node]bool {
+	out := make(map[ast.Node]bool)
+	for p := n; p != nil; p = lc.parents[p] {
+		switch p.(type) {
+		case *ast.BlockStmt, *ast.CaseClause, *ast.CommClause:
+			out[p] = true
+		}
+	}
+	return out
+}
+
+// enclosingFuncBody finds the function body the node executes in.
+func (lc *leakCheck) enclosingFuncBody(n ast.Node) *ast.BlockStmt {
+	for p := lc.parents[n]; p != nil; p = lc.parents[p] {
+		switch f := p.(type) {
+		case *ast.FuncLit:
+			return f.Body
+		case *ast.FuncDecl:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+// enclosingStmt walks up to the nearest enclosing statement node.
+func (lc *leakCheck) enclosingStmt(n ast.Node) ast.Node {
+	for p := lc.parents[n]; p != nil; p = lc.parents[p] {
+		if _, ok := p.(ast.Stmt); ok {
+			return p
+		}
+	}
+	return nil
+}
+
+// canFallThrough reports whether execution can reach the closing brace:
+// false when the final statement visibly terminates (return, panic,
+// os.Exit/log.Fatal family, bare select, or an unconditional for).
+func canFallThrough(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return true
+	}
+	switch last := body.List[len(body.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return false
+	case *ast.ForStmt:
+		return last.Cond != nil || hasBreak(last.Body)
+	case *ast.SelectStmt:
+		return len(last.Body.List) > 0
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			return !isTerminatingCall(call)
+		}
+	}
+	return true
+}
+
+func hasBreak(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.FuncLit:
+			return false // a break in there does not exit the outer loop
+		case *ast.BranchStmt:
+			if n.(*ast.BranchStmt).Tok == token.BREAK {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isTerminatingCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		return name == "Exit" || name == "Fatal" || name == "Fatalf" || name == "Fatalln" || name == "Goexit"
+	}
+	return false
+}
+
+// ---- ticker / timer ----
+
+func (lc *leakCheck) checkTicker(unit *ast.BlockStmt, d tickerDef) {
+	stopped, escaped := false, false
+	ast.Inspect(unit, func(n ast.Node) bool {
+		if stopped || escaped {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || id == d.ident || lc.pass.Info.Uses[id] != d.obj {
+			return true
+		}
+		if sel, ok := lc.parents[id].(*ast.SelectorExpr); ok && sel.X == id {
+			switch sel.Sel.Name {
+			case "Stop":
+				stopped = true
+			case "C", "Reset":
+				// reading the channel / rescheduling: neither releases
+			default:
+				escaped = true
+			}
+			return true
+		}
+		escaped = true
+		return false
+	})
+	if !stopped && !escaped {
+		lc.pass.Reportf(d.ident.Pos(),
+			"time.%s %s is never stopped on any path; defer %s.Stop() after creating it",
+			d.kind, d.ident.Name, d.ident.Name)
+	}
+}
+
+// ---- goroutine tracking ----
+
+func (lc *leakCheck) checkGoStmt(unit *ast.BlockStmt, g *ast.GoStmt) {
+	if fl, ok := g.Call.Fun.(*ast.FuncLit); ok && signalsCompletion(fl.Body) {
+		return
+	}
+	if lc.waitGroupAddBefore(unit, g.Pos()) {
+		return
+	}
+	lc.pass.Reportf(g.Pos(),
+		"goroutine is not visibly tracked: call Add on a sync.WaitGroup before `go`, or signal completion inside (defer Done, close a done channel, or send on one)")
+}
+
+// signalsCompletion looks for an observable end-of-life signal in a
+// goroutine body: defer <wg>.Done(), close(ch), or a channel send.
+func signalsCompletion(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.DeferStmt:
+			if sel, ok := st.Call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				found = true
+			}
+		case *ast.SendStmt:
+			found = true
+		case *ast.CallExpr:
+			if id, ok := st.Fun.(*ast.Ident); ok && id.Name == "close" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// waitGroupAddBefore reports a sync.WaitGroup Add call in this unit that
+// completes before pos.
+func (lc *leakCheck) waitGroupAddBefore(unit *ast.BlockStmt, pos token.Pos) bool {
+	found := false
+	ast.Inspect(unit, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.End() >= pos {
+			return true
+		}
+		fn, ok := calleeObj(lc.pass.Info, call).(*types.Func)
+		if ok && fn.Name() == "Add" && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func allBlank(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}

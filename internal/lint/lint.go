@@ -39,6 +39,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 )
 
 // An Analyzer describes one invariant checker. The shape mirrors
@@ -50,6 +51,34 @@ type Analyzer struct {
 	Run  func(*Pass) error
 }
 
+// A Config carries the whole-program context shared by one RunAnalyzers
+// call: the lock-order facts of the package's dependencies (read from the
+// vetx side channel under `go vet`, or computed in-process by the
+// Loader), the location of the committed lock files, and the regenerate
+// switch. The zero value is valid: the intraprocedural analyzers ignore
+// it entirely, and the whole-program ones degrade to single-package
+// scope.
+type Config struct {
+	// ModulePath is the import path of the module root package. The
+	// apisurface analyzer anchors on it; "" disables that analyzer.
+	ModulePath string
+	// LockDir is the directory holding snapschema.lock/apisurface.lock.
+	// "" disables the lock-file analyzers.
+	LockDir string
+	// UpdateLocks rewrites the lock files from the observed state instead
+	// of diffing against them.
+	UpdateLocks bool
+	// Deps holds the lock-order facts of (transitive) dependencies.
+	Deps []*PackageFacts
+
+	// Facts receives the lock-order facts computed for this package
+	// (set by the lockorder analyzer; pass-through of Deps when the
+	// package is out of lock scope).
+	Facts *PackageFacts
+	// Timings, when non-nil, receives per-analyzer wall time.
+	Timings map[string]time.Duration
+}
+
 // A Pass hands one type-checked package to an analyzer.
 type Pass struct {
 	Analyzer *Analyzer
@@ -57,6 +86,7 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	Cfg      *Config
 
 	diags *[]Diagnostic
 }
@@ -81,7 +111,8 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
 }
 
-// Suite returns the ftbfslint analyzers in stable order.
+// Suite returns the ftbfslint analyzers in stable order: the five
+// intraprocedural checkers first, then the whole-program tier.
 func Suite() []*Analyzer {
 	return []*Analyzer{
 		LockGuard,
@@ -89,6 +120,10 @@ func Suite() []*Analyzer {
 		CtxPoll,
 		FrozenAlias,
 		HotAlloc,
+		LockOrder,
+		LeakCheck,
+		SnapSchema,
+		APISurface,
 	}
 }
 
@@ -96,8 +131,12 @@ func Suite() []*Analyzer {
 // returns the surviving diagnostics: findings suppressed by a well-formed
 // //lint:ignore are dropped, malformed or unused ignore directives are
 // reported as findings of the pseudo-analyzer "ignore", and the result is
-// sorted by position.
-func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+// sorted by position. cfg may be nil (single-package scope, no lock
+// files).
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, cfg *Config) ([]Diagnostic, error) {
+	if cfg == nil {
+		cfg = &Config{}
+	}
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -106,10 +145,15 @@ func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 			Files:    files,
 			Pkg:      pkg,
 			Info:     info,
+			Cfg:      cfg,
 			diags:    &diags,
 		}
+		start := time.Now()
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		if cfg.Timings != nil {
+			cfg.Timings[a.Name] += time.Since(start)
 		}
 	}
 	diags = applyIgnores(fset, files, diags)
@@ -364,6 +408,20 @@ func isPkgFuncCall(info *types.Info, call *ast.CallExpr, pkgPath string, names .
 		}
 	}
 	return false
+}
+
+// nonTestFiles drops _test.go files: the whole-program analyzers check
+// long-lived production invariants (lock lifetimes, goroutine tracking,
+// wire schemas), and test processes are bounded by definition.
+func nonTestFiles(fset *token.FileSet, files []*ast.File) []*ast.File {
+	out := make([]*ast.File, 0, len(files))
+	for _, f := range files {
+		if strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
 }
 
 // funcDecls yields every function declaration in the pass's files.

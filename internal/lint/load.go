@@ -195,9 +195,59 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 
 // Analyze loads the package and runs the given analyzers over it.
 func (l *Loader) Analyze(path string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return l.AnalyzeWP(path, analyzers, nil)
+}
+
+// AnalyzeWP is Analyze with a Config: it additionally computes lock-order
+// facts for every source-resolvable dependency of the target (transitively,
+// so facts propagate through neutral import hops the way vet's vetx chain
+// does in production) and hands them to the whole-program analyzers.
+func (l *Loader) AnalyzeWP(path string, analyzers []*Analyzer, cfg *Config) ([]Diagnostic, error) {
 	p, err := l.Load(path)
 	if err != nil {
 		return nil, err
 	}
-	return RunAnalyzers(l.Fset, p.Files, p.Types, p.Info, analyzers)
+	if cfg == nil {
+		cfg = &Config{}
+	}
+	if cfg.Deps == nil {
+		memo := make(map[string]*PackageFacts)
+		for _, imp := range p.Types.Imports() {
+			if f := l.lockFacts(imp.Path(), memo); f != nil {
+				cfg.Deps = append(cfg.Deps, f)
+			}
+		}
+	}
+	return RunAnalyzers(l.Fset, p.Files, p.Types, p.Info, analyzers, cfg)
+}
+
+// lockFacts computes (memoized) lock-order facts for a dependency, or a
+// passthrough record when the package is outside the lock scope. Std
+// packages that don't resolve through SrcDirs/module mapping yield nil.
+func (l *Loader) lockFacts(path string, memo map[string]*PackageFacts) *PackageFacts {
+	if f, ok := memo[path]; ok {
+		return f
+	}
+	memo[path] = nil // break cycles
+	if _, ok := l.resolveDir(path); !ok {
+		return nil
+	}
+	p, err := l.Load(path)
+	if err != nil {
+		return nil
+	}
+	var deps []*PackageFacts
+	for _, imp := range p.Types.Imports() {
+		if f := l.lockFacts(imp.Path(), memo); f != nil {
+			deps = append(deps, f)
+		}
+	}
+	var facts *PackageFacts
+	if lockOrderInScope(p.Files, p.Types) {
+		facts = ComputeLockFacts(l.Fset, p.Files, p.Types, p.Info, deps)
+	} else {
+		facts = PassthroughFacts(path, deps)
+	}
+	memo[path] = facts
+	return facts
 }

@@ -1,0 +1,28 @@
+// Package apisurfacedrift drifts from the recorded surface three ways
+// against a lock byte-identical to apisurfacetest's: Sum's signature
+// changed, New removed (reported at the package clause), Extra added.
+package apisurfacedrift // want `exported func New has been removed but is still recorded in apisurface\.lock`
+
+type Counter struct{ n int }
+
+func (c *Counter) Inc() { c.n++ }
+
+func (c *Counter) Value() int { return c.n }
+
+func Sum(xs []int64) int64 { // want `exported surface drift: "func Sum\(xs \[\]int64\) int64"`
+	var total int64
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+func Extra() {} // want `exported func Extra is not recorded in apisurface\.lock`
+
+const Limit = 64
+
+var Debug bool
+
+func internalOnly() {}
+
+var _ = internalOnly

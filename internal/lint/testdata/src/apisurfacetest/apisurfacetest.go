@@ -1,0 +1,28 @@
+// Package apisurfacetest is the apisurface fixture facade: a small
+// exported surface whose lock file pins funcs, methods, types, consts
+// and vars.
+package apisurfacetest
+
+type Counter struct{ n int }
+
+func (c *Counter) Inc() { c.n++ }
+
+func (c *Counter) Value() int { return c.n }
+
+func New() *Counter { return &Counter{} }
+
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+const Limit = 64
+
+var Debug bool
+
+func internalOnly() {}
+
+var _ = internalOnly

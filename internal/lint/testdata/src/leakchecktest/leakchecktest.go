@@ -1,0 +1,157 @@
+// Package leakchecktest pins the leakcheck analyzer: CancelFunc path
+// coverage, ticker/timer stop discipline, goroutine tracking, and the
+// escape/coverage shapes that must stay silent.
+//
+//ftbfs:builders
+package leakchecktest
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+func use(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// Discarding the CancelFunc is reported at the definition.
+func discarded() {
+	ctx, _ := context.WithCancel(context.Background()) // want `the CancelFunc returned by context\.WithCancel is discarded`
+	_ = use(ctx)
+}
+
+// The error path returns without cancelling: reported at that return.
+func missedPath(d time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	if err := use(ctx); err != nil {
+		return err // want `context\.CancelFunc cancel \(from context\.WithTimeout\) is not called on this return path`
+	}
+	cancel()
+	return nil
+}
+
+// `_ = cancel` placates the compiler but releases nothing: the
+// fall-through exit is uncovered.
+func placated() {
+	ctx, cancel := context.WithCancel(context.Background())
+	_ = cancel
+	_ = use(ctx)
+} // want `context\.CancelFunc cancel \(from context\.WithCancel\) is not called on the fall-through exit`
+
+// Deferring at the definition covers every exit.
+func deferred(d time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	if err := use(ctx); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Explicit calls on each path also cover.
+func explicit() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := use(ctx); err != nil {
+		cancel()
+		return err
+	}
+	cancel()
+	return nil
+}
+
+// The CLI flag pattern: conditional timeout, defer in the same block as
+// the (re)definition. The defer dominates every later exit.
+func cliPattern(d time.Duration) error {
+	ctx := context.Background()
+	if d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	return use(ctx)
+}
+
+// Handing the CancelFunc to longer-lived code transfers the duty.
+func escapes(reg func(context.CancelFunc)) context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	reg(cancel)
+	return ctx
+}
+
+// A cancel captured by a closure runs on the closure's schedule: trusted.
+func captured() (context.Context, func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cleanup := func() { cancel() }
+	return ctx, cleanup
+}
+
+// ---- tickers and timers ----
+
+// Created, drained, never stopped: reported at the definition.
+func unstopped(d time.Duration) {
+	t := time.NewTicker(d) // want `time\.Ticker t is never stopped on any path`
+	<-t.C
+}
+
+func discardedTicker(d time.Duration) {
+	_ = time.NewTicker(d) // want `time\.Ticker discarded at creation`
+}
+
+func stopped(d time.Duration) {
+	t := time.NewTicker(d)
+	defer t.Stop()
+	<-t.C
+}
+
+// Resetting does not release; Stop elsewhere in the unit does.
+func resetThenStop(d time.Duration) {
+	tm := time.NewTimer(d)
+	<-tm.C
+	tm.Reset(d)
+	tm.Stop()
+}
+
+// Returning the ticker transfers the duty.
+func handedOff(d time.Duration) *time.Ticker {
+	t := time.NewTicker(d)
+	return t
+}
+
+// ---- goroutine tracking (//ftbfs:builders scope) ----
+
+func fire() {}
+
+// Nothing observes this goroutine's lifetime.
+func untracked() {
+	go fire() // want `goroutine is not visibly tracked`
+}
+
+// WaitGroup Add before launch: tracked.
+func waited(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		fire()
+	}()
+}
+
+// A done channel closed inside the body: tracked.
+func signalled() <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fire()
+	}()
+	return done
+}
+
+// A result send inside the body: tracked.
+func sends() <-chan int {
+	out := make(chan int, 1)
+	go func() {
+		out <- 1
+	}()
+	return out
+}

@@ -1,0 +1,156 @@
+// Package lockordertest pins the lockorder analyzer: cycle detection over
+// direct acquisitions, //ftbfs:holds seeding, call-summary propagation,
+// self-acquisition, and the shapes that must stay silent (consistent
+// order, release-before-acquire, TryLock, branches, function literals).
+//
+//ftbfs:lockorder
+package lockordertest
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+// lockAB and lockBA inverted: classic two-lock deadlock. The cycle is
+// reported once, at the sorted-first own edge (A.mu -> B.mu), which is
+// the inner acquisition below.
+func lockAB(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `lock-order cycle \(potential deadlock\): lockordertest\.A\.mu -> lockordertest\.B\.mu -> lockordertest\.A\.mu`
+	defer b.mu.Unlock()
+}
+
+func lockBA(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+}
+
+// Self-acquisition: C.mu taken on a path that already holds it (the
+// annotation is the documented contract for C.reenter's callers).
+type C struct{ mu sync.Mutex }
+
+//ftbfs:holds mu
+func (c *C) reenter() {
+	c.mu.Lock() // want `lock lockordertest\.C\.mu acquired while already held`
+	c.mu.Unlock()
+}
+
+// Holds-seeded cycle: F.mu -> G.mu comes from the annotation, the inverse
+// from gThenF. Reported at the sorted-first own edge, inside fLocked.
+type F struct{ mu sync.Mutex }
+
+type G struct{ mu sync.Mutex }
+
+//ftbfs:holds mu
+func (f *F) fLocked(g *G) {
+	g.mu.Lock() // want `lock-order cycle \(potential deadlock\): lockordertest\.F\.mu -> lockordertest\.G\.mu -> lockordertest\.F\.mu`
+	defer g.mu.Unlock()
+}
+
+func gThenF(f *F, g *G) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	f.mu.Lock()
+	f.mu.Unlock()
+}
+
+// Cycle through a call summary: dThenCallE acquires D.mu then calls
+// lockE (which acquires E.mu), eThenD inverts. The via-call edge closes
+// the cycle, anchored on the call site.
+type D struct{ mu sync.Mutex }
+
+type E struct{ mu sync.Mutex }
+
+func lockE(e *E) {
+	e.mu.Lock()
+	e.mu.Unlock()
+}
+
+func dThenCallE(d *D, e *E) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	lockE(e) // want `lock-order cycle \(potential deadlock\): lockordertest\.D\.mu -> lockordertest\.E\.mu -> lockordertest\.D\.mu`
+}
+
+func eThenD(d *D, e *E) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+// ---- shapes that must stay silent ----
+
+type P struct{ mu sync.Mutex }
+
+type Q struct{ mu sync.Mutex }
+
+// Consistent order everywhere: no cycle, no finding.
+func pThenQ(p *P, q *Q) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+}
+
+func pThenQAgain(p *P, q *Q) {
+	p.mu.Lock()
+	q.mu.Lock()
+	q.mu.Unlock()
+	p.mu.Unlock()
+}
+
+// Release before the second acquire: never held together, so the
+// inverted textual order is fine.
+func qAfterP(p *P, q *Q) {
+	q.mu.Lock()
+	q.mu.Unlock()
+	p.mu.Lock()
+	p.mu.Unlock()
+}
+
+// TryLock cannot block: no edge even while P.mu is held (but a cycle
+// through it would still need the inverse, which does not exist).
+func tryUnderP(p *P, q *Q) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if q.mu.TryLock() {
+		q.mu.Unlock()
+	}
+}
+
+// A lock taken inside one branch is not held after the join.
+func branchScoped(p *P, q *Q) {
+	cond := len("x") == 1
+	if cond {
+		q.mu.Lock()
+		q.mu.Unlock()
+	}
+	p.mu.Lock()
+	p.mu.Unlock()
+}
+
+// Function literals run on their own schedule: the held set does not
+// leak into them, and their acquisitions do not order against ours.
+func literalIsolated(p *P, q *Q) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	fn := func() {
+		p.mu.Lock()
+		p.mu.Unlock()
+	}
+	_ = fn
+}
+
+// Function-local mutexes have no cross-function identity: ignored.
+func localMutex(p *P) {
+	var mu sync.Mutex
+	mu.Lock()
+	p.mu.Lock()
+	p.mu.Unlock()
+	mu.Unlock()
+}

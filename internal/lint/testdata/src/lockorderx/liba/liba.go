@@ -1,0 +1,32 @@
+// Package liba is the downstream half of the cross-package lock-order
+// fixture: its facts (the M1 -> M2 edge from Both, Lock1's acquisition
+// summary) travel to libb through the dependency facts channel.
+//
+//ftbfs:lockorder
+package liba
+
+import "sync"
+
+type M1 struct{ mu sync.Mutex }
+
+type M2 struct{ Mu sync.Mutex }
+
+var (
+	One M1
+	Two M2
+)
+
+// Both establishes the package's lock order: M1.mu before M2.Mu.
+func Both() {
+	One.mu.Lock()
+	defer One.mu.Unlock()
+	Two.Mu.Lock()
+	defer Two.Mu.Unlock()
+}
+
+// Lock1 acquires M1.mu; callers holding other locks inherit this through
+// the exported facts summary.
+func Lock1() {
+	One.mu.Lock()
+	One.mu.Unlock()
+}

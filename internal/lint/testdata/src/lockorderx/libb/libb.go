@@ -1,0 +1,22 @@
+// Package libb closes a lock-order cycle that no single package can see:
+// liba orders M1.mu before M2.Mu, and BadOrder here acquires M1.mu (via
+// liba.Lock1) while holding M2.Mu. Only the merged cross-package edge
+// graph contains the cycle, so a finding in this package proves the
+// facts side channel works.
+//
+//ftbfs:lockorder
+package libb
+
+import "lockorderx/liba"
+
+// BadOrder inverts liba's order through a call summary.
+func BadOrder() {
+	liba.Two.Mu.Lock()
+	defer liba.Two.Mu.Unlock()
+	liba.Lock1() // want `lock-order cycle \(potential deadlock\): lockorderx/liba\.M2\.Mu -> lockorderx/liba\.M1\.mu -> lockorderx/liba\.M2\.Mu`
+}
+
+// GoodOrder follows liba's order: silent.
+func GoodOrder() {
+	liba.Both()
+}

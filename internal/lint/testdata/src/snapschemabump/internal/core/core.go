@@ -1,0 +1,9 @@
+// Package core holds fixture state reachable from the snapshot roots in
+// a different package, pinning cross-package fingerprinting and the
+// module-relative type naming.
+package core
+
+type State struct {
+	N     int
+	Flags map[string]bool
+}

@@ -1,0 +1,37 @@
+// Package snap is the snapschema version-bump fixture: the same drift as
+// snapschemadrift (Meta.Seed narrowed to int32), but Version is bumped —
+// the declared wire-format change, so the analyzer stays silent and the
+// next -update-locks refreshes the lock.
+package snap
+
+import "snapschemabump/internal/core"
+
+const (
+	Magic   = "MINISNAP"
+	Version = 2
+)
+
+var (
+	idMeta = [4]byte{'M', 'E', 'T', 'A'}
+	idBlob = [4]byte{'B', 'L', 'O', 'B'}
+)
+
+var _ = [2]interface{}{idMeta, idBlob}
+
+type Meta struct {
+	Name string `json:"name"`
+	Seed int32  `json:"seed,omitempty"`
+}
+
+type Snapshot struct {
+	Meta  Meta
+	State *core.State
+	Rows  []Row
+}
+
+type Row struct {
+	Key  ID
+	Vals []float64
+}
+
+type ID int

@@ -1,0 +1,36 @@
+// Package snap is the snapschema drift fixture: identical to the clean
+// fixture except Meta.Seed narrowed to int32 — a wire-format change with
+// no version bump, which must be reported on the drifted field.
+package snap
+
+import "snapschemadrift/internal/core"
+
+const (
+	Magic   = "MINISNAP"
+	Version = 1
+)
+
+var (
+	idMeta = [4]byte{'M', 'E', 'T', 'A'}
+	idBlob = [4]byte{'B', 'L', 'O', 'B'}
+)
+
+var _ = [2]interface{}{idMeta, idBlob}
+
+type Meta struct {
+	Name string `json:"name"`
+	Seed int32  `json:"seed,omitempty"` // want `snapshot schema drift in struct internal/snap\.Meta`
+}
+
+type Snapshot struct {
+	Meta  Meta
+	State *core.State
+	Rows  []Row
+}
+
+type Row struct {
+	Key  ID
+	Vals []float64
+}
+
+type ID int

@@ -1,0 +1,36 @@
+// Package snap is the snapschema fixture: a miniature of the real
+// snapshot package — magic/version consts, a [4]byte section table, and
+// structs reachable from Meta/Snapshot across a sibling package.
+package snap
+
+import "snapschematest/internal/core"
+
+const (
+	Magic   = "MINISNAP"
+	Version = 1
+)
+
+var (
+	idMeta = [4]byte{'M', 'E', 'T', 'A'}
+	idBlob = [4]byte{'B', 'L', 'O', 'B'}
+)
+
+var _ = [2]interface{}{idMeta, idBlob}
+
+type Meta struct {
+	Name string `json:"name"`
+	Seed int64  `json:"seed,omitempty"`
+}
+
+type Snapshot struct {
+	Meta  Meta
+	State *core.State
+	Rows  []Row
+}
+
+type Row struct {
+	Key  ID
+	Vals []float64
+}
+
+type ID int

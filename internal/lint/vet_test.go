@@ -2,32 +2,45 @@ package lint_test
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"repro/internal/lint"
 )
+
+// buildLintTool compiles cmd/ftbfslint into a temp dir and returns the
+// binary path and the module root.
+func buildLintTool(t *testing.T) (string, string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := filepath.Join(t.TempDir(), "ftbfslint")
+	build := exec.Command("go", "build", "-o", tool, "./cmd/ftbfslint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building ftbfslint: %v\n%s", err, out)
+	}
+	return tool, root
+}
 
 // TestVetToolCleanTree builds cmd/ftbfslint and dogfoods it over the whole
 // module through the real `go vet -vettool` protocol: the tree must be
 // clean (every genuine finding fixed, every accepted one suppressed with a
 // reason). This is also the end-to-end proof of the unit-checker protocol
 // implementation — version handshake, -flags probe, config parsing, export
-// data import — since an error in any of those fails the vet run itself.
+// data import, lock-order facts plumbing — since an error in any of those
+// fails the vet run itself.
 func TestVetToolCleanTree(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds a binary and type-checks the whole module")
 	}
-	root, err := filepath.Abs(filepath.Join("..", ".."))
-	if err != nil {
-		t.Fatal(err)
-	}
-	tool := filepath.Join(t.TempDir(), "ftbfslint")
-
-	build := exec.Command("go", "build", "-o", tool, "./cmd/ftbfslint")
-	build.Dir = root
-	if out, err := build.CombinedOutput(); err != nil {
-		t.Fatalf("building ftbfslint: %v\n%s", err, out)
-	}
+	tool, root := buildLintTool(t)
 
 	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
 	vet.Dir = root
@@ -39,5 +52,162 @@ func TestVetToolCleanTree(t *testing.T) {
 	}
 	if s := out.String(); len(s) > 0 {
 		t.Fatalf("expected a clean tree, vet printed:\n%s", s)
+	}
+}
+
+// TestUpdateLocksByteStable runs `ftbfslint -update-locks` twice over the
+// real tree and requires both runs to reproduce the committed lock files
+// byte for byte: regeneration is deterministic, and the committed locks
+// are current.
+func TestUpdateLocksByteStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and type-checks the facade and snap packages")
+	}
+	tool, root := buildLintTool(t)
+	lockDir := filepath.Join(root, "internal", "lint", "testdata")
+	locks := []string{lint.SnapSchemaLockFile, lint.APISurfaceLockFile}
+
+	committed := make(map[string][]byte)
+	for _, name := range locks {
+		data, err := os.ReadFile(filepath.Join(lockDir, name))
+		if err != nil {
+			t.Fatalf("reading committed lock: %v", err)
+		}
+		committed[name] = data
+	}
+	// The run rewrites the committed files in place; put them back however
+	// the test ends so a failure does not leave the tree dirty.
+	defer func() {
+		for _, name := range locks {
+			os.WriteFile(filepath.Join(lockDir, name), committed[name], 0o644)
+		}
+	}()
+
+	for run := 1; run <= 2; run++ {
+		cmd := exec.Command(tool, "-update-locks")
+		cmd.Dir = root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("ftbfslint -update-locks (run %d): %v\n%s", run, err, out)
+		}
+		for _, name := range locks {
+			got, err := os.ReadFile(filepath.Join(lockDir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, committed[name]) {
+				t.Errorf("run %d: regenerated %s differs from the committed file; commit the regenerated version (or bump snap.Version first)", run, name)
+			}
+		}
+	}
+}
+
+// TestFixtureLocksRoundTrip regenerates the fixture lock files in-process
+// into a temp dir and requires byte equality with the committed fixtures:
+// the same determinism contract, without a toolchain subprocess.
+func TestFixtureLocksRoundTrip(t *testing.T) {
+	cases := []struct {
+		pkg, lockDir, lockFile string
+		cfg                    lint.Config
+		analyzer               *lint.Analyzer
+	}{
+		{
+			pkg: "snapschematest/internal/snap", lockDir: "testdata/src/snapschematest",
+			lockFile: lint.SnapSchemaLockFile, analyzer: lint.SnapSchema,
+		},
+		{
+			pkg: "apisurfacetest", lockDir: "testdata/src/apisurfacetest",
+			lockFile: lint.APISurfaceLockFile, analyzer: lint.APISurface,
+			cfg: lint.Config{ModulePath: "apisurfacetest"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.analyzer.Name, func(t *testing.T) {
+			committed, err := os.ReadFile(filepath.Join(tc.lockDir, tc.lockFile))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tmp := t.TempDir()
+			for run := 1; run <= 2; run++ {
+				cfg := tc.cfg
+				cfg.LockDir = tmp
+				cfg.UpdateLocks = true
+				if _, err := fixtureLoader().AnalyzeWP(tc.pkg, []*lint.Analyzer{tc.analyzer}, &cfg); err != nil {
+					t.Fatal(err)
+				}
+				got, err := os.ReadFile(filepath.Join(tmp, tc.lockFile))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, committed) {
+					t.Errorf("run %d: regenerated %s differs from committed fixture lock", run, tc.lockFile)
+				}
+			}
+		})
+	}
+}
+
+// TestJSONFindings plants one finding in a scratch module and checks the
+// machine interfaces end to end: NDJSON on stdout, the problem-matcher
+// line format on stderr, and a failing exit status.
+func TestJSONFindings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet on a scratch module")
+	}
+	tool, _ := buildLintTool(t)
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module scratch\n\ngo 1.24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := `package scratch
+
+import "context"
+
+func Leak() context.Context {
+	ctx, _ := context.WithCancel(context.Background())
+	return ctx
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "scratch.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(tool, "-json", "./...")
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err == nil {
+		t.Fatalf("expected a failing exit status for a module with findings\nstderr:\n%s", stderr.String())
+	}
+
+	var finding struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	line := strings.TrimSpace(stdout.String())
+	if line == "" || strings.ContainsRune(line, '\n') {
+		t.Fatalf("want exactly one NDJSON line on stdout, got:\n%q", stdout.String())
+	}
+	if err := json.Unmarshal([]byte(line), &finding); err != nil {
+		t.Fatalf("parsing NDJSON %q: %v", line, err)
+	}
+	if finding.Analyzer != "leakcheck" || finding.Line != 6 || !strings.HasSuffix(finding.File, "scratch.go") || finding.Col == 0 {
+		t.Errorf("unexpected finding: %+v", finding)
+	}
+
+	// Without -json, the stderr rendering is what the CI problem matcher
+	// (.github/ftbfslint-matcher.json) parses: file:line:col: [analyzer].
+	human := exec.Command(tool, "./...")
+	human.Dir = dir
+	var humanErr bytes.Buffer
+	human.Stderr = &humanErr
+	if err := human.Run(); err == nil {
+		t.Fatal("expected a failing exit status for a module with findings")
+	}
+	if !strings.Contains(humanErr.String(), "scratch.go:6:12: [leakcheck]") {
+		t.Errorf("stderr not in problem-matcher format:\n%s", humanErr.String())
 	}
 }
