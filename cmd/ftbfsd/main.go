@@ -60,6 +60,7 @@ func run(args []string) error {
 		cache     = fs.Int("cache", 0, "cached failure events per build (0 = default 4096, <0 = disable)")
 		shards    = fs.Int("cache-shards", 0, "memo shards per build (0 = auto: ~GOMAXPROCS, power of two)")
 		maxBatch  = fs.Int("max-batch", 0, "max queries per batch request (0 = default 65536)")
+		ordered   = fs.Bool("ordered", false, "renumber registered graphs into BFS vertex order (wire IDs unchanged; per-graph \"ordered\" field overrides)")
 		snapDir   = fs.String("snapshot-dir", "", "persist completed builds under this directory and warm-start from it")
 		demo      = fs.Bool("demo", false, "register a demo graph (gnp n=200 p=0.05 seed=7) at startup")
 		rtimeout  = fs.Duration("read-timeout", 30*time.Second, "HTTP read timeout")
@@ -74,6 +75,7 @@ func run(args []string) error {
 		CacheEntries:        *cache,
 		CacheShards:         *shards,
 		MaxBatchQueries:     *maxBatch,
+		OrderVertices:       *ordered,
 		// One structured line per terminal build so operators can audit
 		// the build plane (completions AND cancellations) without polling.
 		BuildLog: func(e server.BuildEvent) {

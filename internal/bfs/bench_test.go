@@ -32,6 +32,23 @@ func BenchmarkRunnerWithFaults(b *testing.B) {
 	}
 }
 
+// BenchmarkRunnerLarge exercises the bitset scan regime (N > compactLimit):
+// the working-set-bound shape where the uint64 visited bitset beats the
+// dist-array probe. Kept to one size so the fixed-count CI bench job stays
+// fast; graph generation happens outside the timer.
+func BenchmarkRunnerLarge(b *testing.B) {
+	g := gen.RandomRegular(100000, 8, 1)
+	r := NewRunner(g)
+	if r.visited == nil {
+		b.Fatal("expected the bitset regime")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Run(0, nil, nil)
+	}
+}
+
 // BenchmarkRunnerMaskedTiny is the verifier's shape: a small graph queried
 // millions of times with a small fault mask (forces the masked scan path).
 func BenchmarkRunnerMaskedTiny(b *testing.B) {

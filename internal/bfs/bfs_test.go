@@ -110,6 +110,30 @@ func TestEpochWraparound(t *testing.T) {
 	}
 }
 
+func TestMasksAllocatedLazily(t *testing.T) {
+	g := gen.SparseGNP(50, 4, 7)
+	r := NewRunner(g)
+	r.Run(0, nil, nil)
+	if r.eOff != nil || r.vOff != nil {
+		t.Fatalf("unmasked run allocated disable masks")
+	}
+	e01, ok := g.EdgeID(0, int(g.Arcs(0)[0].To))
+	if !ok {
+		t.Fatalf("no incident edge at 0")
+	}
+	r.Run(0, []int{e01}, nil)
+	if len(r.eOff) != g.M() || len(r.vOff) != g.N() {
+		t.Fatalf("masked run did not allocate masks: %d/%d", len(r.eOff), len(r.vOff))
+	}
+	// The one-shot helpers never mask, so they must not pay the M-sized
+	// edge mask either.
+	r2 := NewRunner(g)
+	r2.Run(0, nil, nil)
+	if r2.eOff != nil {
+		t.Fatalf("one-shot style run allocated eOff")
+	}
+}
+
 func TestDistsSliceReused(t *testing.T) {
 	g := gen.PathGraph(3)
 	r := NewRunner(g)

@@ -1,0 +1,13 @@
+package bfs
+
+// ForceBitset switches the runner into the bitset scan regime regardless of
+// graph size, so tests can pin the two regimes against each other on graphs
+// small enough to verify exhaustively.
+func (r *Runner) ForceBitset() {
+	if r.visited == nil {
+		r.visited = make([]uint64, (r.g.N()+63)/64)
+	}
+}
+
+// CompactLimit exposes the regime threshold to tests.
+const CompactLimit = compactLimit

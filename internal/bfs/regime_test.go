@@ -1,0 +1,147 @@
+package bfs
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// TestBitsetRegimeEquivalence pins the bitset scan loops against the
+// compact dist-probe loops: on identical graphs, identical fault sets, both
+// regimes must produce identical distance tables AND identical parent
+// choices (claim order is first-wins in arc order in both, so even
+// tie-breaks must agree). This is what lets the regime threshold be a pure
+// performance knob.
+func TestBitsetRegimeEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		g := gen.SparseGNP(300, 6, seed)
+		compact := NewRunner(g)
+		bitset := NewRunner(g)
+		bitset.ForceBitset()
+		rng := rand.New(rand.NewSource(seed * 13))
+		for trial := 0; trial < 30; trial++ {
+			var faults []int
+			for k := rng.Intn(4); k > 0; k-- {
+				faults = append(faults, rng.Intn(g.M()))
+			}
+			var offV []int
+			if rng.Intn(4) == 0 {
+				offV = []int{rng.Intn(g.N())}
+			}
+			src := rng.Intn(g.N())
+			compact.Run(src, faults, offV)
+			bitset.Run(src, faults, offV)
+			cd, bd := compact.Dists(), bitset.Dists()
+			for v := range cd {
+				if cd[v] != bd[v] {
+					t.Fatalf("seed %d trial %d: dist[%d] = %d compact vs %d bitset (src %d faults %v off %v)",
+						seed, trial, v, cd[v], bd[v], src, faults, offV)
+				}
+			}
+			for v := range cd {
+				cp, bp := compact.PathTo(v), bitset.PathTo(v)
+				if len(cp) != len(bp) {
+					t.Fatalf("seed %d trial %d: path to %d has %d vs %d vertices", seed, trial, v, len(cp), len(bp))
+				}
+				for i := range cp {
+					if cp[i] != bp[i] {
+						t.Fatalf("seed %d trial %d: path to %d differs at %d: %v vs %v", seed, trial, v, i, cp, bp)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBitsetRegimeDisconnected checks the backfill on graphs where whole
+// bitset words stay untouched: a disconnected graph must report Unreachable
+// for every vertex outside the source component, including when the source
+// itself is disabled.
+func TestBitsetRegimeDisconnected(t *testing.T) {
+	// A path on vertices 0..9; vertices 10..199 isolated.
+	b := graph.NewBuilder(200)
+	for v := 0; v < 9; v++ {
+		b.AddEdge(v, v+1)
+	}
+	g := b.Freeze()
+	r := NewRunner(g)
+	r.ForceBitset()
+	r.Run(0, nil, nil)
+	for v := 0; v < 10; v++ {
+		if r.Dist(v) != int32(v) {
+			t.Fatalf("dist[%d] = %d, want %d", v, r.Dist(v), v)
+		}
+	}
+	for v := 10; v < 200; v++ {
+		if r.Dist(v) != Unreachable {
+			t.Fatalf("dist[%d] = %d, want Unreachable", v, r.Dist(v))
+		}
+	}
+	// Disabled source: everything unreachable.
+	r.Run(0, nil, []int{0})
+	for v := 0; v < 200; v++ {
+		if r.Dist(v) != Unreachable {
+			t.Fatalf("disabled source: dist[%d] = %d, want Unreachable", v, r.Dist(v))
+		}
+	}
+}
+
+// refBFS is an independent, naive BFS used as ground truth for the large
+// graph test — no shared code with the runner's scan loops.
+func refBFS(g *graph.Graph, src int, disabledEdges []int) []int32 {
+	off := make(map[int]bool, len(disabledEdges))
+	for _, e := range disabledEdges {
+		off[e] = true
+	}
+	dist := make([]int32, g.N())
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, a := range g.Arcs(v) {
+			if off[int(a.ID)] || dist[a.To] != Unreachable {
+				continue
+			}
+			dist[a.To] = dist[v] + 1
+			queue = append(queue, int(a.To))
+		}
+	}
+	return dist
+}
+
+// TestBitsetRegimeThreshold checks that the real constructor picks the
+// bitset regime above compactLimit, and that both the unmasked and masked
+// scans over such a graph match an independent reference BFS.
+func TestBitsetRegimeThreshold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large graph generation in -short mode")
+	}
+	n := CompactLimit + 1024
+	g := gen.TreePlusChords(n, 500, 7)
+	r := NewRunner(g)
+	if r.visited == nil {
+		t.Fatalf("runner over n=%d picked the compact regime", n)
+	}
+	r.Run(0, nil, nil)
+	want := refBFS(g, 0, nil)
+	for v := 0; v < n; v++ {
+		if r.Dist(v) != want[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, r.Dist(v), want[v])
+		}
+	}
+	// A masked run through the same (reused) runner must also agree.
+	faults := []int{3, 17, 4000}
+	r.Run(0, faults, nil)
+	want = refBFS(g, 0, faults)
+	for v := 0; v < n; v++ {
+		if r.Dist(v) != want[v] {
+			t.Fatalf("masked dist[%d] = %d, want %d", v, r.Dist(v), want[v])
+		}
+	}
+}

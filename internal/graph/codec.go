@@ -106,7 +106,7 @@ func FromCSRData(n int, edges []Edge, arcOff []int32, arcs, sorted []Arc) (*Grap
 			return nil, fmt.Errorf("graph: edge %d referenced %d times, want 2", id, c)
 		}
 	}
-	return &Graph{n: n, edges: edges, arcOff: arcOff, arcs: arcs, sorted: sorted}, nil
+	return &Graph{n: n, edges: edges, arcOff: arcOff, arcs: arcs, arcTo: buildArcTo(arcs), sorted: sorted}, nil
 }
 
 // Words returns a read-only view of the bitset's backing words (64 IDs per

@@ -75,7 +75,13 @@ type Graph struct {
 	edges  []Edge  // edge ID -> endpoints (normalized)
 	arcOff []int32 // len n+1; arcs of v are arcs[arcOff[v]:arcOff[v+1]]
 	arcs   []Arc   // len 2M, per-vertex spans in insertion order
+	arcTo  []int32 // len 2M; arcTo[i] == arcs[i].To (dense scan stream)
 	sorted []Arc   // len 2M, per-vertex spans sorted by To (for EdgeID)
+
+	// Freeze-time vertex renumbering (see order.go). Nil on unordered
+	// graphs, where labels are the identity. Edge IDs are never remapped.
+	toNew []int32 // original label -> internal label
+	toOld []int32 // internal label -> original label
 }
 
 // freeze builds the CSR representation from a finished edge list. The edge
@@ -111,7 +117,19 @@ func freeze(n int, edges []Edge) *Graph {
 		span := g.sorted[g.arcOff[v]:g.arcOff[v+1]]
 		slices.SortFunc(span, func(a, b Arc) int { return int(a.To) - int(b.To) })
 	}
+	g.arcTo = buildArcTo(g.arcs)
 	return g
+}
+
+// buildArcTo derives the dense neighbor array from the arc array: the
+// edge-ID-free stream scan loops read when they do not consult per-arc IDs,
+// at half the sequential bandwidth of []Arc.
+func buildArcTo(arcs []Arc) []int32 {
+	to := make([]int32, len(arcs))
+	for i, a := range arcs {
+		to[i] = a.To
+	}
+	return to
 }
 
 // N returns the number of vertices.
@@ -133,6 +151,14 @@ func (g *Graph) Arcs(v int) []Arc {
 // headers out of their hot loop; callers must not mutate either slice.
 func (g *Graph) ArcData() (off []int32, arcs []Arc) {
 	return g.arcOff, g.arcs
+}
+
+// ArcHeads returns the CSR offsets paired with the dense neighbor array:
+// to[i] == arcs[i].To for the arcs of ArcData. Scan loops that never touch
+// edge IDs (the unmasked BFS sweep) read this 4-byte stream instead of the
+// 8-byte []Arc one; callers must not mutate either slice.
+func (g *Graph) ArcHeads() (off []int32, to []int32) {
+	return g.arcOff, g.arcTo
 }
 
 // Degree returns the number of edges incident to v.

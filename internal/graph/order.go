@@ -1,0 +1,146 @@
+package graph
+
+import "fmt"
+
+// This file implements the opt-in freeze-time vertex renumbering: vertices
+// are relabeled along a BFS/degree order so that vertices traversed together
+// sit in adjacent CSR spans, while edge IDs are preserved exactly. Every
+// ID-keyed artifact (fault sets, weight assignments, structures) is
+// therefore unchanged; only vertex labels move, and the old<->new maps are
+// carried on the Graph so a serving boundary can translate. Algorithms
+// iterate neighbors in edge-ID order regardless of labels, so a renumbered
+// build is observationally identical to the plain one up to the relabeling
+// (pinned by the repo-level equivalence tests).
+
+// orderPerm computes the renumbering for the graph given by an edge list:
+// BFS from the highest-degree vertex (ties by lowest old ID), visiting
+// neighbors in edge-insertion order; remaining components are seeded the
+// same way. Returned maps satisfy toNew[old] = new and toOld[new] = old.
+func orderPerm(n int, edges []Edge) (toNew, toOld []int32) {
+	deg := make([]int32, n)
+	for _, e := range edges {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	// Throwaway neighbor CSR in edge-insertion order (same shape as
+	// Builder.ConnectedFrom builds).
+	off := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		off[v+1] = off[v] + deg[v]
+	}
+	adj := make([]int32, 2*len(edges))
+	cur := make([]int32, n)
+	copy(cur, off[:n])
+	for _, e := range edges {
+		adj[cur[e.U]] = int32(e.V)
+		cur[e.U]++
+		adj[cur[e.V]] = int32(e.U)
+		cur[e.V]++
+	}
+	// Seed order: degree descending, old ID ascending. A counting sort by
+	// degree keeps this O(n + m) and deterministic.
+	maxDeg := int32(0)
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	bucket := make([]int32, maxDeg+2)
+	for _, d := range deg {
+		bucket[maxDeg-d+1]++
+	}
+	for i := 1; i < len(bucket); i++ {
+		bucket[i] += bucket[i-1]
+	}
+	seeds := make([]int32, n)
+	for v := 0; v < n; v++ {
+		b := maxDeg - deg[v]
+		seeds[bucket[b]] = int32(v)
+		bucket[b]++
+	}
+	toNew = make([]int32, n)
+	for i := range toNew {
+		toNew[i] = -1
+	}
+	toOld = make([]int32, 0, n)
+	queue := make([]int32, 0, n)
+	for _, s := range seeds {
+		if toNew[s] >= 0 {
+			continue
+		}
+		toNew[s] = int32(len(toOld))
+		toOld = append(toOld, s)
+		queue = append(queue[:0], s)
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			for _, u := range adj[off[v]:off[v+1]] {
+				if toNew[u] < 0 {
+					toNew[u] = int32(len(toOld))
+					toOld = append(toOld, u)
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	return toNew, toOld
+}
+
+// freezeOrdered freezes the edge list under the BFS/degree permutation.
+// Edge i of the result joins the renumbered endpoints of input edge i, so
+// edge IDs are stable across the relabeling.
+func freezeOrdered(n int, edges []Edge) *Graph {
+	toNew, toOld := orderPerm(n, edges)
+	mapped := make([]Edge, len(edges))
+	for i, e := range edges {
+		mapped[i] = Edge{U: int(toNew[e.U]), V: int(toNew[e.V])}.Normalize()
+	}
+	g := freeze(n, mapped)
+	g.toNew, g.toOld = toNew, toOld
+	return g
+}
+
+// ReorderBFS returns a copy of g frozen under the BFS/degree vertex order,
+// carrying the old<->new maps. If g is already ordered it is returned
+// unchanged: the renumbering is computed from original labels, so applying
+// it twice cannot improve the layout.
+func ReorderBFS(g *Graph) *Graph {
+	if g.Ordered() {
+		return g
+	}
+	return freezeOrdered(g.n, g.edges)
+}
+
+// Ordered reports whether g carries a freeze-time vertex renumbering.
+func (g *Graph) Ordered() bool { return g.toOld != nil }
+
+// OrderMaps returns read-only views of the renumbering maps: toNew[old] is
+// the internal label of original vertex old, toOld[new] the original label
+// of internal vertex new. Both are nil when g is unordered (labels are the
+// identity). Callers must not mutate them.
+func (g *Graph) OrderMaps() (toNew, toOld []int32) { return g.toNew, g.toOld }
+
+// AdoptOrder attaches a decoded vertex renumbering to a freshly rebuilt
+// graph, validating that toOld is a permutation of [0, N). It takes
+// ownership of toOld and derives the inverse map. Like FromCSRData, this is
+// the codec boundary only: the snapshot decoder is the sole caller.
+func (g *Graph) AdoptOrder(toOld []int32) error {
+	if len(toOld) != g.n {
+		return fmt.Errorf("graph: order map has %d entries, want %d", len(toOld), g.n)
+	}
+	toNew := make([]int32, g.n)
+	for i := range toNew {
+		toNew[i] = -1
+	}
+	for newID, old := range toOld {
+		if old < 0 || int(old) >= g.n {
+			return fmt.Errorf("graph: order map entry %d = %d out of range [0,%d)", newID, old, g.n)
+		}
+		if toNew[old] != -1 {
+			return fmt.Errorf("graph: order map maps %d twice", old)
+		}
+		toNew[old] = int32(newID)
+	}
+	g.toOld = toOld
+	g.toNew = toNew
+	return nil
+}

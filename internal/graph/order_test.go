@@ -1,0 +1,149 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomBuilder(t *testing.T, n, m int, seed int64) *Builder {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	for b.M() < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || b.HasEdge(u, v) {
+			continue
+		}
+		b.MustAddEdge(u, v)
+	}
+	return b
+}
+
+func TestFreezeOrderedPermutation(t *testing.T) {
+	b := randomBuilder(t, 60, 140, 1)
+	g := b.FreezeOrdered()
+	if !g.Ordered() {
+		t.Fatalf("FreezeOrdered graph not Ordered")
+	}
+	toNew, toOld := g.OrderMaps()
+	if len(toNew) != 60 || len(toOld) != 60 {
+		t.Fatalf("map lengths %d/%d", len(toNew), len(toOld))
+	}
+	for old, nw := range toNew {
+		if nw < 0 || int(nw) >= 60 {
+			t.Fatalf("toNew[%d] = %d out of range", old, nw)
+		}
+		if int(toOld[nw]) != old {
+			t.Fatalf("maps not inverse at old=%d", old)
+		}
+	}
+}
+
+func TestFreezeOrderedPreservesEdgeIDs(t *testing.T) {
+	b := randomBuilder(t, 40, 90, 2)
+	plain := b.Freeze()
+	ord := b.FreezeOrdered()
+	if plain.M() != ord.M() || plain.N() != ord.N() {
+		t.Fatalf("size mismatch")
+	}
+	toNew, _ := ord.OrderMaps()
+	for id := 0; id < plain.M(); id++ {
+		pe, oe := plain.EdgeAt(id), ord.EdgeAt(id)
+		want := Edge{U: int(toNew[pe.U]), V: int(toNew[pe.V])}.Normalize()
+		if oe != want {
+			t.Fatalf("edge %d = %v, want %v (plain %v)", id, oe, want, pe)
+		}
+	}
+	// Neighbor iteration stays in edge-ID (insertion) order.
+	for v := 0; v < ord.N(); v++ {
+		arcs := ord.Arcs(v)
+		for i := 1; i < len(arcs); i++ {
+			if arcs[i].ID <= arcs[i-1].ID {
+				t.Fatalf("vertex %d arcs not in edge-ID order", v)
+			}
+		}
+	}
+}
+
+func TestFreezeOrderedSeedIsMaxDegree(t *testing.T) {
+	b := NewBuilder(6)
+	// Star around vertex 4 plus one extra edge: 4 has max degree.
+	for _, v := range []int{0, 1, 2, 3, 5} {
+		b.MustAddEdge(4, v)
+	}
+	b.MustAddEdge(0, 1)
+	g := b.FreezeOrdered()
+	toNew, _ := g.OrderMaps()
+	if toNew[4] != 0 {
+		t.Fatalf("max-degree vertex renumbered to %d, want 0", toNew[4])
+	}
+}
+
+func TestFreezeOrderedDisconnected(t *testing.T) {
+	b := NewBuilder(7)
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(2, 3)
+	b.MustAddEdge(3, 4)
+	// 5, 6 isolated.
+	g := b.FreezeOrdered()
+	toNew, toOld := g.OrderMaps()
+	seen := make([]bool, 7)
+	for _, old := range toOld {
+		if seen[old] {
+			t.Fatalf("vertex %d assigned twice", old)
+		}
+		seen[old] = true
+	}
+	// Vertex 3 has the max degree (2), so its component leads.
+	if toNew[3] != 0 {
+		t.Fatalf("toNew[3] = %d, want 0", toNew[3])
+	}
+}
+
+func TestReorderBFSIdempotent(t *testing.T) {
+	b := randomBuilder(t, 30, 60, 3)
+	plain := b.Freeze()
+	ord := ReorderBFS(plain)
+	if !ord.Ordered() || plain.Ordered() {
+		t.Fatalf("ReorderBFS orderedness wrong")
+	}
+	if again := ReorderBFS(ord); again != ord {
+		t.Fatalf("ReorderBFS on ordered graph should return it unchanged")
+	}
+	// Same permutation as FreezeOrdered from the same edges.
+	ord2 := b.FreezeOrdered()
+	tn1, _ := ord.OrderMaps()
+	tn2, _ := ord2.OrderMaps()
+	for v := range tn1 {
+		if tn1[v] != tn2[v] {
+			t.Fatalf("ReorderBFS and FreezeOrdered disagree at %d", v)
+		}
+	}
+}
+
+func TestAdoptOrder(t *testing.T) {
+	b := randomBuilder(t, 10, 15, 4)
+	g := b.Freeze()
+	if err := g.AdoptOrder([]int32{0, 1}); err == nil {
+		t.Fatalf("short map accepted")
+	}
+	bad := make([]int32, 10)
+	bad[3] = 99
+	if err := g.AdoptOrder(bad); err == nil {
+		t.Fatalf("out-of-range map accepted")
+	}
+	dup := []int32{0, 1, 2, 3, 4, 5, 6, 7, 8, 8}
+	if err := g.AdoptOrder(dup); err == nil {
+		t.Fatalf("duplicate map accepted")
+	}
+	ok := []int32{9, 8, 7, 6, 5, 4, 3, 2, 1, 0}
+	if err := g.AdoptOrder(ok); err != nil {
+		t.Fatalf("valid permutation rejected: %v", err)
+	}
+	toNew, toOld := g.OrderMaps()
+	for nw, old := range toOld {
+		if int(toNew[old]) != nw {
+			t.Fatalf("derived inverse wrong at %d", nw)
+		}
+	}
+}

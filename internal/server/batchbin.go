@@ -1,0 +1,206 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/bfs"
+	"repro/internal/oracle"
+	"repro/internal/server/batchcodec"
+)
+
+// This file is the binary half of the batch query endpoint: the same
+// route as the JSON batch (POST .../query), selected per request by the
+// batchcodec Content-Type. The wire format is fixed-width and
+// CRC-guarded (see internal/server/batchcodec); the handler allocates
+// per batch, never per item — body buffers and response writers are
+// pooled, item decoding is a zero-copy view, and every answer appends
+// straight into the pooled writer's buffers.
+
+// binBodyPool recycles request-body buffers across binary batch
+// requests; binRespPool recycles response writers (record + value
+// buffers). Both grow to the largest batch they have served and stay
+// warm, so a steady query load settles into zero steady-state
+// allocation outside Frame's single per-response slice.
+var (
+	binBodyPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+	binRespPool = sync.Pool{New: func() any { return new(batchcodec.ResponseWriter) }}
+)
+
+// binLimits captures the per-request validation bounds once, so the
+// per-item hotpath does no pointer chasing into the structure. Sources
+// are in the internal numbering (items are translated before the
+// membership scan); the scan is linear because structures have a
+// handful of sources.
+type binLimits struct {
+	n       int
+	m       uint32
+	budget  int
+	sources []int
+}
+
+// handleBatchQueryBinary answers one binary batch frame. Item errors
+// are in-band records (a malformed item cannot fail the batch); frame
+// errors — bad magic, truncation, CRC mismatch, length bombs — reject
+// the whole request with 400 and the byte offset of the failure.
+func (s *Server) handleBatchQueryBinary(w http.ResponseWriter, r *http.Request) {
+	set, x := s.readySet(w, r)
+	if set == nil {
+		return
+	}
+	buf := binBodyPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer binBodyPool.Put(buf)
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)); err != nil {
+		writeErr(w, bodyErrStatus(err), "read body: %v", err)
+		return
+	}
+	req, err := batchcodec.DecodeRequest(buf.Bytes())
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad batch frame: %v", err)
+		return
+	}
+	if req.Len() > s.cfg.MaxBatchQueries {
+		writeErr(w, http.StatusRequestEntityTooLarge,
+			"batch of %d queries exceeds limit %d", req.Len(), s.cfg.MaxBatchQueries)
+		return
+	}
+	st := set.Structure()
+	lim := binLimits{n: st.G.N(), m: uint32(st.G.M()), budget: st.Faults, sources: st.Sources}
+	o := set.Acquire()
+	defer set.Release(o)
+	rw := binRespPool.Get().(*batchcodec.ResponseWriter)
+	rw.Reset()
+	defer binRespPool.Put(rw)
+	ctx := r.Context()
+	values := 0
+	var scratch [2]int
+	for i := 0; i < req.Len(); i++ {
+		values += answerBinaryItem(o, req.Item(i), x, rw, lim, &scratch)
+		// Same response-size bound as the JSON path: whole-table items on
+		// big graphs must not force an arbitrarily large response into
+		// memory. (The binary protocol has no streaming mode; oversized
+		// workloads split the batch instead.)
+		if values > maxBatchResultValues {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				"batch response exceeds %d values at item %d; split the batch", maxBatchResultValues, i)
+			return
+		}
+		if (i+1)%streamFlushEvery == 0 && ctx.Err() != nil {
+			return // client gone before any byte was written; drop the work
+		}
+	}
+	frame := rw.Frame()
+	w.Header().Set("Content-Type", batchcodec.ContentType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(frame)))
+	_, _ = w.Write(frame)
+}
+
+// answerBinaryItem validates and answers one binary batch item,
+// appending exactly one record to rw, and returns the response values
+// the item contributed (2 fixed words + value words — the same
+// accounting as the JSON path). Validation happens here, in wire
+// space, because the oracle's error strings cannot cross the binary
+// protocol: each rejection maps to a typed in-band code, checked in
+// the oracle's own order (item shape, faults, source, target). The
+// faults scratch array lives in the caller so this function does not
+// allocate at all.
+//
+//ftbfs:hotpath
+func answerBinaryItem(o *oracle.Oracle, it batchcodec.Item, x xlat,
+	rw *batchcodec.ResponseWriter, lim binLimits, scratch *[2]int) int {
+	if !it.Valid() {
+		rw.Error(batchcodec.ErrBadItem)
+		return 2
+	}
+	nf := it.NumFaults()
+	distinct := 0
+	if nf >= 1 {
+		if it.Fault0 >= lim.m {
+			rw.Error(batchcodec.ErrBadFault)
+			return 2
+		}
+		scratch[0] = int(it.Fault0)
+		distinct = 1
+	}
+	if nf == 2 {
+		if it.Fault1 >= lim.m {
+			rw.Error(batchcodec.ErrBadFault)
+			return 2
+		}
+		if it.Fault1 != it.Fault0 {
+			scratch[distinct] = int(it.Fault1)
+			distinct++
+		}
+	}
+	if distinct > lim.budget {
+		rw.Error(batchcodec.ErrFaultBudget)
+		return 2
+	}
+	src := int(it.Source)
+	if src < 0 || src >= lim.n {
+		rw.Error(batchcodec.ErrBadSource)
+		return 2
+	}
+	src = x.in(src)
+	isSource := false
+	for _, v := range lim.sources {
+		if v == src {
+			isSource = true
+			break
+		}
+	}
+	if !isSource {
+		rw.Error(batchcodec.ErrBadSource)
+		return 2
+	}
+	faults := scratch[:distinct]
+	if it.AllDists() {
+		d, err := o.Dists(src, faults)
+		if err != nil {
+			rw.Error(batchcodec.ErrInternal)
+			return 2
+		}
+		if x.identity() {
+			rw.Dists(d)
+		} else {
+			rw.DistsReindexed(d, x.toNew)
+		}
+		return 2 + len(d)
+	}
+	target := int(it.Target)
+	if target < 0 || target >= lim.n {
+		rw.Error(batchcodec.ErrBadTarget)
+		return 2
+	}
+	target = x.in(target)
+	if it.Route() {
+		p, err := o.Route(src, target, faults)
+		if err != nil {
+			rw.Error(batchcodec.ErrInternal)
+			return 2
+		}
+		if p == nil {
+			rw.Dist(-1, false)
+			return 2
+		}
+		// Route returns a freshly allocated path, safe to relabel in place.
+		path := []int(p)
+		if !x.identity() {
+			for i, v := range path {
+				path[i] = x.out(v)
+			}
+		}
+		rw.Path(path)
+		return 2 + len(path)
+	}
+	d, err := o.Dist(src, target, faults)
+	if err != nil {
+		rw.Error(batchcodec.ErrInternal)
+		return 2
+	}
+	rw.Dist(d, d != bfs.Unreachable)
+	return 2
+}

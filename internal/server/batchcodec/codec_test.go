@@ -1,0 +1,241 @@
+package batchcodec
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+)
+
+func buildRequest(t *testing.T) ([]byte, []Item) {
+	t.Helper()
+	var b RequestBuilder
+	items := []Item{
+		{Source: 0, Target: 7, Flags: 0},
+		{Source: 0, Target: 3, Fault0: 12, Flags: 1},
+		{Source: 2, Target: 9, Fault0: 4, Fault1: 31, Flags: 2},
+		{Source: 0, Target: 5, Fault0: 1, Flags: 1 | FlagRoute},
+		{Source: 1, Target: -1, Flags: FlagAllDists},
+	}
+	for _, it := range items {
+		b.Add(it)
+	}
+	return b.Frame(), items
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	frame, items := buildRequest(t)
+	req, err := DecodeRequest(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Len() != len(items) {
+		t.Fatalf("Len = %d, want %d", req.Len(), len(items))
+	}
+	for i, want := range items {
+		if got := req.Item(i); got != want {
+			t.Fatalf("item %d = %+v, want %+v", i, got, want)
+		}
+	}
+	// AddQuery convenience produces the same bytes as manual items.
+	var b2 RequestBuilder
+	if err := b2.AddQuery(0, 7, nil, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.AddQuery(0, 3, []int{12}, false); err != nil {
+		t.Fatal(err)
+	}
+	req2, err := DecodeRequest(b2.Frame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req2.Item(0) != items[0] || req2.Item(1) != items[1] {
+		t.Fatalf("AddQuery items differ: %+v %+v", req2.Item(0), req2.Item(1))
+	}
+	if err := b2.AddQuery(0, 1, []int{1, 2, 3}, false); err == nil {
+		t.Fatal("3 faults per item accepted")
+	}
+}
+
+func TestItemValid(t *testing.T) {
+	cases := []struct {
+		flags uint32
+		want  bool
+	}{
+		{0, true},
+		{2, true},
+		{3, false}, // 3 faults
+		{FlagRoute | 1, true},
+		{FlagAllDists, true},
+		{FlagRoute | FlagAllDists, false}, // exclusive
+		{1 << 10, false},                  // unknown bit
+	}
+	for _, c := range cases {
+		if got := (Item{Flags: c.flags}).Valid(); got != c.want {
+			t.Fatalf("Valid(flags=%#x) = %v, want %v", c.flags, got, c.want)
+		}
+	}
+}
+
+func buildResponse(t *testing.T) []byte {
+	t.Helper()
+	var w ResponseWriter
+	w.Dist(4, true)
+	w.Dist(-1, false)
+	w.Error(ErrBadFault)
+	w.Path([]int{0, 3, 9})
+	w.Dists([]int32{0, 1, -1, 2})
+	return w.Frame()
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	frame := buildResponse(t)
+	resp, err := DecodeResponse(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", resp.Len())
+	}
+	it := resp.Iter()
+
+	if !it.Next() {
+		t.Fatal("iterator ended early")
+	}
+	if rec := it.Record(); rec.Dist != 4 || !rec.Reachable() || rec.Err() != ErrNone {
+		t.Fatalf("record 0 = %+v", rec)
+	}
+	it.Next()
+	if rec := it.Record(); rec.Dist != -1 || rec.Reachable() {
+		t.Fatalf("record 1 = %+v", rec)
+	}
+	it.Next()
+	if rec := it.Record(); rec.Err() != ErrBadFault {
+		t.Fatalf("record 2 = %+v, want ErrBadFault", rec)
+	}
+	it.Next()
+	rec := it.Record()
+	if rec.Dist != 2 || !rec.Reachable() || it.ValueLen() != 3 {
+		t.Fatalf("record 3 = %+v valueLen=%d", rec, it.ValueLen())
+	}
+	for j, want := range []uint32{0, 3, 9} {
+		if it.Value(j) != want {
+			t.Fatalf("path[%d] = %d, want %d", j, it.Value(j), want)
+		}
+	}
+	it.Next()
+	if it.ValueLen() != 4 {
+		t.Fatalf("table len = %d, want 4", it.ValueLen())
+	}
+	for j, want := range []int32{0, 1, -1, 2} {
+		if int32(it.Value(j)) != want {
+			t.Fatalf("table[%d] = %d, want %d", j, int32(it.Value(j)), want)
+		}
+	}
+	if it.Next() {
+		t.Fatal("iterator overran")
+	}
+
+	// Reset reuses the writer cleanly.
+	var w ResponseWriter
+	w.Dist(1, true)
+	w.Reset()
+	w.Dist(4, true)
+	w.Dist(-1, false)
+	w.Error(ErrBadFault)
+	w.Path([]int{0, 3, 9})
+	w.Dists([]int32{0, 1, -1, 2})
+	if string(w.Frame()) != string(frame) {
+		t.Fatal("reset writer produced different bytes")
+	}
+}
+
+// assertFrameError asserts decoding buf fails with a *FrameError whose
+// offset lies within the frame.
+func assertFrameError(t *testing.T, err error, n int, what string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("%s decoded successfully", what)
+	}
+	var fe *FrameError
+	if !errors.As(err, &fe) {
+		t.Fatalf("%s: error %v is not a *FrameError", what, err)
+	}
+	if fe.Offset < 0 || fe.Offset > int64(n) {
+		t.Fatalf("%s: offset %d outside frame of %d bytes", what, fe.Offset, n)
+	}
+}
+
+func TestRequestHostileInputs(t *testing.T) {
+	frame, _ := buildRequest(t)
+	for cut := 0; cut < len(frame); cut++ {
+		_, err := DecodeRequest(frame[:cut])
+		assertFrameError(t, err, len(frame), "truncation")
+	}
+	for pos := 0; pos < len(frame); pos++ {
+		mut := append([]byte(nil), frame...)
+		mut[pos] ^= 0x10
+		_, err := DecodeRequest(mut)
+		assertFrameError(t, err, len(frame), "byte flip")
+	}
+	// Length bomb: a count claiming ~80 GiB of items on a tiny buffer.
+	bomb := append([]byte(nil), frame...)
+	binary.LittleEndian.PutUint32(bomb[8:], 0xffffffff)
+	_, err := DecodeRequest(bomb)
+	assertFrameError(t, err, len(frame), "length bomb")
+}
+
+func TestResponseHostileInputs(t *testing.T) {
+	frame := buildResponse(t)
+	for cut := 0; cut < len(frame); cut++ {
+		_, err := DecodeResponse(frame[:cut])
+		assertFrameError(t, err, len(frame), "truncation")
+	}
+	for pos := 0; pos < len(frame); pos++ {
+		mut := append([]byte(nil), frame...)
+		mut[pos] ^= 0x10
+		_, err := DecodeResponse(mut)
+		assertFrameError(t, err, len(frame), "byte flip")
+	}
+	bomb := append([]byte(nil), frame...)
+	binary.LittleEndian.PutUint32(bomb[12:], 0x7fffffff)
+	_, err := DecodeResponse(bomb)
+	assertFrameError(t, err, len(frame), "value-area length bomb")
+}
+
+// reframe recomputes the CRC after a test tampers with payload bytes, so
+// semantic validation (not the checksum) must catch the damage.
+func reframe(frame []byte) []byte {
+	out := append([]byte(nil), frame...)
+	crc := crc32.Checksum(out[headerBytes:len(out)-crcBytes], crc32.MakeTable(crc32.Castagnoli))
+	binary.LittleEndian.PutUint32(out[len(out)-crcBytes:], crc)
+	return out
+}
+
+func TestResponseSemanticValidation(t *testing.T) {
+	frame := buildResponse(t)
+
+	// Unknown record flag bit.
+	mut := append([]byte(nil), frame...)
+	binary.LittleEndian.PutUint32(mut[headerBytes+4:], 1<<7)
+	_, err := DecodeResponse(reframe(mut))
+	assertFrameError(t, err, len(frame), "unknown record flag")
+
+	// Error mixed with result flags.
+	mut = append([]byte(nil), frame...)
+	binary.LittleEndian.PutUint32(mut[headerBytes+4:], RecError|RecReachable)
+	_, err = DecodeResponse(reframe(mut))
+	assertFrameError(t, err, len(frame), "error+result flags")
+
+	// Path record overrunning the value area.
+	mut = append([]byte(nil), frame...)
+	binary.LittleEndian.PutUint32(mut[headerBytes+3*respRecBytes+8:], 1000)
+	_, err = DecodeResponse(reframe(mut))
+	assertFrameError(t, err, len(frame), "value overrun")
+
+	// Records consuming less than the declared value area.
+	mut = append([]byte(nil), frame...)
+	binary.LittleEndian.PutUint32(mut[headerBytes+3*respRecBytes+8:], 2)
+	_, err = DecodeResponse(reframe(mut))
+	assertFrameError(t, err, len(frame), "value underrun")
+}

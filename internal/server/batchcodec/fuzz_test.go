@@ -1,0 +1,83 @@
+package batchcodec
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzDecodeRequest feeds arbitrary bytes to the request decoder: it must
+// never panic or over-allocate, reject malformed input with a *FrameError,
+// and on accept the decoded items must re-encode to the identical frame
+// (the encoding is canonical).
+func FuzzDecodeRequest(f *testing.F) {
+	var b RequestBuilder
+	b.Add(Item{Source: 0, Target: 3})
+	b.Add(Item{Source: 1, Target: 7, Fault0: 2, Fault1: 9, Flags: 2})
+	b.Add(Item{Source: 0, Target: 4, Fault0: 1, Flags: 1 | FlagRoute})
+	b.Add(Item{Source: 2, Flags: FlagAllDists})
+	f.Add(append([]byte(nil), b.Frame()...))
+	b.Reset()
+	b.Add(Item{Source: 5, Target: 6, Flags: 0})
+	f.Add(append([]byte(nil), b.Frame()...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeRequest(data)
+		if err != nil {
+			var fe *FrameError
+			if !errors.As(err, &fe) {
+				t.Fatalf("decode error %v is not a *FrameError", err)
+			}
+			return
+		}
+		var rb RequestBuilder
+		for i := 0; i < req.Len(); i++ {
+			rb.Add(req.Item(i))
+		}
+		if string(rb.Frame()) != string(data) {
+			t.Fatalf("accepted frame is not canonical (%d bytes)", len(data))
+		}
+	})
+}
+
+// FuzzDecodeResponse is the response-side twin: never panic, *FrameError
+// on reject, and on accept the iterator must walk every record and value
+// without stepping out of bounds.
+func FuzzDecodeResponse(f *testing.F) {
+	var w ResponseWriter
+	w.Dist(3, true)
+	w.Error(ErrBadSource)
+	w.Path([]int{0, 2, 5, 6})
+	w.Dists([]int32{0, -1, 4})
+	f.Add(append([]byte(nil), w.Frame()...))
+	w.Reset()
+	w.Dist(-1, false)
+	f.Add(append([]byte(nil), w.Frame()...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := DecodeResponse(data)
+		if err != nil {
+			var fe *FrameError
+			if !errors.As(err, &fe) {
+				t.Fatalf("decode error %v is not a *FrameError", err)
+			}
+			return
+		}
+		seen := 0
+		values := 0
+		for it := resp.Iter(); it.Next(); {
+			rec := it.Record()
+			for j := 0; j < it.ValueLen(); j++ {
+				_ = it.Value(j)
+			}
+			values += it.ValueLen()
+			_ = rec.Err()
+			seen++
+		}
+		if seen != resp.Len() {
+			t.Fatalf("iterator saw %d of %d records", seen, resp.Len())
+		}
+		if values != len(resp.values)/4 {
+			t.Fatalf("iterator consumed %d of %d value words", values, len(resp.values)/4)
+		}
+	})
+}

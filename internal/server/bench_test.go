@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -9,6 +10,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/server/batchcodec"
 )
 
 // benchServer stands up a server with one ready dual build over gnp
@@ -184,5 +187,62 @@ func BenchmarkServerBatchStream(b *testing.B) {
 			b.Fatalf("code %d: %s", rec.Code, rec.Body)
 		}
 	}
+	b.ReportMetric(float64(b.N)*1000/time.Since(start).Seconds(), "queries/s")
+}
+
+// binBatchFrame builds a reusable binary frame of `items` dist queries
+// mirroring batchBody exactly (same targets, same rotating fault sets).
+func binBatchFrame(b *testing.B, items int) []byte {
+	b.Helper()
+	var rb batchcodec.RequestBuilder
+	faults := []uint32{3, 9, 21, 30}
+	for i := 0; i < items; i++ {
+		rb.Add(batchcodec.Item{Source: 0, Target: int32(i % 400), Fault0: faults[i%len(faults)], Flags: 1})
+	}
+	return append([]byte(nil), rb.Frame()...)
+}
+
+// BenchmarkServerBatch1000Binary is BenchmarkServerBatch1000 over the
+// binary batch protocol: the same 1000 dist queries per request, minus
+// JSON. The delta between the two is pure codec cost — the ">1M q/s on
+// one core" target of the binary protocol.
+func BenchmarkServerBatch1000Binary(b *testing.B) {
+	h, prefix := benchServer(b)
+	frame := binBatchFrame(b, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", prefix+"/query", bytes.NewReader(frame))
+		req.Header.Set("Content-Type", batchcodec.ContentType)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("code %d: %s", rec.Code, rec.Body)
+		}
+	}
+	b.ReportMetric(float64(b.N)*1000/time.Since(start).Seconds(), "queries/s")
+}
+
+// BenchmarkServerBatch1000BinaryParallel is the concurrent variant —
+// pooled body buffers and response writers are shared across goroutines.
+func BenchmarkServerBatch1000BinaryParallel(b *testing.B) {
+	h, prefix := benchServer(b)
+	frame := binBatchFrame(b, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			req := httptest.NewRequest("POST", prefix+"/query", bytes.NewReader(frame))
+			req.Header.Set("Content-Type", batchcodec.ContentType)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Errorf("code %d: %s", rec.Code, rec.Body) // Fatal must not be called off the main goroutine
+				return
+			}
+		}
+	})
 	b.ReportMetric(float64(b.N)*1000/time.Since(start).Seconds(), "queries/s")
 }

@@ -47,6 +47,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/oracle"
+	"repro/internal/server/batchcodec"
 	"repro/internal/snap"
 )
 
@@ -72,6 +73,12 @@ type Config struct {
 	// MaxBatchQueries bounds the items of one batch query request
 	// (default 65536).
 	MaxBatchQueries int
+	// OrderVertices renumbers every registered graph's vertices into BFS
+	// order at freeze time (see graph.ReorderBFS), improving query-plane
+	// locality. Clients are unaffected: vertex IDs on the wire keep the
+	// registered numbering and are translated at the API boundary. A
+	// per-graph "ordered" field on POST /v1/graphs overrides the default.
+	OrderVertices bool
 	// Store persists completed builds as binary snapshots (internal/snap
 	// format) and serves warm starts and snapshot replication. nil
 	// disables persistence: artifacts live and die with the process,
@@ -167,6 +174,9 @@ func (s *Server) RegisterGraph(name string, spec *GenSpec) error {
 	if err != nil {
 		return fmt.Errorf("server: %w", err)
 	}
+	if s.cfg.OrderVertices {
+		g = graph.ReorderBFS(g)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, exists := s.graphs[name]; exists {
@@ -228,13 +238,25 @@ type createGraphRequest struct {
 	Name     string   `json:"name"`
 	Gen      *GenSpec `json:"gen,omitempty"`
 	EdgeList string   `json:"edgeList,omitempty"`
+	// Ordered overrides Config.OrderVertices for this graph: BFS vertex
+	// renumbering at freeze time, invisible on the wire.
+	Ordered *bool `json:"ordered,omitempty"`
 }
 
 type graphInfo struct {
-	Name   string   `json:"name"`
-	N      int      `json:"n"`
-	M      int      `json:"m"`
-	Builds []string `json:"builds"`
+	Name    string   `json:"name"`
+	N       int      `json:"n"`
+	M       int      `json:"m"`
+	Ordered bool     `json:"ordered,omitempty"`
+	Builds  []string `json:"builds"`
+}
+
+// graphInfoLocked renders one graph's wire info. Callers must hold s.mu
+// (read suffices).
+//
+//ftbfs:holds Server.mu
+func graphInfoLocked(g *graphEntry) graphInfo {
+	return graphInfo{Name: g.name, N: g.g.N(), M: g.g.M(), Ordered: g.g.Ordered(), Builds: append([]string{}, g.order...)}
 }
 
 func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
@@ -261,22 +283,28 @@ func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusConflict, "graph %q already exists", req.Name)
 		return
 	}
-	var g *graphEntry
+	var gg *graph.Graph
 	if req.Gen != nil {
-		gg, err := req.Gen.generate()
-		if err != nil {
+		var err error
+		if gg, err = req.Gen.generate(); err != nil {
 			writeErr(w, http.StatusBadRequest, "gen: %v", err)
 			return
 		}
-		g = &graphEntry{name: req.Name, g: gg}
 	} else {
-		gg, err := parseEdgeList(req.EdgeList)
-		if err != nil {
+		var err error
+		if gg, err = parseEdgeList(req.EdgeList); err != nil {
 			writeErr(w, http.StatusBadRequest, "edge list: %v", err)
 			return
 		}
-		g = &graphEntry{name: req.Name, g: gg}
 	}
+	ordered := s.cfg.OrderVertices
+	if req.Ordered != nil {
+		ordered = *req.Ordered
+	}
+	if ordered {
+		gg = graph.ReorderBFS(gg)
+	}
+	g := &graphEntry{name: req.Name, g: gg}
 	g.created = time.Now()
 	g.builds = make(map[string]*buildEntry)
 	s.mu.Lock()
@@ -287,14 +315,14 @@ func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
 	}
 	s.graphs[req.Name] = g
 	s.mu.Unlock()
-	writeJSON(w, http.StatusCreated, graphInfo{Name: g.name, N: g.g.N(), M: g.g.M(), Builds: []string{}})
+	writeJSON(w, http.StatusCreated, graphInfo{Name: g.name, N: g.g.N(), M: g.g.M(), Ordered: g.g.Ordered(), Builds: []string{}})
 }
 
 func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	out := make([]graphInfo, 0, len(s.graphs))
 	for _, g := range s.graphs {
-		out = append(out, graphInfo{Name: g.name, N: g.g.N(), M: g.g.M(), Builds: append([]string{}, g.order...)})
+		out = append(out, graphInfoLocked(g))
 	}
 	s.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
@@ -306,7 +334,7 @@ func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 	g, ok := s.graphs[r.PathValue("graph")]
 	var info graphInfo
 	if ok {
-		info = graphInfo{Name: g.name, N: g.g.N(), M: g.g.M(), Builds: append([]string{}, g.order...)}
+		info = graphInfoLocked(g)
 	}
 	s.mu.RUnlock()
 	if !ok {
@@ -445,7 +473,9 @@ func (s *Server) handleCreateBuild(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	build, err := core.BuilderForMode(req.Mode, req.Sources)
+	// The builder works in the graph's internal numbering; be.sources (and
+	// everything rendered from it) keeps the wire IDs the client sent.
+	build, err := core.BuilderForMode(req.Mode, internalSources(g.g, req.Sources))
 	if err != nil {
 		s.mu.Unlock()
 		writeErr(w, http.StatusBadRequest, "%v", err)
@@ -841,9 +871,10 @@ func (s *Server) resolveLocked(r *http.Request) (*graphEntry, *buildEntry, error
 	return g, be, nil
 }
 
-// readySet resolves the request's build and returns its oracle set, or
-// writes the error response and returns nil.
-func (s *Server) readySet(w http.ResponseWriter, r *http.Request) *oracle.OracleSet {
+// readySet resolves the request's build and returns its oracle set plus
+// the build graph's vertex translation, or writes the error response and
+// returns a nil set.
+func (s *Server) readySet(w http.ResponseWriter, r *http.Request) (*oracle.OracleSet, xlat) {
 	s.mu.RLock()
 	_, be, err := s.resolveLocked(r)
 	var (
@@ -857,13 +888,98 @@ func (s *Server) readySet(w http.ResponseWriter, r *http.Request) *oracle.Oracle
 	s.mu.RUnlock()
 	if err != nil {
 		writeErr(w, http.StatusNotFound, "%v", err)
-		return nil
+		return nil, xlat{}
 	}
 	if status != StatusReady {
 		writeErr(w, http.StatusConflict, "build is %s, not ready", status)
-		return nil
+		return nil, xlat{}
 	}
-	return set
+	// The structure's graph is immutable once the build is published, so
+	// the maps may be read outside the lock.
+	return set, xlatFor(set.Structure().G)
+}
+
+// ---- vertex-order translation ----
+
+// xlat translates vertex IDs between the wire numbering (the IDs clients
+// registered the graph with) and the internal numbering of a BFS-ordered
+// graph. The zero value is the identity, which is also what xlatFor
+// returns for plain graphs — so every query path can translate
+// unconditionally and unordered graphs pay two nil checks per item.
+// Edge (fault) IDs are never renumbered and need no translation.
+type xlat struct {
+	toNew []int32 // wire → internal; nil on plain graphs
+	toOld []int32 // internal → wire
+}
+
+// xlatFor captures g's order maps (identity for plain graphs).
+func xlatFor(g *graph.Graph) xlat {
+	toNew, toOld := g.OrderMaps()
+	return xlat{toNew: toNew, toOld: toOld}
+}
+
+// identity reports whether translation is a no-op.
+func (x xlat) identity() bool { return x.toNew == nil }
+
+// in maps a wire vertex ID to the internal numbering. Out-of-range IDs
+// pass through untranslated: both numberings cover the same range [0,n),
+// so the oracle's own validation rejects them either way.
+//
+//ftbfs:hotpath
+func (x xlat) in(v int) int {
+	if x.toNew == nil || v < 0 || v >= len(x.toNew) {
+		return v
+	}
+	return int(x.toNew[v])
+}
+
+// out maps an internal vertex ID back to the wire numbering.
+//
+//ftbfs:hotpath
+func (x xlat) out(v int) int {
+	if x.toOld == nil {
+		return v
+	}
+	return int(x.toOld[v])
+}
+
+// internalSources maps wire source IDs into g's internal numbering
+// (identity — the same slice — on plain graphs). Callers have
+// bounds-checked the IDs.
+func internalSources(g *graph.Graph, wire []int) []int {
+	toNew, _ := g.OrderMaps()
+	if toNew == nil {
+		return wire
+	}
+	out := make([]int, len(wire))
+	for i, v := range wire {
+		out[i] = int(toNew[v])
+	}
+	return out
+}
+
+// wireSources renders internal source IDs in the wire numbering for
+// display fields (identity copy on plain graphs).
+func wireSources(g *graph.Graph, internal []int) []int {
+	out := append([]int(nil), internal...)
+	if _, toOld := g.OrderMaps(); toOld != nil {
+		for i, v := range out {
+			out[i] = int(toOld[v])
+		}
+	}
+	return out
+}
+
+// reindexDists renders an internal-order distance table in wire order.
+// Kept out of the query hotpath: whole-table answers over ordered graphs
+// pay one n-sized copy, which response encoding dwarfs. The cache-owned
+// input table is left untouched.
+func reindexDists(d []int32, toNew []int32) []int32 {
+	out := make([]int32, len(d))
+	for w, nw := range toNew {
+		out[w] = d[nw]
+	}
+	return out
 }
 
 // ---- queries ----
@@ -899,8 +1015,8 @@ func queryInt(r *http.Request, key string) (int, error) {
 // withOracle parses common query parameters, checks out a pooled handle
 // and invokes fn with it.
 func (s *Server) withOracle(w http.ResponseWriter, r *http.Request,
-	needTarget bool, fn func(o *oracle.Oracle, src, target int, faults []int) error) {
-	set := s.readySet(w, r)
+	needTarget bool, fn func(o *oracle.Oracle, x xlat, src, target int, faults []int) error) {
+	set, x := s.readySet(w, r)
 	if set == nil {
 		return
 	}
@@ -923,15 +1039,15 @@ func (s *Server) withOracle(w http.ResponseWriter, r *http.Request,
 	}
 	o := set.Acquire()
 	defer set.Release(o)
-	if err := fn(o, src, target, faults); err != nil {
+	if err := fn(o, x, src, target, faults); err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 	}
 }
 
 // answerOne serves one GET-style query through the shared batch logic so
 // the single-query and batch APIs cannot diverge (res.Error maps to 400).
-func answerOne(w http.ResponseWriter, o *oracle.Oracle, q *batchQuery) error {
-	res := answerQuery(o, q)
+func answerOne(w http.ResponseWriter, o *oracle.Oracle, q *batchQuery, x xlat) error {
+	res := answerQuery(o, q, x)
 	if res.Error != "" {
 		return errors.New(res.Error)
 	}
@@ -940,20 +1056,20 @@ func answerOne(w http.ResponseWriter, o *oracle.Oracle, q *batchQuery) error {
 }
 
 func (s *Server) handleDist(w http.ResponseWriter, r *http.Request) {
-	s.withOracle(w, r, true, func(o *oracle.Oracle, src, target int, faults []int) error {
-		return answerOne(w, o, &batchQuery{Source: src, Target: &target, Faults: faults})
+	s.withOracle(w, r, true, func(o *oracle.Oracle, x xlat, src, target int, faults []int) error {
+		return answerOne(w, o, &batchQuery{Source: src, Target: &target, Faults: faults}, x)
 	})
 }
 
 func (s *Server) handleDists(w http.ResponseWriter, r *http.Request) {
-	s.withOracle(w, r, false, func(o *oracle.Oracle, src, _ int, faults []int) error {
-		return answerOne(w, o, &batchQuery{Source: src, Faults: faults})
+	s.withOracle(w, r, false, func(o *oracle.Oracle, x xlat, src, _ int, faults []int) error {
+		return answerOne(w, o, &batchQuery{Source: src, Faults: faults}, x)
 	})
 }
 
 func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
-	s.withOracle(w, r, true, func(o *oracle.Oracle, src, target int, faults []int) error {
-		return answerOne(w, o, &batchQuery{Source: src, Target: &target, Faults: faults, Route: true})
+	s.withOracle(w, r, true, func(o *oracle.Oracle, x xlat, src, target int, faults []int) error {
+		return answerOne(w, o, &batchQuery{Source: src, Target: &target, Faults: faults, Route: true}, x)
 	})
 }
 
@@ -1017,18 +1133,19 @@ type batchStreamTrailer struct {
 // most streamFlushEvery lines. A var only so tests can lower it.
 var maxBatchResultValues = 4 << 20
 
-// answerQuery resolves one batch item with the request's pooled handle.
+// answerQuery resolves one batch item with the request's pooled handle,
+// translating vertex IDs through x at the boundary (wire in, wire out).
 // It is the per-item dispatch of every query endpoint, so it must not
 // allocate beyond the result it returns.
 //
 //ftbfs:hotpath
-func answerQuery(o *oracle.Oracle, q *batchQuery) batchResult {
+func answerQuery(o *oracle.Oracle, q *batchQuery, x xlat) batchResult {
 	switch {
 	case q.Route:
 		if q.Target == nil {
 			return batchResult{Error: "route query needs a target"}
 		}
-		p, err := o.Route(q.Source, *q.Target, q.Faults)
+		p, err := o.Route(x.in(q.Source), x.in(*q.Target), q.Faults)
 		if err != nil {
 			return batchResult{Error: err.Error()}
 		}
@@ -1037,20 +1154,33 @@ func answerQuery(o *oracle.Oracle, q *batchQuery) batchResult {
 		if p != nil {
 			d := int32(p.Len())
 			res.Dist = &d
-			res.Path = []int(p)
+			// Route returns a freshly allocated path, safe to relabel in
+			// place.
+			path := []int(p)
+			if !x.identity() {
+				for i, v := range path {
+					path[i] = x.out(v)
+				}
+			}
+			res.Path = path
 		}
 		return res
 	case q.Target != nil:
-		d, err := o.Dist(q.Source, *q.Target, q.Faults)
+		d, err := o.Dist(x.in(q.Source), x.in(*q.Target), q.Faults)
 		if err != nil {
 			return batchResult{Error: err.Error()}
 		}
 		reachable := d != bfs.Unreachable
 		return batchResult{Dist: &d, Reachable: &reachable}
 	default:
-		d, err := o.Dists(q.Source, q.Faults)
+		d, err := o.Dists(x.in(q.Source), q.Faults)
 		if err != nil {
 			return batchResult{Error: err.Error()}
+		}
+		if !x.identity() {
+			// The oracle's table is cache-owned and internally ordered;
+			// render a wire-order copy instead of mutating it.
+			return batchResult{Dists: reindexDists(d, x.toNew)}
 		}
 		return batchResult{Dists: d}
 	}
@@ -1060,9 +1190,15 @@ func answerQuery(o *oracle.Oracle, q *batchQuery) batchResult {
 // items with ONE pooled oracle per request, amortizing handle checkout
 // and fault parsing across the whole batch — the multi-source workload
 // shape (many queries per network round-trip). With "stream": true the
-// results are NDJSON-streamed in request order.
+// results are NDJSON-streamed in request order. A request with the
+// binary batch Content-Type is dispatched to the binary protocol handler
+// instead (same route, negotiated per request).
 func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
-	set := s.readySet(w, r)
+	if strings.HasPrefix(r.Header.Get("Content-Type"), batchcodec.ContentType) {
+		s.handleBatchQueryBinary(w, r)
+		return
+	}
+	set, x := s.readySet(w, r)
 	if set == nil {
 		return
 	}
@@ -1099,7 +1235,7 @@ func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 		// buffering, and write failures surface on the next Encode.
 		flush := func() { _ = rc.Flush() }
 		for i := range req.Queries {
-			if err := enc.Encode(answerQuery(o, &req.Queries[i])); err != nil {
+			if err := enc.Encode(answerQuery(o, &req.Queries[i], x)); err != nil {
 				return // client went away; nothing sensible to write
 			}
 			// Re-arm on elapsed time, not item count: slow uncached
@@ -1124,7 +1260,7 @@ func (s *Server) handleBatchQuery(w http.ResponseWriter, r *http.Request) {
 	results := make([]batchResult, len(req.Queries))
 	values := 0
 	for i := range req.Queries {
-		results[i] = answerQuery(o, &req.Queries[i])
+		results[i] = answerQuery(o, &req.Queries[i], x)
 		values += 2 + len(results[i].Dists) + len(results[i].Path)
 		if values > maxBatchResultValues {
 			writeErr(w, http.StatusRequestEntityTooLarge,

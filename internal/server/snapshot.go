@@ -112,7 +112,7 @@ func (s *Server) installSnapshot(graphName, buildID string, sn *snap.Snapshot, s
 	be := &buildEntry{
 		id:        buildID,
 		mode:      sn.Meta.Mode,
-		sources:   append([]int(nil), st.Sources...),
+		sources:   wireSources(st.G, st.Sources),
 		seed:      sn.Meta.Seed,
 		status:    StatusReady,
 		created:   time.Now(),
@@ -145,9 +145,12 @@ func (s *Server) installSnapshot(graphName, buildID string, sn *snap.Snapshot, s
 }
 
 // graphsEqual reports observational equality of two frozen graphs: same
-// vertex count and identical edge tables (IDs and endpoints). Since the
-// CSR arrays are a pure function of (n, edge table), equal edge tables
-// imply equal graphs.
+// vertex count, identical edge tables (IDs and endpoints), and the same
+// vertex-order maps. Since the CSR arrays are a pure function of
+// (n, edge table), equal edge tables imply equal graphs — but an ordered
+// graph's edge table holds internal endpoints, so two graphs may agree
+// edge-for-edge yet present different wire numberings; the maps are part
+// of the observable identity.
 func graphsEqual(a, b *graph.Graph) bool {
 	if a == b {
 		return true
@@ -157,6 +160,16 @@ func graphsEqual(a, b *graph.Graph) bool {
 	}
 	for id := 0; id < a.M(); id++ {
 		if a.EdgeAt(id) != b.EdgeAt(id) {
+			return false
+		}
+	}
+	aNew, _ := a.OrderMaps()
+	bNew, _ := b.OrderMaps()
+	if len(aNew) != len(bNew) {
+		return false
+	}
+	for v := range aNew {
+		if aNew[v] != bNew[v] {
 			return false
 		}
 	}

@@ -7,7 +7,7 @@
 // File layout (all integers little-endian):
 //
 //	offset 0   magic   "FTBFSNAP" (8 bytes)
-//	offset 8   version uint32 (currently 1)
+//	offset 8   version uint32 (1 or 2)
 //	offset 12  section count uint32
 //	offset 16  section table: count × { id [4]byte, payloadLen uint64 }
 //	then, per section in table order:
@@ -25,6 +25,16 @@
 //	      structural validation of graph.FromCSRData — no rebuild.
 //	STRC  the structure: fault budget, fault model, sources, BuildStats,
 //	      and the kept-edge bitset words verbatim.
+//
+// Version 2 appends exactly one more section:
+//
+//	VPRM  the freeze-time vertex renumbering of an ordered graph
+//	      (graph.Builder.FreezeOrdered): the internal->original label
+//	      map, validated as a permutation on decode, so a warm-started
+//	      graph keeps its cache-friendly layout AND its boundary
+//	      translation. The encoder writes version 2 only for ordered
+//	      graphs; plain graphs still produce byte-identical version-1
+//	      files (pinned by the golden snapshot test).
 //
 // Compatibility policy: the decoder rejects unknown magic, versions, and
 // section IDs outright (a snapshot is an artifact, not a negotiation).
@@ -52,8 +62,10 @@ import (
 // Magic identifies a snapshot file (the first 8 bytes).
 const Magic = "FTBFSNAP"
 
-// Version is the current format version written by Encode.
-const Version = 1
+// Version is the highest format version written and understood. Encode
+// picks the lowest version that can represent the snapshot: 1 for plain
+// graphs, 2 when the graph carries a freeze-time vertex order.
+const Version = 2
 
 // maxSectionBytes bounds a single section's declared payload length, so a
 // corrupted or hostile length field cannot claim more than the format
@@ -64,11 +76,12 @@ const (
 	maxMetaBytes    = 1 << 20
 )
 
-// Section IDs of version 1, in file order.
+// Section IDs in file order; idVPerm exists only in version 2.
 var (
 	idMeta   = [4]byte{'M', 'E', 'T', 'A'}
 	idGraph  = [4]byte{'G', 'R', 'P', 'H'}
 	idStruct = [4]byte{'S', 'T', 'R', 'C'}
+	idVPerm  = [4]byte{'V', 'P', 'R', 'M'}
 )
 
 // castagnoli is the CRC-32C table used for every section checksum.
@@ -189,7 +202,21 @@ func encodeStructure(st *core.Structure) []byte {
 	return b
 }
 
-// Encode writes st and meta as a version-1 snapshot. The encoding is
+// encodeOrder serializes the freeze-time vertex renumbering of an ordered
+// graph: vertex count, then the internal->original map. The inverse is
+// derived on decode.
+func encodeOrder(g *graph.Graph) []byte {
+	_, toOld := g.OrderMaps()
+	b := make([]byte, 0, 4+4*len(toOld))
+	b = appendU32(b, uint32(len(toOld)))
+	for _, old := range toOld {
+		b = appendU32(b, uint32(old))
+	}
+	return b
+}
+
+// Encode writes st and meta as a snapshot, choosing the lowest format
+// version that represents it (see the package comment). The encoding is
 // deterministic: identical snapshots produce identical bytes.
 func Encode(w io.Writer, s *Snapshot) error {
 	if s == nil || s.Structure == nil || s.Structure.G == nil || s.Structure.Edges == nil {
@@ -199,6 +226,7 @@ func Encode(w io.Writer, s *Snapshot) error {
 	if err != nil {
 		return fmt.Errorf("snap: meta: %w", err)
 	}
+	version := uint32(1)
 	sections := []struct {
 		id      [4]byte
 		payload []byte
@@ -207,9 +235,16 @@ func Encode(w io.Writer, s *Snapshot) error {
 		{idGraph, encodeGraph(s.Structure.G)},
 		{idStruct, encodeStructure(s.Structure)},
 	}
+	if s.Structure.G.Ordered() {
+		version = 2
+		sections = append(sections, struct {
+			id      [4]byte
+			payload []byte
+		}{idVPerm, encodeOrder(s.Structure.G)})
+	}
 	head := make([]byte, 0, 16+12*len(sections))
 	head = append(head, Magic...)
-	head = appendU32(head, Version)
+	head = appendU32(head, version)
 	head = appendU32(head, uint32(len(sections)))
 	for _, sec := range sections {
 		head = append(head, sec.id[:]...)
@@ -431,6 +466,33 @@ func decodeStructure(r *sectionReader, g *graph.Graph) (*core.Structure, error) 
 	}, nil
 }
 
+// decodeOrder parses the VPRM section and attaches the renumbering to g.
+func decodeOrder(r *sectionReader, g *graph.Graph) error {
+	nRaw, err := r.u32()
+	if err != nil {
+		return err
+	}
+	n, err := r.count(nRaw, 4, "order entry")
+	if err != nil {
+		return err
+	}
+	if n != g.N() {
+		return r.errf("order map has %d entries, graph has %d vertices", n, g.N())
+	}
+	if r.remaining() != 4*n {
+		return r.errf("order payload has %d bytes, want %d", r.remaining(), 4*n)
+	}
+	toOld := make([]int32, n)
+	for i := range toOld {
+		v, _ := r.u32()
+		toOld[i] = int32(v)
+	}
+	if err := g.AdoptOrder(toOld); err != nil {
+		return formatErrf(r.base, "invalid vertex order: %v", err)
+	}
+	return nil
+}
+
 // Decode reads one snapshot. Every byte of the input is length-checked and
 // checksum-verified before interpretation; malformed input yields a
 // *FormatError carrying the offending file offset, never a partial
@@ -444,13 +506,18 @@ func Decode(r io.Reader) (*Snapshot, error) {
 		return nil, formatErrf(0, "bad magic %q, want %q", head[:8], Magic)
 	}
 	version := binary.LittleEndian.Uint32(head[8:])
-	if version != Version {
-		return nil, formatErrf(8, "unsupported format version %d (supported: %d)", version, Version)
+	var wantIDs [][4]byte
+	switch version {
+	case 1:
+		wantIDs = [][4]byte{idMeta, idGraph, idStruct}
+	case 2:
+		wantIDs = [][4]byte{idMeta, idGraph, idStruct, idVPerm}
+	default:
+		return nil, formatErrf(8, "unsupported format version %d (supported: 1..%d)", version, Version)
 	}
 	nsec := binary.LittleEndian.Uint32(head[12:])
-	wantIDs := [][4]byte{idMeta, idGraph, idStruct}
 	if int(nsec) != len(wantIDs) {
-		return nil, formatErrf(12, "version %d has %d sections, got %d", Version, len(wantIDs), nsec)
+		return nil, formatErrf(12, "version %d has %d sections, got %d", version, len(wantIDs), nsec)
 	}
 	table := make([]byte, 12*len(wantIDs))
 	if _, err := io.ReadFull(r, table); err != nil {
@@ -503,6 +570,11 @@ func Decode(r io.Reader) (*Snapshot, error) {
 	g, err := decodeGraph(&sectionReader{buf: payloads[1], base: bases[1]})
 	if err != nil {
 		return nil, err
+	}
+	if version >= 2 {
+		if err := decodeOrder(&sectionReader{buf: payloads[3], base: bases[3]}, g); err != nil {
+			return nil, err
+		}
 	}
 	st, err := decodeStructure(&sectionReader{buf: payloads[2], base: bases[2]}, g)
 	if err != nil {
