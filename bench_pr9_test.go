@@ -1,0 +1,40 @@
+// Acceptance benchmarks for the incremental fault-repair build kernel:
+// the reference points the EXPERIMENTS.md before/after tables are measured
+// on (run identically against the pre-kernel tree for the "before" side).
+package ftbfs_test
+
+import (
+	"testing"
+
+	ftbfs "repro"
+)
+
+func BenchmarkPR9BuildDual1500(b *testing.B) {
+	g := ftbfs.SparseGNP(1500, 6, 2015)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ftbfs.BuildDualFTBFS(g, 0, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPR9BuildExhaustiveF2(b *testing.B) {
+	g := ftbfs.SparseGNP(30, 6, 2015)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ftbfs.BuildExhaustiveFTBFS(g, 0, 2, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPR9BuildRecursiveF3(b *testing.B) {
+	g := ftbfs.SparseGNP(120, 5, 2015)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ftbfs.BuildRecursiveFTBFS(g, 0, 3, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

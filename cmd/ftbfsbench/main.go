@@ -183,7 +183,8 @@ func warmStartBench(ctx context.Context, path string, stdout io.Writer) error {
 		return nil
 	}
 	start = time.Now()
-	st2, err := build(st.G, &core.Options{Seed: sn.Meta.Seed, Ctx: ctx})
+	var prog core.Progress
+	st2, err := build(st.G, &core.Options{Seed: sn.Meta.Seed, Ctx: ctx, Progress: &prog})
 	if err != nil {
 		return err
 	}
@@ -199,6 +200,13 @@ func warmStartBench(ctx context.Context, path string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "  rebuild (%s)      %12v   %.1f× slower than warm start\n",
 		sn.Meta.Mode, rebuild, float64(rebuild)/float64(warm))
+	// Per-phase breakdown of the rebuild (goroutine-time: phases sum to
+	// more than wall time for parallel builds).
+	if ps := prog.Snapshot(); ps.BaseNS+ps.EventsNS+ps.UnionNS > 0 {
+		fmt.Fprintf(stdout, "    base trees      %12v\n", time.Duration(ps.BaseNS))
+		fmt.Fprintf(stdout, "    fault events    %12v\n", time.Duration(ps.EventsNS))
+		fmt.Fprintf(stdout, "    union/fold      %12v\n", time.Duration(ps.UnionNS))
+	}
 	if !same {
 		return fmt.Errorf("rebuilt structure differs from snapshot (seed %d, mode %s)", sn.Meta.Seed, sn.Meta.Mode)
 	}

@@ -62,6 +62,7 @@ func run(args []string) error {
 		maxBatch  = fs.Int("max-batch", 0, "max queries per batch request (0 = default 65536)")
 		ordered   = fs.Bool("ordered", false, "renumber registered graphs into BFS vertex order (wire IDs unchanged; per-graph \"ordered\" field overrides)")
 		snapDir   = fs.String("snapshot-dir", "", "persist completed builds under this directory and warm-start from it")
+		prewarm   = fs.Bool("prewarm", false, "after a warm start, seed each restored build's query memo with its fault-free distance tables")
 		demo      = fs.Bool("demo", false, "register a demo graph (gnp n=200 p=0.05 seed=7) at startup")
 		rtimeout  = fs.Duration("read-timeout", 30*time.Second, "HTTP read timeout")
 		wtimeout  = fs.Duration("write-timeout", 60*time.Second, "HTTP write timeout")
@@ -76,6 +77,7 @@ func run(args []string) error {
 		CacheShards:         *shards,
 		MaxBatchQueries:     *maxBatch,
 		OrderVertices:       *ordered,
+		PrewarmRestored:     *prewarm,
 		// One structured line per terminal build so operators can audit
 		// the build plane (completions AND cancellations) without polling.
 		BuildLog: func(e server.BuildEvent) {

@@ -79,15 +79,15 @@ func fingerprintOracle(t *testing.T, st *ftbfs.Structure, trials int) string {
 func TestGoldenStructureFingerprints(t *testing.T) {
 	cases := []struct {
 		name       string
-		build      func() (*ftbfs.Structure, error)
+		build      func(opts *ftbfs.Options) (*ftbfs.Structure, error)
 		structure  string
 		oracle     string
 		oracleRuns int
 	}{
 		{
 			name: "dual/sparse-gnp-80",
-			build: func() (*ftbfs.Structure, error) {
-				return ftbfs.BuildDualFTBFS(ftbfs.SparseGNP(80, 6, 2015), 0, nil)
+			build: func(opts *ftbfs.Options) (*ftbfs.Structure, error) {
+				return ftbfs.BuildDualFTBFS(ftbfs.SparseGNP(80, 6, 2015), 0, opts)
 			},
 			structure:  "b6397b093386326806032c0b",
 			oracle:     "717b6992aa8b4b3ccf7935a9",
@@ -95,8 +95,8 @@ func TestGoldenStructureFingerprints(t *testing.T) {
 		},
 		{
 			name: "dual/gnp-40",
-			build: func() (*ftbfs.Structure, error) {
-				return ftbfs.BuildDualFTBFS(ftbfs.GNP(40, 0.3, 7), 0, nil)
+			build: func(opts *ftbfs.Options) (*ftbfs.Structure, error) {
+				return ftbfs.BuildDualFTBFS(ftbfs.GNP(40, 0.3, 7), 0, opts)
 			},
 			structure:  "29f3c7b0ed9c587e78cb23ed",
 			oracle:     "8614186653edb8c6d88a8bd7",
@@ -104,8 +104,8 @@ func TestGoldenStructureFingerprints(t *testing.T) {
 		},
 		{
 			name: "single/tree-chords-60",
-			build: func() (*ftbfs.Structure, error) {
-				return ftbfs.BuildSingleFTBFS(ftbfs.TreePlusChords(60, 8, 3), 0, nil)
+			build: func(opts *ftbfs.Options) (*ftbfs.Structure, error) {
+				return ftbfs.BuildSingleFTBFS(ftbfs.TreePlusChords(60, 8, 3), 0, opts)
 			},
 			structure:  "1e4567168e874c38d750bf8c",
 			oracle:     "25138d806cba2eb8516dad59",
@@ -113,8 +113,8 @@ func TestGoldenStructureFingerprints(t *testing.T) {
 		},
 		{
 			name: "exhaustive-f2/grid-5x5",
-			build: func() (*ftbfs.Structure, error) {
-				return ftbfs.BuildExhaustiveFTBFS(ftbfs.Grid(5, 5), 0, 2, nil)
+			build: func(opts *ftbfs.Options) (*ftbfs.Structure, error) {
+				return ftbfs.BuildExhaustiveFTBFS(ftbfs.Grid(5, 5), 0, 2, opts)
 			},
 			structure:  "083149d1eb1b810711bacd1b",
 			oracle:     "6c9b7f902c70c5472a425749",
@@ -122,26 +122,38 @@ func TestGoldenStructureFingerprints(t *testing.T) {
 		},
 		{
 			name: "multisource-dual/layered",
-			build: func() (*ftbfs.Structure, error) {
-				return ftbfs.BuildMultiSourceDualFTBFS(ftbfs.Layered(5, 8, 0.3, 11), []int{0, 4}, nil)
+			build: func(opts *ftbfs.Options) (*ftbfs.Structure, error) {
+				return ftbfs.BuildMultiSourceDualFTBFS(ftbfs.Layered(5, 8, 0.3, 11), []int{0, 4}, opts)
 			},
 			structure:  "cd00e439ac8f174472efb8ba",
 			oracle:     "da103ef963bc35d07b87bf96",
 			oracleRuns: 40,
 		},
 	}
+	// Every golden hash must come out of BOTH build pipelines: the default
+	// (incremental fault-repair kernel) and the from-scratch fallback
+	// (Options.NoRepair) — the repair kernel's bit-identity contract.
+	variants := []struct {
+		name string
+		opts *ftbfs.Options
+	}{
+		{"repair", nil},
+		{"norepair", &ftbfs.Options{NoRepair: true}},
+	}
 	for _, c := range cases {
-		t.Run(c.name, func(t *testing.T) {
-			st, err := c.build()
-			if err != nil {
-				t.Fatal(err)
-			}
-			if got := fingerprintStructure(st); got != c.structure {
-				t.Errorf("structure fingerprint = %s, want %s", got, c.structure)
-			}
-			if got := fingerprintOracle(t, st, c.oracleRuns); got != c.oracle {
-				t.Errorf("oracle fingerprint = %s, want %s", got, c.oracle)
-			}
-		})
+		for _, vt := range variants {
+			t.Run(c.name+"/"+vt.name, func(t *testing.T) {
+				st, err := c.build(vt.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := fingerprintStructure(st); got != c.structure {
+					t.Errorf("structure fingerprint = %s, want %s", got, c.structure)
+				}
+				if got := fingerprintOracle(t, st, c.oracleRuns); got != c.oracle {
+					t.Errorf("oracle fingerprint = %s, want %s", got, c.oracle)
+				}
+			})
+		}
 	}
 }

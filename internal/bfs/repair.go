@@ -1,0 +1,310 @@
+package bfs
+
+import (
+	"slices"
+
+	"repro/internal/graph"
+)
+
+// Repairer computes fault-restricted BFS distance tables by incrementally
+// repairing a fault-free base table instead of re-running BFS from scratch.
+// The invariant (arXiv:1505.00692 §2): a faulted non-tree edge changes no
+// distance at all (the BFS tree path to every vertex survives), and a
+// faulted tree edge can only change vertices in the subtree hanging below
+// it. Run therefore classifies each fault, detaches the union R of the
+// affected subtrees, seeds every vertex of R from its surviving boundary
+// arcs (whose far endpoints keep their exact base distance), and repairs R
+// level-synchronously. When R's arc volume exceeds the graph's — repairing
+// would cost more than starting over — it falls back to the full Runner,
+// which keeps PR 8's compact/bitset regime split; the base and fallback
+// runs inherit that split too, so large graphs still scan via the bitset.
+//
+// Distances are the only output: BFS parent choice is discovery-order
+// dependent and the repair schedule legitimately differs from scratch, so
+// consumers that need paths (oracle routing) keep the Runner. Distance
+// tables are bit-identical to a from-scratch run by construction.
+//
+// A Repairer is not safe for concurrent use; create one per goroutine and
+// keep it — it amortizes its base table across every fault set sharing a
+// source, and rebases automatically (one full BFS) when the source moves.
+type Repairer struct {
+	g *graph.Graph
+	r *Runner // base runs + full-recompute fallback
+
+	src     int // base source; -1 until the first Run
+	bDist   []int32
+	bParent []int32
+	// Children of the base BFS tree in CSR form.
+	kidOff []int32
+	kids   []int32
+
+	// out is the live table: base distances with the current repair
+	// patched in. Every patched vertex is in region; undo restores them.
+	out    []int32
+	region []int32
+
+	ep    uint32
+	inR   []uint32
+	done  []uint32
+	eMask []uint32
+
+	seeds     []int64 // packed (level<<32 | vertex), sorted by level
+	cur, next []int32
+
+	full     bool
+	volLimit int
+}
+
+// NewRepairer returns a repairer bound to g. The base table is built
+// lazily on the first Run (it needs a source).
+func NewRepairer(g *graph.Graph) *Repairer {
+	n := g.N()
+	r := &Repairer{
+		g:        g,
+		r:        NewRunner(g),
+		src:      -1,
+		bDist:    make([]int32, n),
+		bParent:  make([]int32, n),
+		kidOff:   make([]int32, n+1),
+		out:      make([]int32, n),
+		region:   nil,
+		inR:      make([]uint32, n),
+		done:     make([]uint32, n),
+		eMask:    make([]uint32, g.M()),
+		cur:      make([]int32, 0, n),
+		next:     make([]int32, 0, n),
+		volLimit: g.M(),
+	}
+	if r.volLimit < 256 {
+		r.volLimit = 256
+	}
+	return r
+}
+
+// rebase runs the fault-free BFS from src and freezes it as the base
+// table, rebuilding the child CSR.
+func (r *Repairer) rebase(src int) {
+	r.r.Run(src, nil, nil)
+	n := r.g.N()
+	copy(r.bDist, r.r.dist)
+	for v := 0; v < n; v++ {
+		if r.bDist[v] > 0 {
+			r.bParent[v] = r.r.parent[v]
+		} else {
+			r.bParent[v] = -1
+		}
+	}
+	for i := range r.kidOff {
+		r.kidOff[i] = 0
+	}
+	for v := 0; v < n; v++ {
+		if p := r.bParent[v]; p >= 0 {
+			r.kidOff[p+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		r.kidOff[i+1] += r.kidOff[i]
+	}
+	if cap(r.kids) < int(r.kidOff[n]) {
+		r.kids = make([]int32, r.kidOff[n])
+	} else {
+		r.kids = r.kids[:r.kidOff[n]]
+	}
+	if r.seeds == nil {
+		r.seeds = make([]int64, 0, 64)
+	}
+	fill := r.cur[:0]
+	fill = append(fill, r.kidOff[:n]...)
+	for v := 0; v < n; v++ {
+		if p := r.bParent[v]; p >= 0 {
+			r.kids[fill[p]] = int32(v)
+			fill[p]++
+		}
+	}
+	copy(r.out, r.bDist)
+	r.src = src
+	r.region = r.region[:0]
+}
+
+// undo restores the live table to the base for every vertex the previous
+// repair detached.
+func (r *Repairer) undo() {
+	for _, v := range r.region {
+		r.out[v] = r.bDist[v]
+	}
+	r.region = r.region[:0]
+}
+
+// Run computes the distance table from src with the given edges disabled
+// (the edge-failure model; vertex faults go through the Runner). Results
+// are valid until the next Run.
+func (r *Repairer) Run(src int, disabledEdges []int) {
+	if src != r.src {
+		r.rebase(src)
+	} else {
+		r.undo()
+	}
+	r.full = false
+	if len(disabledEdges) == 0 {
+		return
+	}
+	r.ep++
+	if r.ep == 0 { // wrapped; reset stamps
+		for i := range r.inR {
+			r.inR[i], r.done[i] = 0, 0
+		}
+		for i := range r.eMask {
+			r.eMask[i] = 0
+		}
+		r.ep = 1
+	}
+	ep := r.ep
+	for _, id := range disabledEdges {
+		r.eMask[id] = ep
+	}
+	// Classify: a fault is a tree edge iff its deeper endpoint claims it
+	// as the parent link; only those detach a subtree.
+	for _, id := range disabledEdges {
+		e := r.g.EdgeAt(id)
+		c := -1
+		if r.bDist[e.V] > 0 && int(r.bParent[e.V]) == e.U && r.bDist[e.V] == r.bDist[e.U]+1 {
+			c = e.V
+		} else if r.bDist[e.U] > 0 && int(r.bParent[e.U]) == e.V && r.bDist[e.U] == r.bDist[e.V]+1 {
+			c = e.U
+		}
+		if c >= 0 && r.inR[c] != ep {
+			r.inR[c] = ep
+			r.region = append(r.region, int32(c))
+		}
+	}
+	if len(r.region) == 0 {
+		return // every fault is a non-tree edge: exact no-op
+	}
+	if !r.detach() {
+		r.full = true
+		r.region = r.region[:0]
+		r.r.Run(src, disabledEdges, nil)
+		return
+	}
+	r.repair()
+}
+
+// detach expands region to the full descendant set of its roots under the
+// base tree, or reports false when the arc volume passes volLimit.
+//
+//ftbfs:hotpath
+func (r *Repairer) detach() bool {
+	ep := r.ep
+	vol := 0
+	for i := 0; i < len(r.region); i++ {
+		v := r.region[i]
+		vol += r.g.Degree(int(v))
+		if vol > r.volLimit {
+			return false
+		}
+		for _, c := range r.kids[r.kidOff[v]:r.kidOff[v+1]] {
+			if r.inR[c] != ep {
+				r.inR[c] = ep
+				r.region = append(r.region, c)
+			}
+		}
+	}
+	return true
+}
+
+// repair re-settles the detached region level-synchronously. Each x in R
+// is seeded with min over surviving boundary arcs (u,x), u outside R, of
+// bDist(u)+1 — exact because outside distances are unchanged — and the
+// two-queue sweep admits seeds in level order, so every vertex settles at
+// its true fault-restricted distance (last-crossing argument). Region
+// vertices never reached stay Unreachable.
+//
+//ftbfs:hotpath
+func (r *Repairer) repair() {
+	ep := r.ep
+	inR, done, eMask := r.inR, r.done, r.eMask
+	bDist, out := r.bDist, r.out
+	r.seeds = r.seeds[:0]
+	for _, x := range r.region {
+		out[x] = Unreachable
+		best := int32(-1)
+		for _, a := range r.g.Arcs(int(x)) {
+			if inR[a.To] == ep || eMask[a.ID] == ep || bDist[a.To] < 0 {
+				continue
+			}
+			if d := bDist[a.To] + 1; best < 0 || d < best {
+				best = d
+			}
+		}
+		if best >= 0 {
+			r.seeds = append(r.seeds, int64(best)<<32|int64(x))
+		}
+	}
+	if len(r.seeds) == 0 {
+		return // region fully disconnected from the survivors
+	}
+	slices.Sort(r.seeds)
+	cur, next := r.cur[:0], r.next[:0]
+	si := 0
+	d := int32(r.seeds[0] >> 32)
+	for si < len(r.seeds) || len(cur) > 0 {
+		if len(cur) == 0 && si < len(r.seeds) {
+			if lv := int32(r.seeds[si] >> 32); lv > d {
+				d = lv // jump over empty levels
+			}
+		}
+		for si < len(r.seeds) && int32(r.seeds[si]>>32) == d {
+			x := int32(r.seeds[si] & 0xffffffff)
+			si++
+			if done[x] != ep {
+				cur = append(cur, x)
+			}
+		}
+		next = next[:0]
+		for _, x := range cur {
+			if done[x] == ep {
+				continue
+			}
+			done[x] = ep
+			out[x] = d
+			for _, a := range r.g.Arcs(int(x)) {
+				if inR[a.To] != ep || done[a.To] == ep || eMask[a.ID] == ep {
+					continue
+				}
+				next = append(next, a.To)
+			}
+		}
+		cur, next = next, cur
+		d++
+	}
+	r.cur, r.next = cur[:0], next[:0]
+}
+
+// Dist returns the hop distance to v under the last Run, or Unreachable.
+func (r *Repairer) Dist(v int) int32 {
+	if r.full {
+		return r.r.dist[v]
+	}
+	return r.out[v]
+}
+
+// Dists returns the distance table of the last Run. The slice is owned by
+// the repairer and overwritten by the next Run.
+func (r *Repairer) Dists() []int32 {
+	if r.full {
+		return r.r.dist
+	}
+	return r.out
+}
+
+// Changed returns the vertices whose distance may differ from the
+// fault-free base table after the last Run, and ok=true when the run was
+// served incrementally (possibly as a no-op: an empty slice means no
+// distance changed). ok=false means a full recompute ran and every vertex
+// may differ. The slice is valid until the next Run.
+func (r *Repairer) Changed() ([]int32, bool) {
+	if r.full {
+		return nil, false
+	}
+	return r.region, true
+}

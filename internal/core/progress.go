@@ -24,11 +24,51 @@ import "sync/atomic"
 //     builds; parallel workers count into their private accumulators, so
 //     while they run the value is an upper bound on the final |E_H|
 //     (duplicates collapse in the final union).
+//   - PhaseNS breaks the build's wall time into the three build phases
+//     (base trees, fault-event loop, final union); parallel workers each
+//     add their own phase time, so the counters are goroutine-seconds,
+//     not wall seconds. Phase times live only here — never in BuildStats,
+//     which is snapshot-encoded and golden-pinned.
 type Progress struct {
 	unitsDone  atomic.Int64
 	unitsTotal atomic.Int64
 	dijkstras  atomic.Int64
 	edgesKept  atomic.Int64
+	phaseNS    [numPhases]atomic.Int64
+}
+
+// Phase labels one of the three build phases timed into Progress.
+type Phase int
+
+// Build phases: base-tree construction (per-worker base searches and
+// engine setup), the fault-event loop (repair/replacement-path work), and
+// the final merge of per-worker accumulators.
+const (
+	PhaseBase Phase = iota
+	PhaseEvents
+	PhaseUnion
+	numPhases
+)
+
+// String implements fmt.Stringer.
+func (ph Phase) String() string {
+	switch ph {
+	case PhaseBase:
+		return "base"
+	case PhaseEvents:
+		return "events"
+	case PhaseUnion:
+		return "union"
+	default:
+		return "phase?"
+	}
+}
+
+// AddPhaseNS records ns nanoseconds spent in the given phase.
+func (p *Progress) AddPhaseNS(ph Phase, ns int64) {
+	if p != nil && ph >= 0 && ph < numPhases {
+		p.phaseNS[ph].Add(ns)
+	}
 }
 
 // AddUnits records n completed work units.
@@ -71,6 +111,9 @@ func (p *Progress) Snapshot() ProgressSnapshot {
 		UnitsTotal: p.unitsTotal.Load(),
 		Dijkstras:  p.dijkstras.Load(),
 		EdgesKept:  p.edgesKept.Load(),
+		BaseNS:     p.phaseNS[PhaseBase].Load(),
+		EventsNS:   p.phaseNS[PhaseEvents].Load(),
+		UnionNS:    p.phaseNS[PhaseUnion].Load(),
 	}
 }
 
@@ -80,6 +123,8 @@ type ProgressSnapshot struct {
 	UnitsTotal int64
 	Dijkstras  int64
 	EdgesKept  int64
+	// Per-phase goroutine-time in nanoseconds (see Progress doc).
+	BaseNS, EventsNS, UnionNS int64
 }
 
 // Fraction returns the completion fraction in [0,1]; 0 when the total is

@@ -12,10 +12,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/cancel"
 	"repro/internal/graph"
 	"repro/internal/replace"
+	"repro/internal/sched"
 	"repro/internal/wsp"
 )
 
@@ -111,6 +113,12 @@ type Options struct {
 	// units, Dijkstras, kept edges) the caller may Snapshot while the
 	// build runs. It too never alters the output.
 	Progress *Progress
+	// NoRepair disables the incremental fault-repair kernel: every fault
+	// event runs a from-scratch search. The output — edge set, stats,
+	// fingerprints — is bit-identical either way (the repair kernel's
+	// contract, pinned by the equivalence tests); the knob exists for A/B
+	// measurement and as an escape hatch.
+	NoRepair bool
 	// totalScale / totalAnnounced coordinate the work-unit total across
 	// composite builds (see AnnounceTotal): BuildMultiSource scales the
 	// first per-source announcement to the whole composite and
@@ -175,6 +183,8 @@ func (o *Options) seed() int64 {
 
 func (o *Options) collect() bool { return o != nil && o.CollectPaths }
 
+func (o *Options) noRepair() bool { return o != nil && o.NoRepair }
+
 // BuildDual constructs the dual-failure FT-BFS structure of Theorem 1.1 for
 // source s: H = T0 ∪ ⋃_v H(v) where H(v) holds the last edges of the
 // replacement paths selected by Algorithm Cons2FTBFS.
@@ -198,10 +208,18 @@ func buildWithEngine(g *graph.Graph, s int, opts *Options, faults int,
 	ctx := opts.Context()
 	prog := opts.ProgressSink()
 	w := wsp.NewAssignment(g.M(), opts.seed())
+	t0 := time.Now()
 	eng, err := replace.NewEngine(g, w, s)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	if opts.noRepair() {
+		eng.DisableRepair()
+	}
+	prog.AddPhaseNS(PhaseBase, time.Since(t0).Nanoseconds())
+	// Credit the engine's base search immediately: a build cancelled
+	// before its first target still reports the work it actually did.
+	prog.AddDijkstras(1)
 	st := &Structure{
 		G:       g,
 		Sources: []int{s},
@@ -220,7 +238,8 @@ func buildWithEngine(g *graph.Graph, s int, opts *Options, faults int,
 	workers := opts.Workers()
 	if workers == 1 {
 		poll := cancel.New(ctx, 1) // each target pays several searches; check per target
-		prevD := 0
+		prevD := 1                 // the base search, credited above
+		tEv := time.Now()
 		for v := 0; v < g.N(); v++ {
 			if err := poll.Poll(); err != nil {
 				return nil, err
@@ -235,13 +254,14 @@ func buildWithEngine(g *graph.Graph, s int, opts *Options, faults int,
 				prevD = d
 			}
 		}
+		prog.AddPhaseNS(PhaseEvents, time.Since(tEv).Nanoseconds())
 		es := eng.Stats()
 		st.Stats.Dijkstras = es.Dijkstras
 		st.Stats.Fallbacks = es.Fallbacks
 		st.Stats.TieWarnings = es.TieWarnings
 		return st, nil
 	}
-	if err := st.buildParallel(ctx, prog, g, w, s, workers, collect, build); err != nil {
+	if err := st.buildParallel(ctx, prog, g, w, s, workers, collect, opts.noRepair(), build); err != nil {
 		return nil, err
 	}
 	return st, nil
@@ -273,47 +293,66 @@ func (s *Structure) fold(tr *replace.TargetResult, collect bool) {
 // buildParallel fans the per-target computation out over `workers`
 // goroutines, each with a private engine over the shared weight assignment,
 // and folds the results deterministically (target order is irrelevant: each
-// target's edge set is independent). Cancellation is cooperative: every
-// worker polls ctx between targets and the whole build returns ctx.Err()
-// — no partial fold is published.
+// target's edge set is independent). Targets are claimed in contiguous
+// ranges from a shared work-stealing dispenser rather than a static
+// stripe: with the repair kernel a target's cost tracks its π length and
+// detached-subtree volumes, which vary enough to leave static stripes
+// imbalanced. Cancellation is cooperative: every worker polls ctx between
+// targets and the whole build returns ctx.Err() — no partial fold is
+// published.
 func (s *Structure) buildParallel(ctx context.Context, prog *Progress, g *graph.Graph,
 	w *wsp.Assignment, src, workers int,
-	collect bool, build func(*replace.Engine, int, bool) *replace.TargetResult) error {
+	collect, noRepair bool, build func(*replace.Engine, int, bool) *replace.TargetResult) error {
 	type chunk struct {
 		results []*replace.TargetResult
 		stats   replace.Stats
 		err     error
 	}
 	n := g.N()
+	disp := sched.NewDispenser(n, workers)
 	out := make([]chunk, workers)
 	var wg sync.WaitGroup
 	for wi := 0; wi < workers; wi++ {
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
+			t0 := time.Now()
 			eng, err := replace.NewEngine(g, w, src)
 			if err != nil {
 				out[wi].err = err
 				return
 			}
+			if noRepair {
+				eng.DisableRepair()
+			}
+			prog.AddPhaseNS(PhaseBase, time.Since(t0).Nanoseconds())
+			prog.AddDijkstras(1) // the worker's base search
 			poll := cancel.New(ctx, 1)
-			prevD := 0
-			for v := wi; v < n; v += workers {
-				if err := poll.Poll(); err != nil {
-					out[wi].err = err
-					return
+			prevD := 1
+			tEv := time.Now()
+			for {
+				lo, hi, ok := disp.Next()
+				if !ok {
+					break
 				}
-				if tr := build(eng, v, collect); tr != nil {
-					out[wi].results = append(out[wi].results, tr)
-					prog.AddEdges(int64(len(tr.HEdges)))
-				}
-				prog.AddUnits(1)
-				if prog != nil {
-					d := eng.Stats().Dijkstras
-					prog.AddDijkstras(int64(d - prevD))
-					prevD = d
+				for v := lo; v < hi; v++ {
+					if err := poll.Poll(); err != nil {
+						out[wi].err = err
+						return
+					}
+					if tr := build(eng, v, collect); tr != nil {
+						out[wi].results = append(out[wi].results, tr)
+						prog.AddEdges(int64(len(tr.HEdges)))
+					}
+					prog.AddUnits(1)
+					if prog != nil {
+						d := eng.Stats().Dijkstras
+						prog.AddDijkstras(int64(d - prevD))
+						prevD = d
+					}
 				}
 			}
+			prog.AddPhaseNS(PhaseEvents, time.Since(tEv).Nanoseconds())
 			out[wi].stats = eng.Stats()
 		}(wi)
 	}
@@ -328,6 +367,7 @@ func (s *Structure) buildParallel(ctx context.Context, prog *Progress, g *graph.
 			return fmt.Errorf("core: worker %d: %w", wi, out[wi].err)
 		}
 	}
+	tU := time.Now()
 	for wi := range out {
 		for _, tr := range out[wi].results {
 			s.fold(tr, collect)
@@ -336,6 +376,7 @@ func (s *Structure) buildParallel(ctx context.Context, prog *Progress, g *graph.
 		s.Stats.Fallbacks += out[wi].stats.Fallbacks
 		s.Stats.TieWarnings += out[wi].stats.TieWarnings
 	}
+	prog.AddPhaseNS(PhaseUnion, time.Since(tU).Nanoseconds())
 	return nil
 }
 
@@ -414,33 +455,39 @@ func BuildExhaustive(g *graph.Graph, s int, f int, opts *Options) (*Structure, e
 		units = 1
 	}
 	opts.AnnounceTotal(numFaultSets(m, f))
-	err := unionTrees(st, w, s, opts, units, false, func(wi, workers int, addTree func(faults []int) bool) {
+	err := unionTrees(st, w, s, opts, units, false, func(wi int, claim func() (int, int, bool), addTree func(faults []int) bool) {
 		if wi == 0 && !addTree(nil) {
 			return
 		}
 		if f < 1 {
 			return
 		}
-		// Worker wi owns every fault set whose smallest edge ID is
-		// ≡ wi (mod workers); the sets partition, the union does not
-		// depend on the partition.
-		for a := wi; a < m; a += workers {
-			if !addTree([]int{a}) {
+		// Workers claim contiguous ranges of smallest-edge-IDs from the
+		// shared dispenser; the claimed ranges partition [0, m), and the
+		// union does not depend on the partition.
+		for {
+			lo, hi, ok := claim()
+			if !ok {
 				return
 			}
-			if f < 2 {
-				continue
-			}
-			for b := a + 1; b < m; b++ {
-				if !addTree([]int{a, b}) {
+			for a := lo; a < hi; a++ {
+				if !addTree([]int{a}) {
 					return
 				}
-				if f < 3 {
+				if f < 2 {
 					continue
 				}
-				for c := b + 1; c < m; c++ {
-					if !addTree([]int{a, b, c}) {
+				for b := a + 1; b < m; b++ {
+					if !addTree([]int{a, b}) {
 						return
+					}
+					if f < 3 {
+						continue
+					}
+					for c := b + 1; c < m; c++ {
+						if !addTree([]int{a, b, c}) {
+							return
+						}
 					}
 				}
 			}
@@ -469,21 +516,35 @@ func numFaultSets(m, f int) int64 {
 }
 
 // unionTrees fans canonical-tree enumeration out over `workers`
-// goroutines, each with a PRIVATE search engine over the shared weight
+// goroutines, each with a PRIVATE repair search over the shared weight
 // assignment and a private edge accumulator, then unions edges and sums
 // counters into st. workers is clamped to `units` (the caller's
 // first-index work-unit count — an idle worker would still allocate a
-// search engine) and the CLAMPED count is passed to enumerate, whose
-// (wi, workers) partition must visit every fault set exactly once; since
-// every tree is deterministic under W, the merged structure is identical
-// to the sequential build for any partition.
+// search engine). Instead of a static (wi, workers) stripe, enumerate
+// receives a claim function backed by one shared work-stealing dispenser
+// over [0, units): repair makes per-fault-set cost wildly uneven (a
+// detached subtree's volume, not n), so idle workers steal ranges rather
+// than wait out a slow stripe. Any claim partition yields the same union:
+// every tree is deterministic under W.
+//
+// Each worker's search is an incremental repairer pinned bit-identical to
+// a from-scratch run (wsp.RepairSearch); when a run reports an
+// incremental changed set, only those vertices' tree edges can differ
+// from the base tree, so extraction walks the changed set instead of all
+// of V. The base tree itself enters through worker 0's faults == nil
+// call, which (like any fallback run) extracts over all vertices.
+//
+// TieWarnings bookkeeping: each worker's base run observes the SAME ties
+// a sequential from-scratch enumeration would observe once, so per-worker
+// counts are baselined after construction — the sum matches the
+// sequential build exactly.
 //
 // Cancellation: addTree polls opts.Ctx every cancel.PollEvery trees and returns
 // false once cancelled; enumerate must then stop its fan-out. A cancelled
 // enumeration makes unionTrees return ctx.Err() WITHOUT touching st's
 // edge set — callers discard st, so no partial structure escapes.
 func unionTrees(st *Structure, w *wsp.Assignment, s int, opts *Options, units int, vertexFaults bool,
-	enumerate func(wi, workers int, addTree func(faults []int) bool)) error {
+	enumerate func(wi int, claim func() (int, int, bool), addTree func(faults []int) bool)) error {
 	ctx := opts.Context()
 	prog := opts.ProgressSink()
 	workers := opts.Workers()
@@ -491,6 +552,7 @@ func unionTrees(st *Structure, w *wsp.Assignment, s int, opts *Options, units in
 		workers = max(1, units)
 	}
 	g := st.G
+	disp := sched.NewDispenser(units, workers)
 	type chunk struct {
 		edges     *graph.EdgeSet
 		dijkstras int
@@ -503,8 +565,14 @@ func unionTrees(st *Structure, w *wsp.Assignment, s int, opts *Options, units in
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
-			search := wsp.NewSearch(g, w)
+			t0 := time.Now()
+			search := wsp.NewRepairSearch(g, w, s)
+			if opts.noRepair() {
+				search.DisableRepair()
+			}
+			baseTies := search.TieWarnings()
 			edges := graph.NewEdgeSet(g.M())
+			prog.AddPhaseNS(PhaseBase, time.Since(t0).Nanoseconds())
 			poll := cancel.New(ctx, cancel.PollEvery)
 			addTree := func(faults []int) bool {
 				if err := poll.Poll(); err != nil {
@@ -520,10 +588,22 @@ func unionTrees(st *Structure, w *wsp.Assignment, s int, opts *Options, units in
 				search.Run(s, o)
 				out[wi].dijkstras++
 				n0 := edges.Len()
-				//lint:ignore ctxpoll ParentEdgeOf is an O(1) accessor over the finished search, and addTree already polls once per tree above
-				for v := 0; v < g.N(); v++ {
-					if id := search.ParentEdgeOf(v); id >= 0 {
-						edges.Add(id)
+				if changed, incremental := search.Changed(); incremental && faults != nil {
+					// Only the repaired region's tree edges can differ
+					// from the base tree (already in via worker 0's
+					// faults == nil call below).
+					//lint:ignore ctxpoll ParentEdgeOf is an O(1) accessor over the finished search, and addTree already polls once per tree above
+					for _, v := range changed {
+						if id := search.ParentEdgeOf(int(v)); id >= 0 {
+							edges.Add(id)
+						}
+					}
+				} else {
+					//lint:ignore ctxpoll ParentEdgeOf is an O(1) accessor over the finished search, and addTree already polls once per tree above
+					for v := 0; v < g.N(); v++ {
+						if id := search.ParentEdgeOf(v); id >= 0 {
+							edges.Add(id)
+						}
 					}
 				}
 				prog.AddUnits(1)
@@ -531,9 +611,11 @@ func unionTrees(st *Structure, w *wsp.Assignment, s int, opts *Options, units in
 				prog.AddEdges(int64(edges.Len() - n0))
 				return true
 			}
-			enumerate(wi, workers, addTree)
+			tEv := time.Now()
+			enumerate(wi, disp.Next, addTree)
+			prog.AddPhaseNS(PhaseEvents, time.Since(tEv).Nanoseconds())
 			out[wi].edges = edges
-			out[wi].ties = search.TieWarnings
+			out[wi].ties = search.TieWarnings() - baseTies
 		}(wi)
 	}
 	wg.Wait()
@@ -542,11 +624,13 @@ func unionTrees(st *Structure, w *wsp.Assignment, s int, opts *Options, units in
 			return out[wi].err
 		}
 	}
+	tU := time.Now()
 	for wi := range out {
 		st.Edges.Union(out[wi].edges)
 		st.Stats.Dijkstras += out[wi].dijkstras
 		st.Stats.TieWarnings += out[wi].ties
 	}
+	prog.AddPhaseNS(PhaseUnion, time.Since(tU).Nanoseconds())
 	return nil
 }
 

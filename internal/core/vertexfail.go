@@ -38,29 +38,35 @@ func BuildVertexExhaustive(g *graph.Graph, s int, f int, opts *Options) (*Struct
 	}
 	// Work units: fault sets over the n-1 non-source vertices.
 	opts.AnnounceTotal(numFaultSets(n-1, f))
-	err := unionTrees(st, w, s, opts, units, true, func(wi, workers int, addTree func(faults []int) bool) {
+	err := unionTrees(st, w, s, opts, units, true, func(wi int, claim func() (int, int, bool), addTree func(faults []int) bool) {
 		if wi == 0 && !addTree(nil) {
 			return
 		}
 		if f < 1 {
 			return
 		}
-		// Worker wi owns every fault set whose smallest vertex is
-		// ≡ wi (mod workers); the union is partition-independent.
-		for a := wi; a < n; a += workers {
-			if a == s {
-				continue
-			}
-			if !addTree([]int{a}) {
+		// Workers claim contiguous ranges of smallest-vertex IDs from
+		// the shared dispenser; the union is partition-independent.
+		for {
+			lo, hi, ok := claim()
+			if !ok {
 				return
 			}
-			if f >= 2 {
-				for b := a + 1; b < n; b++ {
-					if b == s {
-						continue
-					}
-					if !addTree([]int{a, b}) {
-						return
+			for a := lo; a < hi; a++ {
+				if a == s {
+					continue
+				}
+				if !addTree([]int{a}) {
+					return
+				}
+				if f >= 2 {
+					for b := a + 1; b < n; b++ {
+						if b == s {
+							continue
+						}
+						if !addTree([]int{a, b}) {
+							return
+						}
 					}
 				}
 			}

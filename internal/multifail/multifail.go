@@ -28,10 +28,12 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cancel"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/sched"
 	"repro/internal/wsp"
 )
 
@@ -72,8 +74,11 @@ func Build(g *graph.Graph, s int, f int, opts *core.Options) (*core.Structure, e
 	// known up front, so Dijkstras is the finer-grained live counter.
 	opts.AnnounceTotal(int64(max(0, g.N()-1)))
 	// No more workers than targets; an idle worker would still allocate
-	// a search engine.
+	// a search engine. Targets are claimed in contiguous ranges from a
+	// shared work-stealing dispenser — per-target relevant-tree sizes
+	// vary by orders of magnitude, so static stripes straggle.
 	workers := min(opts.Workers(), max(1, g.N()-1))
+	disp := sched.NewDispenser(g.N(), workers)
 	var searches atomic.Int64 // global budget shared by every worker
 	type chunk struct {
 		edges *graph.EdgeSet
@@ -86,29 +91,49 @@ func Build(g *graph.Graph, s int, f int, opts *core.Options) (*core.Structure, e
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
+			t0 := time.Now()
+			// The repair search reuses the base tree across the fault
+			// sets of every target; runs are bit-identical to
+			// from-scratch searches, and its base-run tie count is
+			// baselined away so the parallel sum matches sequential.
+			search := wsp.NewRepairSearch(g, w, s)
+			if opts != nil && opts.NoRepair {
+				search.DisableRepair()
+			}
+			baseTies := search.TieWarnings()
+			prog.AddPhaseNS(core.PhaseBase, time.Since(t0).Nanoseconds())
 			b := &builder{
 				g:        g,
 				s:        s,
 				f:        f,
-				search:   wsp.NewSearch(g, w),
+				search:   search,
 				edges:    graph.NewEdgeSet(g.M()),
 				searches: &searches,
 				poll:     cancel.New(ctx, cancel.PollEvery),
 				prog:     prog,
 			}
-			for v := wi; v < g.N(); v += workers {
-				if v == s {
-					continue
-				}
-				b.seen = make(map[string]bool)
-				if err := b.expand(v, nil); err != nil {
-					out[wi].err = err
+			tEv := time.Now()
+		claims:
+			for {
+				lo, hi, ok := disp.Next()
+				if !ok {
 					break
 				}
-				prog.AddUnits(1)
+				for v := lo; v < hi; v++ {
+					if v == s {
+						continue
+					}
+					b.seen = make(map[string]bool)
+					if err := b.expand(v, nil); err != nil {
+						out[wi].err = err
+						break claims
+					}
+					prog.AddUnits(1)
+				}
 			}
+			prog.AddPhaseNS(core.PhaseEvents, time.Since(tEv).Nanoseconds())
 			out[wi].edges = b.edges
-			out[wi].ties = b.search.TieWarnings
+			out[wi].ties = search.TieWarnings() - baseTies
 		}(wi)
 	}
 	wg.Wait()
@@ -117,6 +142,7 @@ func Build(g *graph.Graph, s int, f int, opts *core.Options) (*core.Structure, e
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	tU := time.Now()
 	for wi := range out {
 		if out[wi].err != nil {
 			return nil, out[wi].err
@@ -125,13 +151,14 @@ func Build(g *graph.Graph, s int, f int, opts *core.Options) (*core.Structure, e
 		st.Stats.TieWarnings += out[wi].ties
 	}
 	st.Stats.Dijkstras = int(searches.Load())
+	prog.AddPhaseNS(core.PhaseUnion, time.Since(tU).Nanoseconds())
 	return st, nil
 }
 
 type builder struct {
 	g        *graph.Graph
 	s, f     int
-	search   *wsp.Search
+	search   *wsp.RepairSearch
 	edges    *graph.EdgeSet  // this worker's last-edge accumulator
 	searches *atomic.Int64   // Build-wide search counter against MaxSearches
 	seen     map[string]bool // canonical fault-set keys already expanded (per target)

@@ -90,6 +90,25 @@ func (s *OracleSet) Sources() []int { return append([]int(nil), s.st.Sources...)
 // CacheStats returns a snapshot of the shared memo's counters.
 func (s *OracleSet) CacheStats() CacheStats { return s.cache.stats() }
 
+// Prewarm seeds the shared memo with the empty-fault-set (fault-free)
+// distance table for every source, so the first real queries after a
+// snapshot restore hit the cache instead of paying a BFS. Returns the
+// number of tables computed; 0 when memoization is disabled.
+func (s *OracleSet) Prewarm() int {
+	if s.cache.stats().Capacity <= 0 {
+		return 0
+	}
+	o := s.Acquire()
+	defer s.Release(o)
+	n := 0
+	for _, src := range s.st.Sources {
+		if _, err := o.Dists(src, nil); err == nil {
+			n++
+		}
+	}
+	return n
+}
+
 // Handle returns a fresh per-goroutine query handle over the shared state.
 // Handles are not safe for concurrent use; the set they share is.
 func (s *OracleSet) Handle() *Oracle {
@@ -116,8 +135,9 @@ func (s *OracleSet) Release(o *Oracle) {
 type Oracle struct {
 	set    *OracleSet
 	runner *bfs.Runner
-	faults []int   // scratch: fault IDs translated into sub-graph IDs
-	canon  []int32 // scratch: sorted G fault IDs forming the cache key
+	rep    *bfs.Repairer // lazy: built on the first uncached distance query
+	faults []int         // scratch: fault IDs translated into sub-graph IDs
+	canon  []int32       // scratch: sorted G fault IDs forming the cache key
 }
 
 // New returns a single-handle oracle over st — NewSet + Handle for callers
@@ -200,16 +220,22 @@ func (o *Oracle) translate(canon []int32) []int {
 }
 
 // run executes (or recalls) the BFS for the canonical key and returns the
-// distance table over H \ F. Cached tables are immutable and shared across
-// every handle of the set.
+// distance table over H \ F. Uncached events go through the incremental
+// repairer: it keeps the fault-free tree for the source and repairs only
+// the detached subtrees, producing the identical distance table (BFS
+// distances are unique) at a fraction of the cost. Cached tables are
+// immutable and shared across every handle of the set.
 func (o *Oracle) run(s int, canon []int32) []int32 {
 	h := hashKey(s, canon)
 	if d, ok := o.set.cache.get(h, int32(s), canon); ok {
 		return d
 	}
-	o.runner.Run(s, o.translate(canon), nil)
+	if o.rep == nil {
+		o.rep = bfs.NewRepairer(o.set.sub)
+	}
+	o.rep.Run(s, o.translate(canon))
 	d := make([]int32, o.set.sub.N())
-	copy(d, o.runner.Dists())
+	copy(d, o.rep.Dists())
 	return o.set.cache.add(h, int32(s), canon, d)
 }
 

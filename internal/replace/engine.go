@@ -112,7 +112,7 @@ type Engine struct {
 	w *wsp.Assignment
 	s int
 
-	search *wsp.Search
+	search *wsp.RepairSearch
 
 	// Canonical BFS/SP tree T0 rooted at s.
 	treeParent  []int32
@@ -143,7 +143,6 @@ func NewEngine(g *graph.Graph, w *wsp.Assignment, s int) (*Engine, error) {
 		g:           g,
 		w:           w,
 		s:           s,
-		search:      wsp.NewSearch(g, w),
 		treeParent:  make([]int32, g.N()),
 		treeParentE: make([]int32, g.N()),
 		treeDist:    make([]int32, g.N()),
@@ -151,7 +150,10 @@ func NewEngine(g *graph.Graph, w *wsp.Assignment, s int) (*Engine, error) {
 		onPi:        make([]int32, g.N()),
 		piStamp:     make([]int, g.N()),
 	}
-	e.search.Run(s, wsp.Options{Target: -1})
+	// The repair search runs the base Dijkstra at construction; it is the
+	// same canonical tree a from-scratch run would produce, so it counts
+	// as the engine's first search exactly as before.
+	e.search = wsp.NewRepairSearch(g, w, s)
 	e.stats.Dijkstras++
 	for v := 0; v < g.N(); v++ {
 		e.treeParent[v] = int32(e.search.ParentOf(v))
@@ -176,9 +178,13 @@ func (e *Engine) Graph() *graph.Graph { return e.g }
 // underlying search's tie warnings.
 func (e *Engine) Stats() Stats {
 	st := e.stats
-	st.TieWarnings = e.search.TieWarnings
+	st.TieWarnings = e.search.TieWarnings()
 	return st
 }
+
+// DisableRepair makes every search run from scratch (the NoRepair build
+// option); results are identical either way.
+func (e *Engine) DisableRepair() { e.search.DisableRepair() }
 
 // TreeDist returns the fault-free distance from s to v (-1 if unreachable).
 func (e *Engine) TreeDist(v int) int32 { return e.treeDist[v] }

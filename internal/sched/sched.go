@@ -1,0 +1,55 @@
+// Package sched provides the work-stealing index dispenser used by the
+// parallel build fan-outs. Static striping (worker wi takes indices
+// wi, wi+W, wi+2W, …) balances well when every index costs the same; the
+// incremental repair kernel breaks that assumption — a fault event's cost
+// is proportional to the subtree it detaches, which varies by orders of
+// magnitude — so a slow stripe would leave the other workers idle at the
+// tail. The dispenser hands out contiguous ranges from one atomic cursor
+// instead: any idle worker steals the next range, and the grain adapts
+// from coarse (amortizing the atomic) to fine (bounding the tail straggle
+// to one small range) as the cursor approaches the end.
+package sched
+
+import "sync/atomic"
+
+// maxGrain caps a single claim so one early claim cannot swallow a
+// constant fraction of a small index space.
+const maxGrain = 4096
+
+// Dispenser hands out disjoint contiguous ranges covering [0, n).
+// Safe for concurrent use by any number of workers.
+type Dispenser struct {
+	next    atomic.Int64
+	n       int64
+	workers int64
+}
+
+// NewDispenser returns a dispenser over [0, n) tuned for the given worker
+// count (grain ≈ remaining/(4·workers), clamped to [1, maxGrain]).
+func NewDispenser(n, workers int) *Dispenser {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Dispenser{n: int64(n), workers: int64(workers)}
+}
+
+// Next claims the next range [lo, hi). ok is false when the index space
+// is exhausted; a worker loops on Next until then.
+func (d *Dispenser) Next() (lo, hi int, ok bool) {
+	for {
+		cur := d.next.Load()
+		if cur >= d.n {
+			return 0, 0, false
+		}
+		grain := (d.n - cur) / (4 * d.workers)
+		if grain < 1 {
+			grain = 1
+		}
+		if grain > maxGrain {
+			grain = maxGrain
+		}
+		if d.next.CompareAndSwap(cur, cur+grain) {
+			return int(cur), int(cur + grain), true
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestDispenserCoversExactly checks that concurrent workers claim every
+// index exactly once, for index spaces around the grain boundaries.
+func TestDispenserCoversExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 64, 1000, 50000} {
+		for _, workers := range []int{1, 3, 8} {
+			d := NewDispenser(n, workers)
+			var mu sync.Mutex
+			seen := make([]int, n)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						lo, hi, ok := d.Next()
+						if !ok {
+							return
+						}
+						mu.Lock()
+						for i := lo; i < hi; i++ {
+							seen[i]++
+						}
+						mu.Unlock()
+					}
+				}()
+			}
+			wg.Wait()
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d workers=%d: index %d claimed %d times", n, workers, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestDispenserGrainShrinks checks the adaptive grain: early claims are
+// coarse, the final claims are single indices (tail straggle bound).
+func TestDispenserGrainShrinks(t *testing.T) {
+	d := NewDispenser(10000, 2)
+	lo, hi, ok := d.Next()
+	if !ok || hi-lo < 100 {
+		t.Fatalf("first claim [%d,%d) too fine for 10000/2 workers", lo, hi)
+	}
+	var last int
+	for {
+		lo, hi, ok = d.Next()
+		if !ok {
+			break
+		}
+		last = hi - lo
+	}
+	if last != 1 {
+		t.Fatalf("final claim spans %d indices, want 1", last)
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bfs"
@@ -87,6 +88,12 @@ type Config struct {
 	// MaxSnapshotBytes bounds uploaded snapshot bodies on the PUT
 	// snapshot endpoint (default 1 GiB).
 	MaxSnapshotBytes int64
+	// PrewarmRestored makes WarmStart seed each restored build's oracle
+	// memo with its fault-free (empty fault set) distance tables, so the
+	// most common query after a restart — no faults — hits the cache
+	// immediately. The count of warmed entries is reported by
+	// GET /v1/stats.
+	PrewarmRestored bool
 	// BuildLog, when set, receives one event per build reaching a
 	// terminal state — ready, failed or cancelled — so operators can
 	// audit the build plane without polling build resources. It is called
@@ -133,6 +140,9 @@ type Server struct {
 	stop    context.CancelFunc
 	builds  sync.WaitGroup
 	closed  bool // guarded by mu
+	// warmed counts oracle-memo entries seeded by warm-start prewarming
+	// (Config.PrewarmRestored), surfaced in GET /v1/stats.
+	warmed atomic.Int64
 }
 
 // New returns a Server with the given config (nil for defaults).

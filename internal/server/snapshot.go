@@ -36,29 +36,40 @@ func (s *Server) WarmStart() (int, error) {
 	restored := 0
 	var skips []error
 	for _, k := range keys {
-		if err := s.restoreOne(k); err != nil {
+		be, err := s.restoreOne(k)
+		if err != nil {
 			skips = append(skips, fmt.Errorf("%s/%s: %w", k.Graph, k.Build, err))
 			continue
 		}
 		restored++
+		if s.cfg.PrewarmRestored {
+			// Seed the build's memo with its fault-free tables so the
+			// first post-restart queries hit the cache. Purely an
+			// optimization: a cold memo answers identically. The set
+			// pointer is read under the registry lock; the prewarm BFS
+			// itself runs unlocked (OracleSet is internally synchronized).
+			s.mu.Lock()
+			set := be.set
+			s.mu.Unlock()
+			s.warmed.Add(int64(set.Prewarm()))
+		}
 	}
 	return restored, errors.Join(skips...)
 }
 
-func (s *Server) restoreOne(k StoreKey) error {
+func (s *Server) restoreOne(k StoreKey) (*buildEntry, error) {
 	rc, err := s.cfg.Store.Open(k.Graph, k.Build)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	sn, err := snap.Decode(rc)
 	rc.Close()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	// The store key (not the snapshot metadata) names the entry: the
 	// directory layout is authoritative for what this instance serves.
-	_, err = s.installSnapshot(k.Graph, k.Build, sn, SnapSaved)
-	return err
+	return s.installSnapshot(k.Graph, k.Build, sn, SnapSaved)
 }
 
 // installSnapshot registers a decoded snapshot as a ready build under

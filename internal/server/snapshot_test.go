@@ -572,3 +572,48 @@ func TestDecodeHostileSectionLength(t *testing.T) {
 		t.Fatal("hostile section length accepted")
 	}
 }
+
+// TestWarmStartPrewarm: with Config.PrewarmRestored, a warm start seeds
+// each restored build's memo with its fault-free table — /v1/stats reports
+// the warmed-entry count and a fault-free query hits the cache instead of
+// paying a BFS.
+func TestWarmStartPrewarm(t *testing.T) {
+	dir := t.TempDir()
+	store1, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := New(&Config{Store: store1})
+	c1 := newStoreClient(t, srv1)
+	info := buildReady(t, c1, "pw", true)
+	c1.srv.Close()
+
+	store2, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := New(&Config{Store: store2, PrewarmRestored: true})
+	if restored, err := srv2.WarmStart(); err != nil || restored != 1 {
+		t.Fatalf("warm start: restored=%d err=%v", restored, err)
+	}
+	c2 := newStoreClient(t, srv2)
+
+	var stats statsResponse
+	c2.decode("GET", "/v1/stats", nil, http.StatusOK, &stats)
+	if stats.WarmedEntries != 1 {
+		t.Fatalf("warmedEntries = %d, want 1 (stats: %+v)", stats.WarmedEntries, stats)
+	}
+	if stats.Cache == nil || stats.Cache.Len != 1 {
+		t.Fatalf("memo not seeded: %+v", stats.Cache)
+	}
+	preHits, preMisses := stats.Cache.Hits, stats.Cache.Misses
+
+	// The canonical post-restart query — no faults — must be a pure hit.
+	c2.decode("GET", "/v1/graphs/pw/builds/"+info.ID+"/dist?source=0&target=5", nil, http.StatusOK, nil)
+	stats = statsResponse{}
+	c2.decode("GET", "/v1/stats", nil, http.StatusOK, &stats)
+	if stats.Cache.Hits != preHits+1 || stats.Cache.Misses != preMisses {
+		t.Fatalf("fault-free query not served from the prewarmed memo: hits %d→%d misses %d→%d",
+			preHits, stats.Cache.Hits, preMisses, stats.Cache.Misses)
+	}
+}

@@ -21,6 +21,9 @@ type statsResponse struct {
 	// (sums; Shards too, so it reads as "total shards serving queries").
 	// Omitted when no build is ready.
 	Cache *cacheInfo `json:"cache,omitempty"`
+	// WarmedEntries counts oracle-memo entries seeded by warm-start
+	// prewarming (Config.PrewarmRestored); omitted when zero.
+	WarmedEntries int64 `json:"warmedEntries,omitempty"`
 }
 
 type buildSlotsInfo struct {
@@ -62,5 +65,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if ready > 0 {
 		resp.Cache = &agg
 	}
+	resp.WarmedEntries = s.warmed.Load()
 	writeJSON(w, http.StatusOK, resp)
 }

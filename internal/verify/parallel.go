@@ -34,9 +34,12 @@ func ftbfsParallel(g *graph.Graph, offH []int, sources []int, f int, opts *Optio
 		interrupted bool
 	}
 
-	runRange := func(s int, prune bool, wi int, loc *local) {
-		rg := bfs.NewRunner(g)
-		rh := hv.newRunner()
+	runRange := func(s int, prune, baseEq bool, wi int, loc *local) {
+		pc := newPairChecker(g, hv)
+		// The coordinator already compared the fault-free tables for this
+		// source; table equality is a property of (g, H, s), so it seeds
+		// every worker's changed-set fast path.
+		pc.baseEq = baseEq
 		poll := cancel.New(opts.ctx(), cancel.PollEvery)
 		interrupted := func() bool {
 			if poll.Poll() != nil {
@@ -46,21 +49,18 @@ func ftbfsParallel(g *graph.Graph, offH []int, sources []int, f int, opts *Optio
 			return false
 		}
 		check := func(faults []int) {
-			rg.Run(s, faults, nil)
-			dh := rh.run(s, faults)
 			loc.checked++
-			dg := rg.Dists()
-			for v := 0; v < g.N(); v++ {
-				if dg[v] != dh[v] && len(loc.violations) < maxV {
+			pc.check(s, faults, func(v int, dh, dg int32) {
+				if len(loc.violations) < maxV {
 					loc.violations = append(loc.violations, Violation{
 						Source: s,
 						Faults: append([]int(nil), faults...),
 						V:      v,
-						GotH:   dh[v],
-						WantG:  dg[v],
+						GotH:   dh,
+						WantG:  dg,
 					})
 				}
-			}
+			})
 		}
 		m := g.M()
 		for a := wi; a < m; a += workers {
@@ -124,7 +124,8 @@ func ftbfsParallel(g *graph.Graph, offH []int, sources []int, f int, opts *Optio
 				}
 			}
 		}()
-		prune := !opts.noPrune() && len(base.violations) == 0
+		baseEq := len(base.violations) == 0
+		prune := !opts.noPrune() && baseEq
 		rep.FaultSetsChecked += base.checked
 		rep.Violations = append(rep.Violations, base.violations...)
 
@@ -135,7 +136,7 @@ func ftbfsParallel(g *graph.Graph, offH []int, sources []int, f int, opts *Optio
 				wg.Add(1)
 				go func(wi int) {
 					defer wg.Done()
-					runRange(s, prune, wi, &locals[wi])
+					runRange(s, prune, baseEq, wi, &locals[wi])
 				}(wi)
 			}
 			wg.Wait()

@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"slices"
 
 	"repro/internal/bfs"
 	"repro/internal/cancel"
@@ -148,6 +149,70 @@ func (h *hRunner) run(s int, faults []int) []int32 {
 	return h.runner.Dists()
 }
 
+// pairChecker compares the distance tables of G \ F and H \ F through two
+// incremental BFS repairers, one per side. When both sides report an
+// incremental repair AND the fault-free tables were equal (baseEq), only
+// vertices in either changed set can differ — everything else still holds
+// its base distance on both sides — so the comparison scans the merged
+// changed sets instead of all of V. Candidates are sorted, so emitted
+// mismatches arrive in the same ascending-vertex order as a full scan.
+type pairChecker struct {
+	g       *graph.Graph
+	view    *hView
+	rg, rh  *bfs.Repairer
+	scratch []int   // faults translated into H edge IDs
+	cand    []int32 // merged changed-vertex candidates
+	// baseEq records whether the current source's fault-free tables
+	// matched; it licenses the changed-set fast path. A base check
+	// (faults == nil) refreshes it, or seed it from an external base
+	// comparison for the same source.
+	baseEq bool
+}
+
+func newPairChecker(g *graph.Graph, hv *hView) *pairChecker {
+	return &pairChecker{g: g, view: hv, rg: bfs.NewRepairer(g), rh: bfs.NewRepairer(hv.sub)}
+}
+
+// check runs both sides for one fault set (G edge IDs) and calls emit for
+// every vertex whose distances disagree, in ascending vertex order.
+// Returns true when the tables matched.
+func (p *pairChecker) check(s int, faults []int, emit func(v int, dh, dg int32)) bool {
+	p.scratch = p.scratch[:0]
+	for _, id := range faults {
+		if sid := p.view.gToSub[id]; sid >= 0 {
+			p.scratch = append(p.scratch, int(sid))
+		}
+	}
+	p.rg.Run(s, faults)
+	p.rh.Run(s, p.scratch)
+	dg, dh := p.rg.Dists(), p.rh.Dists()
+	ok := true
+	if chG, incG := p.rg.Changed(); faults != nil && p.baseEq && incG {
+		if chH, incH := p.rh.Changed(); incH {
+			p.cand = append(append(p.cand[:0], chG...), chH...)
+			slices.Sort(p.cand)
+			p.cand = slices.Compact(p.cand)
+			for _, v32 := range p.cand {
+				if v := int(v32); dg[v] != dh[v] {
+					ok = false
+					emit(v, dh[v], dg[v])
+				}
+			}
+			return ok
+		}
+	}
+	for v := 0; v < p.g.N(); v++ {
+		if dg[v] != dh[v] {
+			ok = false
+			emit(v, dh[v], dg[v])
+		}
+	}
+	if faults == nil {
+		p.baseEq = ok
+	}
+	return ok
+}
+
 // MaxExhaustiveFaultSets caps the work of an exhaustive f = 3 pass; larger
 // instances must use Sampled.
 const MaxExhaustiveFaultSets = 5_000_000
@@ -181,8 +246,7 @@ func FTBFS(g *graph.Graph, offH []int, sources []int, f int, opts *Options) Repo
 	for _, id := range offH {
 		inH[id] = false
 	}
-	rg := bfs.NewRunner(g)
-	rh := newHView(g, offH).newRunner()
+	pc := newPairChecker(g, newHView(g, offH))
 	maxV := opts.maxViol()
 	poll := cancel.New(opts.ctx(), cancel.PollEvery)
 	interrupted := func() bool {
@@ -195,28 +259,21 @@ func FTBFS(g *graph.Graph, offH []int, sources []int, f int, opts *Options) Repo
 	}
 
 	check := func(s int, faults []int) bool {
-		// H \ F realized inside the materialized H subgraph.
-		rg.Run(s, faults, nil)
-		dh := rh.run(s, faults)
+		// H \ F realized inside the materialized H subgraph; both sides
+		// repaired incrementally off their fault-free trees.
 		rep.FaultSetsChecked++
-		dg := rg.Dists()
-		ok := true
-		for v := 0; v < g.N(); v++ {
-			if dg[v] != dh[v] {
-				ok = false
-				rep.OK = false
-				if len(rep.Violations) < maxV {
-					rep.Violations = append(rep.Violations, Violation{
-						Source: s,
-						Faults: append([]int(nil), faults...),
-						V:      v,
-						GotH:   dh[v],
-						WantG:  dg[v],
-					})
-				}
+		return pc.check(s, faults, func(v int, dh, dg int32) {
+			rep.OK = false
+			if len(rep.Violations) < maxV {
+				rep.Violations = append(rep.Violations, Violation{
+					Source: s,
+					Faults: append([]int(nil), faults...),
+					V:      v,
+					GotH:   dh,
+					WantG:  dg,
+				})
 			}
-		}
-		return ok
+		})
 	}
 
 	for _, s := range sources {
