@@ -57,6 +57,16 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		seeds    = fs.Int("seeds", 0, "replicate seeds per point")
 		snapPath = fs.String("snapshot", "", "bench warm-start vs rebuild on a snapshot file")
 		timeout  = fs.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+
+		zipf        = fs.Bool("zipf", false, "run the Zipf-skewed serving workload: hit rate and q/s of the full-table vs delta-compressed memo across -cache-bytes budgets")
+		zipfN       = fs.Int("zipf-n", 2000, "zipf workload: graph vertices")
+		zipfDeg     = fs.Int("zipf-deg", 6, "zipf workload: average degree")
+		zipfSources = fs.Int("zipf-sources", 4, "zipf workload: structure sources")
+		zipfSkew    = fs.Float64("zipf-skew", 1.2, "zipf workload: popularity exponent (>1)")
+		zipfEvents  = fs.Int("zipf-events", 4096, "zipf workload: distinct single-edge failure events")
+		zipfQueries = fs.Int("zipf-queries", 200000, "zipf workload: point lookups per memo configuration")
+		zipfSeed    = fs.Int64("zipf-seed", 7, "zipf workload: RNG seed (graph, ranks and stream)")
+		cacheBytes  = fs.String("cache-bytes", "262144,1048576,4194304", "zipf workload: comma-separated memo byte budgets")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,6 +78,26 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	if *snapPath != "" {
 		return warmStartBench(ctx, *snapPath, stdout)
+	}
+	if *zipf {
+		if *zipfSkew <= 1 {
+			return fmt.Errorf("-zipf-skew must be > 1 (got %g)", *zipfSkew)
+		}
+		cfg := zipfConfig{
+			n: *zipfN, deg: *zipfDeg, sources: *zipfSources, skew: *zipfSkew,
+			events: *zipfEvents, queries: *zipfQueries, seed: *zipfSeed,
+		}
+		if cfg.n < 8 || cfg.sources < 1 || cfg.events < 2 || cfg.queries < 1 {
+			return fmt.Errorf("bad -zipf parameters")
+		}
+		for _, b := range strings.Split(*cacheBytes, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(b), 10, 64)
+			if err != nil || v < 1 {
+				return fmt.Errorf("bad -cache-bytes budget %q", b)
+			}
+			cfg.budgets = append(cfg.budgets, v)
+		}
+		return zipfBench(ctx, cfg, stdout)
 	}
 	cfg := exp.Config{Full: *full, Seeds: *seeds, Ctx: ctx}
 	if *sizes != "" {

@@ -1,0 +1,132 @@
+package main
+
+// The -zipf mode measures what the byte-budgeted, delta-compressed memo
+// buys on a realistic serving workload. Real query traffic is skewed —
+// popular sources × recently-failed edges — so hit rate is governed by
+// how many failure events the memo can HOLD, not by how fast one lookup
+// is. The mode drives one deterministic Zipf-distributed query stream
+// against two memo configurations per byte budget:
+//
+//   - full:  the pre-delta design, emulated by an entry cap of
+//     budget/(4n) full tables (the old CacheBytes clamp);
+//   - delta: the same budget handed to the byte-accounted cache, where
+//     a typical event is stored as a small delta against its source's
+//     pinned base.
+//
+// Both arms answer the identical stream, so entries held, hit rate and
+// q/s are directly comparable. EXPERIMENTS.md records representative
+// output.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/oracle"
+)
+
+type zipfConfig struct {
+	n       int     // graph vertices
+	deg     int     // average degree of the sparse G(n, deg/n) graph
+	sources int     // structure sources (popularity-ranked)
+	skew    float64 // Zipf exponent for both source and event popularity
+	events  int     // distinct single-edge failure events in the universe
+	queries int     // point lookups per arm
+	budgets []int64 // memo byte budgets to sweep
+	seed    int64
+}
+
+type zipfQuery struct {
+	src    int // index into the source list
+	ev     int // index into the event universe
+	target int
+}
+
+func zipfBench(ctx context.Context, cfg zipfConfig, stdout io.Writer) error {
+	g := gen.SparseGNP(cfg.n, float64(cfg.deg), cfg.seed)
+	srcs := make([]int, cfg.sources)
+	for i := range srcs {
+		srcs[i] = i * g.N() / cfg.sources
+	}
+	start := time.Now()
+	st, err := core.BuildMultiSource(g, srcs, &core.Options{Seed: cfg.seed, Ctx: ctx}, core.BuildSingle)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "zipf workload: n=%d m=%d sources=%d events=%d skew=%.2f queries=%d (structure: %d edges, built in %v)\n",
+		g.N(), g.M(), len(srcs), cfg.events, cfg.skew, cfg.queries,
+		st.NumEdges(), time.Since(start).Round(time.Millisecond))
+
+	// The event universe: distinct single-edge faults, popularity-ranked
+	// by a random permutation so event rank is uncorrelated with edge ID.
+	rng := rand.New(rand.NewSource(cfg.seed))
+	if cfg.events > g.M() {
+		cfg.events = g.M()
+	}
+	perm := rng.Perm(g.M())[:cfg.events]
+
+	// One pre-generated stream, shared by every arm: Zipf-ranked source
+	// and event picks, uniform targets.
+	zsrc := rand.NewZipf(rng, cfg.skew, 1, uint64(len(srcs)-1))
+	zev := rand.NewZipf(rng, cfg.skew, 1, uint64(cfg.events-1))
+	stream := make([]zipfQuery, cfg.queries)
+	for i := range stream {
+		stream[i] = zipfQuery{
+			src:    int(zsrc.Uint64()),
+			ev:     int(zev.Uint64()),
+			target: rng.Intn(g.N()),
+		}
+	}
+
+	fmt.Fprintf(stdout, "%12s  %-6s %9s %11s %8s %12s\n",
+		"budget", "memo", "entries", "bytes/entry", "hit%", "q/s")
+	for _, budget := range cfg.budgets {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		fullEntries := int(budget / (4 * int64(g.N())))
+		if fullEntries < 1 {
+			fullEntries = 1
+		}
+		arms := []struct {
+			name string
+			mk   func() (*oracle.OracleSet, error)
+		}{
+			{"full", func() (*oracle.OracleSet, error) { return oracle.NewSetCapacity(st, fullEntries) }},
+			{"delta", func() (*oracle.OracleSet, error) { return oracle.NewSetBytes(st, budget) }},
+		}
+		for _, arm := range arms {
+			set, err := arm.mk()
+			if err != nil {
+				return err
+			}
+			o := set.Handle()
+			fault := make([]int, 1)
+			start := time.Now()
+			for _, q := range stream {
+				fault[0] = perm[q.ev]
+				if _, err := o.Dist(srcs[q.src], q.target, fault); err != nil {
+					return err
+				}
+			}
+			elapsed := time.Since(start)
+			cs := set.CacheStats()
+			// The full arm emulates the pre-delta design, which charged
+			// every entry a 4n-byte table; report that nominal cost, not
+			// what the entries happen to cost in the new encoding.
+			bytesPer := 4 * int64(g.N())
+			if arm.name == "delta" && cs.Len > 0 {
+				bytesPer = cs.BytesUsed / int64(cs.Len)
+			}
+			hitRate := 100 * float64(cs.Hits) / float64(cs.Hits+cs.Misses)
+			fmt.Fprintf(stdout, "%12d  %-6s %9d %11d %7.1f%% %12.0f\n",
+				budget, arm.name, cs.Len, bytesPer, hitRate,
+				float64(len(stream))/elapsed.Seconds())
+		}
+	}
+	return nil
+}

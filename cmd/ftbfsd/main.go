@@ -55,18 +55,19 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ftbfsd", flag.ContinueOnError)
 	var (
-		addr      = fs.String("addr", ":8080", "listen address")
-		builds    = fs.Int("builds", 0, "max concurrent structure builds (0 = GOMAXPROCS)")
-		cache     = fs.Int("cache", 0, "cached failure events per build (0 = default 4096, <0 = disable)")
-		shards    = fs.Int("cache-shards", 0, "memo shards per build (0 = auto: ~GOMAXPROCS, power of two)")
-		maxBatch  = fs.Int("max-batch", 0, "max queries per batch request (0 = default 65536)")
-		ordered   = fs.Bool("ordered", false, "renumber registered graphs into BFS vertex order (wire IDs unchanged; per-graph \"ordered\" field overrides)")
-		snapDir   = fs.String("snapshot-dir", "", "persist completed builds under this directory and warm-start from it")
-		prewarm   = fs.Bool("prewarm", false, "after a warm start, seed each restored build's query memo with its fault-free distance tables")
-		demo      = fs.Bool("demo", false, "register a demo graph (gnp n=200 p=0.05 seed=7) at startup")
-		rtimeout  = fs.Duration("read-timeout", 30*time.Second, "HTTP read timeout")
-		wtimeout  = fs.Duration("write-timeout", 60*time.Second, "HTTP write timeout")
-		idleLimit = fs.Duration("idle-timeout", 2*time.Minute, "HTTP idle timeout")
+		addr       = fs.String("addr", ":8080", "listen address")
+		builds     = fs.Int("builds", 0, "max concurrent structure builds (0 = GOMAXPROCS)")
+		cache      = fs.Int("cache", 0, "memo entry cap per build (0 = no cap, the byte budget governs; <0 = disable memoization)")
+		cacheBytes = fs.Int64("cache-bytes", 0, "memo byte budget per build; delta-compressed events are charged what the fault changed (0 = default 256 MiB, <0 = no byte bound)")
+		shards     = fs.Int("cache-shards", 0, "memo shards per build (0 = auto: ~GOMAXPROCS, power of two)")
+		maxBatch   = fs.Int("max-batch", 0, "max queries per batch request (0 = default 65536)")
+		ordered    = fs.Bool("ordered", false, "renumber registered graphs into BFS vertex order (wire IDs unchanged; per-graph \"ordered\" field overrides)")
+		snapDir    = fs.String("snapshot-dir", "", "persist completed builds under this directory and warm-start from it")
+		prewarm    = fs.Bool("prewarm", false, "after a warm start, seed each restored build's query memo with its fault-free distance tables")
+		demo       = fs.Bool("demo", false, "register a demo graph (gnp n=200 p=0.05 seed=7) at startup")
+		rtimeout   = fs.Duration("read-timeout", 30*time.Second, "HTTP read timeout")
+		wtimeout   = fs.Duration("write-timeout", 60*time.Second, "HTTP write timeout")
+		idleLimit  = fs.Duration("idle-timeout", 2*time.Minute, "HTTP idle timeout")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,6 +75,7 @@ func run(args []string) error {
 	cfg := &server.Config{
 		MaxConcurrentBuilds: *builds,
 		CacheEntries:        *cache,
+		CacheBytes:          *cacheBytes,
 		CacheShards:         *shards,
 		MaxBatchQueries:     *maxBatch,
 		OrderVertices:       *ordered,

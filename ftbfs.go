@@ -183,6 +183,11 @@ type OracleSet = oracle.OracleSet
 // OracleCacheStats is a snapshot of an OracleSet's memo counters.
 type OracleCacheStats = oracle.CacheStats
 
+// OracleDistView is a read-only view of one failure event's distance
+// table in its stored representation — a full table, or a delta against
+// the source's pinned fault-free base (see Oracle.DistsView).
+type OracleDistView = oracle.DistView
+
 // NewOracle wraps a structure for single-goroutine querying.
 func NewOracle(st *Structure) (*Oracle, error) { return oracle.New(st) }
 
@@ -201,6 +206,21 @@ func NewOracleSetCapacity(st *Structure, cacheEntries int) (*OracleSet, error) {
 // with strict global recency order).
 func NewOracleSetSharded(st *Structure, cacheEntries, shards int) (*OracleSet, error) {
 	return oracle.NewSetSharded(st, cacheEntries, shards)
+}
+
+// NewOracleSetBytes is NewOracleSet with a byte budget instead of an
+// entry cap: failure events are byte-accounted (delta-compressed events
+// are charged only for what the fault changed), so a budget typically
+// holds 10–100× more events than full tables would. ≤ 0 disables
+// memoization.
+func NewOracleSetBytes(st *Structure, cacheBytes int64) (*OracleSet, error) {
+	return oracle.NewSetBytes(st, cacheBytes)
+}
+
+// NewOracleSetBudget is the general memo constructor: an entry cap, a
+// byte budget, or both, over an explicit shard count (≤ 0 for automatic).
+func NewOracleSetBudget(st *Structure, cacheEntries int, cacheBytes int64, shards int) (*OracleSet, error) {
+	return oracle.NewSetBudget(st, cacheEntries, cacheBytes, shards)
 }
 
 // Snapshot is a persistable build artifact: a structure (with its graph)

@@ -308,3 +308,15 @@ func (r *Repairer) Changed() ([]int32, bool) {
 	}
 	return r.region, true
 }
+
+// Base returns the fault-free distance table for the current source — the
+// table deltas from Changed decode against. Faulted Runs never touch it
+// (they patch out, or run the fallback Runner's own table), so it stays
+// valid until the source moves and the repairer rebases; callers must not
+// mutate it. Nil before the first Run.
+func (r *Repairer) Base() []int32 {
+	if r.src < 0 {
+		return nil
+	}
+	return r.bDist
+}

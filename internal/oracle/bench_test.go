@@ -2,6 +2,7 @@ package oracle
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"repro/internal/bfs"
@@ -108,6 +109,102 @@ func BenchmarkCacheShardScaling(b *testing.B) {
 					i++
 				}
 			})
+		})
+	}
+}
+
+// BenchmarkDeltaLookup contrasts the two cached point-lookup paths: a
+// delta-encoded entry (binary search over the changed set, base fallback)
+// against a full-table entry (direct index). The acceptance bar: delta
+// within 2× of full.
+func BenchmarkDeltaLookup(b *testing.B) {
+	g := gen.SparseGNP(400, 8, 1)
+	st, err := core.BuildSingle(g, 0, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	set, err := NewSetBytes(st, 4<<20) // ample: nothing evicts mid-run
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := set.Handle()
+	// Find one fault of each encoding by watching the entry-kind counters:
+	// which side of the n/8 threshold an event lands on depends on where
+	// its edge sits in the BFS tree.
+	deltaFault, fullFault := -1, -1
+	for a := 0; a < g.M() && (deltaFault < 0 || fullFault < 0); a++ {
+		before := set.CacheStats()
+		if _, err := o.Dist(0, 1, []int{a}); err != nil {
+			b.Fatal(err)
+		}
+		after := set.CacheStats()
+		if deltaFault < 0 && after.DeltaEntries > before.DeltaEntries {
+			deltaFault = a
+		}
+		if fullFault < 0 && after.FullEntries > before.FullEntries {
+			fullFault = a
+		}
+	}
+	run := func(b *testing.B, fault int) {
+		if fault < 0 {
+			b.Skip("no event of this encoding on the bench graph")
+		}
+		faults := []int{fault}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := o.Dist(0, i%g.N(), faults); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("delta", func(b *testing.B) { run(b, deltaFault) })
+	b.Run("full", func(b *testing.B) { run(b, fullFault) })
+}
+
+// BenchmarkZipfServing measures end-to-end point-lookup throughput on a
+// Zipf-skewed failure-event stream at one fixed byte budget — the memo
+// design that holds more events wins on hit rate, not lookup latency.
+// "full" emulates the pre-delta memo (budget/(4n) whole-table entries);
+// "delta" hands the same budget to the byte-accounted cache. The
+// full-scale sweep lives in ftbfsbench -zipf.
+func BenchmarkZipfServing(b *testing.B) {
+	g := gen.SparseGNP(400, 8, 1)
+	st, err := core.BuildSingle(g, 0, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const budget = 32 << 10
+	rng := rand.New(rand.NewSource(7))
+	z := rand.NewZipf(rng, 1.2, 1, uint64(g.M()-1))
+	const streamLen = 1 << 14
+	faults := make([]int, streamLen)
+	targets := make([]int, streamLen)
+	for i := range faults {
+		faults[i] = int(z.Uint64())
+		targets[i] = rng.Intn(g.N())
+	}
+	mk := map[string]func() (*OracleSet, error){
+		"full":  func() (*OracleSet, error) { return NewSetCapacity(st, budget/(4*g.N())) },
+		"delta": func() (*OracleSet, error) { return NewSetBytes(st, budget) },
+	}
+	fault := make([]int, 1)
+	for _, name := range []string{"full", "delta"} {
+		b.Run(name, func(b *testing.B) {
+			set, err := mk[name]()
+			if err != nil {
+				b.Fatal(err)
+			}
+			o := set.Handle()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				j := i % streamLen
+				fault[0] = faults[j]
+				if _, err := o.Dist(0, targets[j], fault); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -5,14 +5,31 @@ import (
 	"sync"
 )
 
-// The shared memo: an LRU of per-failure-event distance tables, sharded by
-// key hash into independently-locked sub-caches so concurrent clients on
-// different failure events never contend on one mutex. Keys are (source,
+// The shared memo: a two-tier store of per-failure-event distance tables.
+//
+// Tier 1 — this file — is an LRU of per-event entries, sharded by key hash
+// into independently-locked sub-caches so concurrent clients on different
+// failure events never contend on one mutex. Keys are (source,
 // canonicalized fault set), hashed to a uint64 with the full key retained
 // per entry, so lookups compare against the stored key and a 64-bit hash
-// collision degrades to a miss, never to a wrong answer. The hot lookup
-// path performs no allocation: the caller hashes into scratch buffers and
-// the cache only copies the key on insert.
+// collision degrades to a miss, never to a wrong answer. Entries come in
+// two encodings: a FULL table (4 bytes × n) or a DELTA against the
+// source's pinned fault-free base table — sorted changed-vertex IDs plus
+// their new distances (8 bytes × changed vertices), chosen when the
+// incremental repairer proves the event touched at most n/deltaDenom
+// vertices. A typical fault detaches a tiny subtree, so most entries cost
+// a few hundred bytes instead of 4n, and a fixed byte budget holds orders
+// of magnitude more events.
+//
+// Tier 0 — the pinned bases — lives on the OracleSet (see oracle.go),
+// outside the LRU: a delta entry is meaningless without its base, so
+// bases are never evicted and are accounted separately (PinnedBytes).
+//
+// Eviction is byte-accounted: each entry is charged its payload plus a
+// fixed overhead, and inserts evict least-recently-used entries until both
+// the entry cap and the byte budget hold. The hot lookup path performs no
+// allocation: the caller hashes into scratch buffers, the cache returns a
+// by-value DistView, and keys are only copied on insert.
 
 const (
 	fnvOffset64 = 14695981039346656037
@@ -47,41 +64,164 @@ func mixWord(h uint64, v uint32) uint64 {
 	return h
 }
 
+// deltaDenom sets the delta/full threshold: an event is stored as a delta
+// only when the repairer's changed set holds at most n/deltaDenom
+// vertices. The byte breakeven is n/2 (8 bytes per changed vertex vs 4
+// bytes per vertex of a full table); n/8 stays well under it so a delta
+// entry is at least 4× smaller than a full table AND its binary-searched
+// point lookup stays short. Events past the threshold (or served by the
+// repairer's full-recompute fallback) are stored as full tables, which are
+// also the faster representation once most of the table changed.
+const deltaDenom = 8
+
+// entryOverheadBytes is the fixed per-entry cost charged on top of the
+// payload: the cacheEntry struct, its map slot, the intrusive-list links
+// and the key copy's allocator rounding. Charging it uniformly keeps the
+// byte budget honest for no-op deltas (every fault a non-tree edge: zero
+// changed vertices), which would otherwise be free and unbounded in
+// number.
+const entryOverheadBytes = 128
+
 // CacheStats is a snapshot of the shared memo's counters, aggregated
-// across every shard.
+// across every shard plus the set's pinned tier-0 bases.
 type CacheStats struct {
-	Len       int   // entries currently cached
-	Capacity  int   // configured bound (0 = caching disabled)
+	Len       int   // tier-1 entries currently cached
+	Capacity  int   // configured entry cap (0 = no entry bound)
 	Shards    int   // independently-locked sub-caches
-	Hits      int64 // lookups answered from the cache
-	Misses    int64 // lookups that ran a BFS
-	Evictions int64 // entries dropped to stay within Capacity
+	Hits      int64 // lookups answered from the memo (either tier)
+	Misses    int64 // lookups that ran a BFS or repair
+	Evictions int64 // tier-1 entries dropped to stay within the bounds
+
+	BytesUsed     int64 // tier-1 bytes currently accounted against the budget
+	BytesCapacity int64 // configured byte budget (0 = no byte bound)
+	DeltaEntries  int   // tier-1 entries stored as deltas vs a pinned base
+	FullEntries   int   // tier-1 entries stored as full tables
+	PinnedBytes   int64 // tier-0 pinned base tables, outside the LRU budget
+}
+
+// DistView is a read-only view of one failure event's distance table.
+// Exactly one representation is populated: Full is the complete table
+// (full-table entries, pinned bases and uncached computations), or
+// Base+Keys+Vals describe a delta — Keys holds the sorted vertex IDs whose
+// distance may differ from the fault-free Base, Vals their distances, and
+// every other vertex keeps Base's value. All slices are shared immutable
+// state; callers must not mutate them.
+type DistView struct {
+	Full []int32
+	Base []int32
+	Keys []int32
+	Vals []int32
+}
+
+// At returns the distance to v: a full-table index, or a binary search of
+// the delta falling back to the base.
+//
+//ftbfs:hotpath
+func (t DistView) At(v int) int32 {
+	if t.Full != nil {
+		return t.Full[v]
+	}
+	w := int32(v)
+	lo, hi := 0, len(t.Keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t.Keys[mid] < w {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(t.Keys) && t.Keys[lo] == w {
+		return t.Vals[lo]
+	}
+	return t.Base[v]
+}
+
+// Len returns the table's vertex count.
+func (t DistView) Len() int {
+	if t.Full != nil {
+		return len(t.Full)
+	}
+	return len(t.Base)
+}
+
+// AppendTo materializes the full table into dst (pass dst[:0] to reuse a
+// scratch buffer) and returns it: one copy of the base with the delta
+// patched in, or one copy of the full table.
+func (t DistView) AppendTo(dst []int32) []int32 {
+	if t.Full != nil {
+		return append(dst, t.Full...)
+	}
+	off := len(dst)
+	dst = append(dst, t.Base...)
+	for i, k := range t.Keys {
+		dst[off+int(k)] = t.Vals[i]
+	}
+	return dst
 }
 
 type cacheEntry struct {
-	hash       uint64
-	src        int32
-	faults     []int32 // canonical (sorted) fault IDs; the true key
-	dist       []int32 // immutable once inserted
+	hash   uint64
+	src    int32
+	faults []int32 // canonical (sorted) fault IDs; the true key
+
+	// Exactly one encoding, immutable once inserted: full, or the delta
+	// triple (base is the source's pinned tier-0 table the delta decodes
+	// against — pinned, so the reference can never dangle).
+	full             []int32
+	base, keys, vals []int32
+
+	bytes      int64 // accounted cost: payload + entryOverheadBytes
 	prev, next *cacheEntry
 }
 
-// lruCache is an intrusively-linked LRU protected by a single mutex. A nil
-// or zero-capacity cache is valid and caches nothing.
-type lruCache struct {
-	mu        sync.Mutex
-	capacity  int                    // immutable after newLRUCache
-	entries   map[uint64]*cacheEntry // guarded by mu
-	head      cacheEntry             // guarded by mu; sentinel, head.next is most recent
-	hits      int64                  // guarded by mu
-	misses    int64                  // guarded by mu
-	evictions int64                  // guarded by mu
+// view returns the entry's by-value lookup view (no allocation).
+//
+//ftbfs:hotpath
+func (e *cacheEntry) view() DistView {
+	if e.full != nil {
+		return DistView{Full: e.full}
+	}
+	return DistView{Base: e.base, Keys: e.keys, Vals: e.vals}
 }
 
-func newLRUCache(capacity int) *lruCache {
-	c := &lruCache{capacity: capacity}
-	if capacity > 0 {
-		c.entries = make(map[uint64]*cacheEntry, capacity)
+// cost is the bytes the entry is charged against the budget.
+func (e *cacheEntry) cost() int64 {
+	b := int64(entryOverheadBytes) + 4*int64(len(e.faults))
+	if e.full != nil {
+		return b + 4*int64(len(e.full))
+	}
+	return b + 8*int64(len(e.keys))
+}
+
+// lruCache is an intrusively-linked LRU protected by a single mutex,
+// bounded by an entry cap and/or a byte budget. A disabled cache is valid
+// and caches nothing.
+type lruCache struct {
+	mu         sync.Mutex
+	enabled    bool  // immutable after newLRUCache
+	maxEntries int   // immutable; 0 = no entry bound
+	maxBytes   int64 // immutable; 0 = no byte bound
+
+	entries map[uint64]*cacheEntry // guarded by mu
+	head    cacheEntry             // guarded by mu; sentinel, head.next is most recent
+
+	bytes     int64 // guarded by mu; sum of entry costs
+	deltaN    int   // guarded by mu; delta-encoded entries
+	fullN     int   // guarded by mu; full-table entries
+	hits      int64 // guarded by mu
+	misses    int64 // guarded by mu
+	evictions int64 // guarded by mu
+}
+
+func newLRUCache(maxEntries int, maxBytes int64) *lruCache {
+	c := &lruCache{
+		enabled:    maxEntries > 0 || maxBytes > 0,
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+	}
+	if c.enabled {
+		c.entries = make(map[uint64]*cacheEntry, maxEntries)
 	}
 	c.head.prev = &c.head
 	c.head.next = &c.head
@@ -111,62 +251,73 @@ func (c *lruCache) moveToFront(e *cacheEntry) {
 	c.pushFront(e)
 }
 
-// get returns the cached distance table for the key, moving it to the
-// front. It never allocates.
+// get returns the cached view for the key, moving its entry to the front.
+// It never allocates.
 //
 //ftbfs:hotpath
-func (c *lruCache) get(hash uint64, src int32, canon []int32) ([]int32, bool) {
-	if c.capacity <= 0 {
-		return nil, false
+func (c *lruCache) get(hash uint64, src int32, canon []int32) (DistView, bool) {
+	if !c.enabled {
+		return DistView{}, false
 	}
 	c.mu.Lock()
 	e, ok := c.entries[hash]
 	if !ok || !keyEqual(e, src, canon) {
 		c.misses++
 		c.mu.Unlock()
-		return nil, false
+		return DistView{}, false
 	}
 	c.moveToFront(e)
 	c.hits++
-	d := e.dist
+	v := e.view()
 	c.mu.Unlock()
-	return d, true
+	return v, true
 }
 
-// add inserts dist under the key, evicting the least-recently-used entry
-// when full, and returns the table now cached for the key (dist itself, or
-// the winner of a concurrent insert race so all clients share one table).
-func (c *lruCache) add(hash uint64, src int32, canon []int32, dist []int32) []int32 {
-	if c.capacity <= 0 {
-		return dist
+// add inserts a fully-built entry (the caller allocates and copies outside
+// the lock), evicting least-recently-used entries until both bounds hold,
+// and returns the view now cached for the key (e's, or the incumbent of a
+// concurrent insert race so all clients share one table).
+func (c *lruCache) add(e *cacheEntry) DistView {
+	if !c.enabled {
+		return e.view()
 	}
+	e.bytes = e.cost()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if e, ok := c.entries[hash]; ok {
-		if keyEqual(e, src, canon) {
+	if in, ok := c.entries[e.hash]; ok {
+		if keyEqual(in, e.src, e.faults) {
 			// Another handle inserted the same event concurrently; keep
 			// the incumbent so every client shares one table.
-			c.moveToFront(e)
-			return e.dist
+			c.moveToFront(in)
+			return in.view()
 		}
 		// True 64-bit hash collision: replace the incumbent (the map can
 		// hold one entry per hash; correctness is preserved either way).
-		c.unlink(e)
+		c.unlink(in)
 	}
-	for len(c.entries) >= c.capacity {
+	if c.maxBytes > 0 && e.bytes > c.maxBytes {
+		// Bigger than the whole budget: it can never fit, so serve it
+		// uncached instead of evicting everything for nothing.
+		return e.view()
+	}
+	for (c.maxEntries > 0 && len(c.entries) >= c.maxEntries) ||
+		(c.maxBytes > 0 && c.bytes+e.bytes > c.maxBytes) {
 		lru := c.head.prev
+		if lru == &c.head {
+			break
+		}
 		c.unlink(lru)
 		c.evictions++
 	}
-	e := &cacheEntry{
-		hash:   hash,
-		src:    src,
-		faults: append([]int32(nil), canon...),
-		dist:   dist,
-	}
-	c.entries[hash] = e
+	c.entries[e.hash] = e
 	c.pushFront(e)
-	return dist
+	c.bytes += e.bytes
+	if e.full != nil {
+		c.fullN++
+	} else {
+		c.deltaN++
+	}
+	return e.view()
 }
 
 // pushFront links e in as most recent.
@@ -180,24 +331,34 @@ func (c *lruCache) pushFront(e *cacheEntry) {
 	c.head.next = e
 }
 
-// unlink removes e from the list and the index.
+// unlink removes e from the list, the index and the byte account.
 //
 //ftbfs:holds mu
 func (c *lruCache) unlink(e *cacheEntry) {
 	e.prev.next = e.next
 	e.next.prev = e.prev
 	delete(c.entries, e.hash)
+	c.bytes -= e.bytes
+	if e.full != nil {
+		c.fullN--
+	} else {
+		c.deltaN--
+	}
 }
 
 func (c *lruCache) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Len:       len(c.entries),
-		Capacity:  c.capacity,
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
+		Len:           len(c.entries),
+		Capacity:      c.maxEntries,
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		BytesUsed:     c.bytes,
+		BytesCapacity: c.maxBytes,
+		DeltaEntries:  c.deltaN,
+		FullEntries:   c.fullN,
 	}
 }
 
@@ -208,28 +369,45 @@ func (c *lruCache) stats() CacheStats {
 // degenerate to one shard, preserving strict global LRU order).
 const minShardEntries = 8
 
+// minShardBytes is the same floor for byte-budgeted caches without an
+// entry cap: a shard's budget must hold at least a few full tables (or
+// hundreds of deltas) before sharding pays.
+const minShardBytes = 64 << 10
+
 // shardedCache splits the memo into power-of-two many lruCache shards
 // selected by the low bits of the key hash. Shards are independently
 // locked, so lookups of distinct failure events proceed without
-// contention; within one shard the LRU semantics are unchanged.
+// contention; within one shard the LRU semantics are unchanged. The
+// configured bounds are immutable, so budget reads never take a lock.
 type shardedCache struct {
-	shards []*lruCache
-	mask   uint64
+	shards  []*lruCache
+	mask    uint64
+	enabled bool  // immutable: memoization on at all
+	entries int   // immutable: configured total entry cap (0 = none)
+	bytes   int64 // immutable: configured total byte budget (0 = none)
 }
 
 // defaultShardCount rounds GOMAXPROCS up to a power of two, then halves
-// until every shard holds at least minShardEntries (one shard for small or
-// disabled caches).
-func defaultShardCount(capacity int) int {
-	if capacity <= 0 {
+// until every shard holds at least minShardEntries — or, for a pure byte
+// budget, minShardBytes (one shard for small or disabled caches).
+func defaultShardCount(entries int, bytes int64) int {
+	if entries < 0 || (entries == 0 && bytes <= 0) {
 		return 1
 	}
 	n := 1
 	for n < runtime.GOMAXPROCS(0) {
 		n *= 2
 	}
-	for n > 1 && capacity/n < minShardEntries {
-		n /= 2
+	for n > 1 {
+		if entries > 0 && entries/n < minShardEntries {
+			n /= 2
+			continue
+		}
+		if entries == 0 && bytes/int64(n) < minShardBytes {
+			n /= 2
+			continue
+		}
+		break
 	}
 	return n
 }
@@ -243,26 +421,46 @@ func floorPow2(n int) int {
 	return p
 }
 
-// newShardedCache builds a memo of the given total capacity split over
-// `shards` sub-caches (rounded down to a power of two, clamped so no shard
-// has zero capacity). capacity ≤ 0 disables caching.
-func newShardedCache(capacity, shards int) *shardedCache {
-	if capacity <= 0 {
-		shards = 1
+// newShardedCache builds a memo bounded by an entry cap (entries > 0)
+// and/or a byte budget (bytes > 0), split over `shards` sub-caches
+// (rounded down to a power of two, clamped so no shard has zero
+// capacity). entries < 0, or no bound at all, disables caching.
+func newShardedCache(entries int, bytes int64, shards int) *shardedCache {
+	enabled := entries > 0 || (entries == 0 && bytes > 0)
+	if !enabled {
+		entries, bytes, shards = 0, 0, 1
+	} else if entries > 0 {
+		shards = floorPow2(min(shards, entries))
 	} else {
-		shards = floorPow2(min(shards, capacity))
+		shards = floorPow2(shards)
 	}
-	c := &shardedCache{shards: make([]*lruCache, shards), mask: uint64(shards - 1)}
-	base, rem := 0, 0
-	if capacity > 0 {
-		base, rem = capacity/shards, capacity%shards
+	c := &shardedCache{
+		shards:  make([]*lruCache, shards),
+		mask:    uint64(shards - 1),
+		enabled: enabled,
+		entries: max(entries, 0),
+		bytes:   max(bytes, 0),
+	}
+	eBase, eRem := 0, 0
+	if entries > 0 {
+		eBase, eRem = entries/shards, entries%shards
+	}
+	var bBase, bRem int64
+	if bytes > 0 {
+		bBase, bRem = bytes/int64(shards), bytes%int64(shards)
 	}
 	for i := range c.shards {
-		cap := base
-		if i < rem {
-			cap++
+		se, sb := eBase, bBase
+		if i < eRem {
+			se++
 		}
-		c.shards[i] = newLRUCache(cap)
+		if int64(i) < bRem {
+			sb++
+		}
+		if !enabled {
+			se, sb = 0, 0
+		}
+		c.shards[i] = newLRUCache(se, sb)
 	}
 	return c
 }
@@ -273,12 +471,12 @@ func (c *shardedCache) shard(hash uint64) *lruCache {
 }
 
 //ftbfs:hotpath
-func (c *shardedCache) get(hash uint64, src int32, canon []int32) ([]int32, bool) {
+func (c *shardedCache) get(hash uint64, src int32, canon []int32) (DistView, bool) {
 	return c.shard(hash).get(hash, src, canon)
 }
 
-func (c *shardedCache) add(hash uint64, src int32, canon []int32, dist []int32) []int32 {
-	return c.shard(hash).add(hash, src, canon, dist)
+func (c *shardedCache) add(e *cacheEntry) DistView {
+	return c.shard(e.hash).add(e)
 }
 
 func (c *shardedCache) stats() CacheStats {
@@ -290,6 +488,10 @@ func (c *shardedCache) stats() CacheStats {
 		out.Hits += s.Hits
 		out.Misses += s.Misses
 		out.Evictions += s.Evictions
+		out.BytesUsed += s.BytesUsed
+		out.BytesCapacity += s.BytesCapacity
+		out.DeltaEntries += s.DeltaEntries
+		out.FullEntries += s.FullEntries
 	}
 	return out
 }

@@ -6,17 +6,24 @@
 //
 // The package is organized for concurrent serving. An OracleSet holds the
 // shared immutable state — the materialized subgraph H, the G→H edge-ID
-// mapping, and a bounded LRU memo of per-failure-event distance tables —
-// built once per structure. Per-goroutine Oracle handles carry only BFS
-// scratch and are cheap to create (or recycle through Acquire/Release), so
-// one failure event's BFS is computed once and shared across every
-// concurrent client.
+// mapping, and a two-tier byte-budgeted memo of per-failure-event distance
+// tables — built once per structure. Per-goroutine Oracle handles carry
+// only BFS scratch and are cheap to create (or recycle through
+// Acquire/Release), so one failure event's BFS is computed once and shared
+// across every concurrent client.
+//
+// The memo's two tiers (see cache.go): tier 0 pins each source's
+// fault-free base table outside the LRU, and tier 1 stores failure events
+// as deltas against that base whenever the incremental repairer proves the
+// event only touched a small region — so a byte budget holds orders of
+// magnitude more events than full 4n-byte tables would.
 package oracle
 
 import (
 	"fmt"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bfs"
 	"repro/internal/core"
@@ -30,10 +37,11 @@ import (
 const DefaultCacheEntries = 4096
 
 // OracleSet is the shared, immutable query state over one structure: the
-// materialized subgraph H, the G→H edge-ID translation, and a
-// concurrency-safe bounded LRU of distance tables keyed by canonicalized
-// fault sets. It is safe for concurrent use; obtain per-goroutine handles
-// with Handle or Acquire.
+// materialized subgraph H, the G→H edge-ID translation, the pinned
+// per-source base tables, and a concurrency-safe bounded memo of
+// per-failure-event distance tables keyed by canonicalized fault sets. It
+// is safe for concurrent use; obtain per-goroutine handles with Handle or
+// Acquire.
 //
 // The set materializes the structure as its own compact graph once, so
 // every query traverses only H's edges — on sparse structures this is the
@@ -44,6 +52,23 @@ type OracleSet struct {
 	gToSub []int32 // G edge ID -> sub edge ID, -1 when absent from H
 	cache  *shardedCache
 	pool   sync.Pool
+
+	// Tier 0: one pinned fault-free table per structure source (indexed
+	// like st.Sources), computed once on first need and never evicted —
+	// every delta entry in the memo decodes against its source's base, so
+	// the base must outlive all of them.
+	bases       []pinnedBase
+	pinnedBytes atomic.Int64
+	baseHits    atomic.Int64 // empty-fault-set queries served from a pinned base
+	baseMisses  atomic.Int64 // empty-fault-set queries that computed the base
+}
+
+// pinnedBase holds one source's fault-free distance table. dist is nil
+// until the first query needs it; the mutex only serializes the one-time
+// computation (reads are a lock-free atomic load).
+type pinnedBase struct {
+	mu   sync.Mutex
+	dist atomic.Pointer[[]int32]
 }
 
 // NewSet builds the shared query state for st with the default cache bound.
@@ -52,11 +77,36 @@ func NewSet(st *core.Structure) (*OracleSet, error) {
 }
 
 // NewSetCapacity is NewSet with an explicit bound on cached failure events
-// (cacheEntries ≤ 0 disables memoization). The memo is sharded by key hash
-// across ~GOMAXPROCS independently-locked shards; use NewSetSharded for an
-// explicit shard count.
+// (cacheEntries ≤ 0 disables memoization) and no byte budget. The memo is
+// sharded by key hash across ~GOMAXPROCS independently-locked shards; use
+// NewSetSharded for an explicit shard count, NewSetBytes / NewSetBudget
+// for byte-accounted bounds.
 func NewSetCapacity(st *core.Structure, cacheEntries int) (*OracleSet, error) {
-	return NewSetSharded(st, cacheEntries, defaultShardCount(cacheEntries))
+	return NewSetBudget(st, cacheEntries, 0, 0)
+}
+
+// NewSetBytes is NewSet with a byte budget instead of an entry cap: the
+// memo holds as many failure events as fit in cacheBytes (delta-encoded
+// events are charged only for what the fault actually changed, so a budget
+// typically holds 10–100× more events than full tables would). Pinned
+// fault-free base tables are accounted separately (CacheStats.PinnedBytes)
+// and never evicted. cacheBytes ≤ 0 disables memoization.
+func NewSetBytes(st *core.Structure, cacheBytes int64) (*OracleSet, error) {
+	return NewSetBudget(st, 0, cacheBytes, 0)
+}
+
+// NewSetBudget is the general constructor: the memo is bounded by an entry
+// cap (cacheEntries > 0), a byte budget (cacheBytes > 0), or both —
+// whichever bound trips first evicts. cacheEntries == 0 with a positive
+// byte budget means "as many entries as the bytes allow"; cacheEntries < 0,
+// or no bound at all, disables memoization. shards ≤ 0 picks
+// ~GOMAXPROCS shards (rounded to a power of two, clamped so every shard's
+// slice of the budget stays useful).
+func NewSetBudget(st *core.Structure, cacheEntries int, cacheBytes int64, shards int) (*OracleSet, error) {
+	if shards <= 0 {
+		shards = defaultShardCount(cacheEntries, cacheBytes)
+	}
+	return newSet(st, cacheEntries, cacheBytes, shards)
 }
 
 // NewSetSharded is NewSetCapacity with an explicit memo shard count
@@ -64,12 +114,17 @@ func NewSetCapacity(st *core.Structure, cacheEntries int) (*OracleSet, error) {
 // global recency order, larger counts trade that for lower lock
 // contention).
 func NewSetSharded(st *core.Structure, cacheEntries, shards int) (*OracleSet, error) {
+	return newSet(st, cacheEntries, 0, shards)
+}
+
+func newSet(st *core.Structure, cacheEntries int, cacheBytes int64, shards int) (*OracleSet, error) {
 	if len(st.Sources) == 0 {
 		return nil, fmt.Errorf("oracle: structure has no sources")
 	}
 	s := &OracleSet{
 		st:    st,
-		cache: newShardedCache(cacheEntries, shards),
+		cache: newShardedCache(cacheEntries, cacheBytes, shards),
+		bases: make([]pinnedBase, len(st.Sources)),
 	}
 	// Materialize H directly in CSR form; sub edge IDs are assigned in
 	// increasing G-edge-ID order, no per-edge hashing involved.
@@ -87,26 +142,85 @@ func (s *OracleSet) Faults() int { return s.st.Faults }
 // Sources returns a copy of the sources the set can answer for.
 func (s *OracleSet) Sources() []int { return append([]int(nil), s.st.Sources...) }
 
-// CacheStats returns a snapshot of the shared memo's counters.
-func (s *OracleSet) CacheStats() CacheStats { return s.cache.stats() }
+// CacheStats returns a snapshot of the shared memo's counters: the tier-1
+// shard sums plus the tier-0 pinned-base hits, misses and bytes.
+func (s *OracleSet) CacheStats() CacheStats {
+	cs := s.cache.stats()
+	cs.Hits += s.baseHits.Load()
+	cs.Misses += s.baseMisses.Load()
+	cs.PinnedBytes = s.pinnedBytes.Load()
+	return cs
+}
 
-// Prewarm seeds the shared memo with the empty-fault-set (fault-free)
-// distance table for every source, so the first real queries after a
-// snapshot restore hit the cache instead of paying a BFS. Returns the
-// number of tables computed; 0 when memoization is disabled.
+// CacheBudget returns the memo's configured bounds — the tier-1 entry cap
+// and byte budget, 0 meaning unbounded on that axis, both 0 meaning
+// memoization is disabled. The bounds are immutable, so unlike CacheStats
+// this takes no shard lock.
+func (s *OracleSet) CacheBudget() (entries int, bytes int64) {
+	return s.cache.entries, s.cache.bytes
+}
+
+// Prewarm pins the fault-free (tier-0) base table for every source, so the
+// first real queries after a snapshot restore decode against a ready base
+// instead of paying a BFS. Returns the number of tables computed — 0 when
+// memoization is disabled or every base is already pinned. The check is a
+// lock-free read of the immutable budget: Prewarm runs on the restore
+// path, concurrent with live traffic, and must not sweep the shard locks
+// just to discover the memo is off.
 func (s *OracleSet) Prewarm() int {
-	if s.cache.stats().Capacity <= 0 {
+	if !s.cache.enabled {
 		return 0
 	}
 	o := s.Acquire()
 	defer s.Release(o)
 	n := 0
-	for _, src := range s.st.Sources {
-		if _, err := o.Dists(src, nil); err == nil {
+	for i := range s.st.Sources {
+		if _, fresh := s.pinBase(i, o); fresh {
 			n++
 		}
 	}
 	return n
+}
+
+// pinBase returns source index idx's pinned fault-free table, computing
+// and pinning it on first need using o's repairer. fresh reports whether
+// this call did the computation.
+func (s *OracleSet) pinBase(idx int, o *Oracle) (dist []int32, fresh bool) {
+	b := &s.bases[idx]
+	if p := b.dist.Load(); p != nil {
+		return *p, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if p := b.dist.Load(); p != nil {
+		return *p, false
+	}
+	o.ensureRep()
+	o.rep.Run(s.st.Sources[idx], nil)
+	d := make([]int32, s.sub.N())
+	copy(d, o.rep.Dists())
+	b.dist.Store(&d)
+	s.pinnedBytes.Add(4 * int64(len(d)))
+	return d, true
+}
+
+// pinBaseFrom pins source index idx's base from a repairer that just ran a
+// faulted query for that source — rep.Base() already holds the fault-free
+// table (faulted runs never touch it), so pinning is a copy, not a BFS.
+func (s *OracleSet) pinBaseFrom(idx int, rep *bfs.Repairer) []int32 {
+	b := &s.bases[idx]
+	if p := b.dist.Load(); p != nil {
+		return *p
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if p := b.dist.Load(); p != nil {
+		return *p
+	}
+	d := append([]int32(nil), rep.Base()...)
+	b.dist.Store(&d)
+	s.pinnedBytes.Add(4 * int64(len(d)))
+	return d
 }
 
 // Handle returns a fresh per-goroutine query handle over the shared state.
@@ -138,6 +252,7 @@ type Oracle struct {
 	rep    *bfs.Repairer // lazy: built on the first uncached distance query
 	faults []int         // scratch: fault IDs translated into sub-graph IDs
 	canon  []int32       // scratch: sorted G fault IDs forming the cache key
+	dists  []int32       // scratch: Dists materialization of delta-encoded views
 }
 
 // New returns a single-handle oracle over st — NewSet + Handle for callers
@@ -159,34 +274,41 @@ func (o *Oracle) Faults() int { return o.set.st.Faults }
 // Sources returns a copy of the sources the oracle can answer for.
 func (o *Oracle) Sources() []int { return o.set.Sources() }
 
+func (o *Oracle) ensureRep() {
+	if o.rep == nil {
+		o.rep = bfs.NewRepairer(o.set.sub)
+	}
+}
+
 // prepare canonicalizes the fault set and validates the query against the
 // structure: the fault BUDGET is checked against the number of DISTINCT
 // faults (listing an edge twice describes the same failure event as
 // listing it once), while the range check covers the raw IDs before their
-// int32 conversion. Returns the canonical key.
-func (o *Oracle) prepare(s int, faults []int) ([]int32, error) {
+// int32 conversion. Returns the canonical key and the index of s in the
+// structure's source list (the pinned-base slot).
+func (o *Oracle) prepare(s int, faults []int) ([]int32, int, error) {
 	st := o.set.st
-	ok := false
-	for _, src := range st.Sources {
+	srcIdx := -1
+	for i, src := range st.Sources {
 		if src == s {
-			ok = true
+			srcIdx = i
 			break
 		}
 	}
-	if !ok {
-		return nil, fmt.Errorf("oracle: %d is not a structure source %v", s, st.Sources)
+	if srcIdx < 0 {
+		return nil, -1, fmt.Errorf("oracle: %d is not a structure source %v", s, st.Sources)
 	}
 	m := st.G.M()
 	for _, id := range faults {
 		if id < 0 || id >= m {
-			return nil, fmt.Errorf("oracle: fault edge %d out of range [0,%d)", id, m)
+			return nil, -1, fmt.Errorf("oracle: fault edge %d out of range [0,%d)", id, m)
 		}
 	}
 	canon := o.canonicalize(faults)
 	if len(canon) > st.Faults {
-		return nil, fmt.Errorf("oracle: %d distinct faults exceed budget %d", len(canon), st.Faults)
+		return nil, -1, fmt.Errorf("oracle: %d distinct faults exceed budget %d", len(canon), st.Faults)
 	}
-	return canon, nil
+	return canon, srcIdx, nil
 }
 
 // canonicalize fills o.canon with the sorted, deduplicated fault IDs — the
@@ -219,55 +341,114 @@ func (o *Oracle) translate(canon []int32) []int {
 	return o.faults
 }
 
-// run executes (or recalls) the BFS for the canonical key and returns the
-// distance table over H \ F. Uncached events go through the incremental
-// repairer: it keeps the fault-free tree for the source and repairs only
-// the detached subtrees, producing the identical distance table (BFS
-// distances are unique) at a fraction of the cost. Cached tables are
-// immutable and shared across every handle of the set.
-func (o *Oracle) run(s int, canon []int32) []int32 {
+// run executes (or recalls) the BFS for the canonical key and returns a
+// view of the distance table over H \ F.
+//
+// The tiers: an empty fault set is the source's fault-free table, served
+// from (or pinned into) tier 0. A faulted event is looked up in the tier-1
+// memo; on a miss the incremental repairer runs, and the result is stored
+// as a delta against the pinned base when the repairer proved the changed
+// region is at most n/deltaDenom vertices (the repairer tracked the region
+// anyway, so encoding is one sort + gather), as a full table otherwise.
+//
+// Every view returned references immutable memory — pinned bases, cached
+// entries (still immutable after eviction), or a fresh allocation on the
+// uncacheable paths — so callers may retain views across queries; they
+// must never mutate them.
+func (o *Oracle) run(s, srcIdx int, canon []int32) DistView {
+	set := o.set
+	if !set.cache.enabled {
+		o.ensureRep()
+		o.rep.Run(s, o.translate(canon))
+		d := make([]int32, set.sub.N())
+		copy(d, o.rep.Dists())
+		return DistView{Full: d}
+	}
+	if len(canon) == 0 {
+		d, fresh := set.pinBase(srcIdx, o)
+		if fresh {
+			set.baseMisses.Add(1)
+		} else {
+			set.baseHits.Add(1)
+		}
+		return DistView{Full: d}
+	}
 	h := hashKey(s, canon)
-	if d, ok := o.set.cache.get(h, int32(s), canon); ok {
-		return d
+	if v, ok := set.cache.get(h, int32(s), canon); ok {
+		return v
 	}
-	if o.rep == nil {
-		o.rep = bfs.NewRepairer(o.set.sub)
-	}
+	o.ensureRep()
 	o.rep.Run(s, o.translate(canon))
-	d := make([]int32, o.set.sub.N())
-	copy(d, o.rep.Dists())
-	return o.set.cache.add(h, int32(s), canon, d)
+	n := set.sub.N()
+	e := &cacheEntry{hash: h, src: int32(s), faults: append([]int32(nil), canon...)}
+	if changed, incremental := o.rep.Changed(); incremental && len(changed) <= n/deltaDenom {
+		e.base = set.pinBaseFrom(srcIdx, o.rep)
+		e.keys = append([]int32(nil), changed...)
+		slices.Sort(e.keys)
+		e.vals = make([]int32, len(e.keys))
+		out := o.rep.Dists()
+		for i, k := range e.keys {
+			e.vals[i] = out[k]
+		}
+	} else {
+		e.full = make([]int32, n)
+		copy(e.full, o.rep.Dists())
+	}
+	return set.cache.add(e)
 }
 
 // Dist returns dist(s, v, G \ F) answered inside the structure
-// (bfs.Unreachable when v is cut off in G \ F as well).
+// (bfs.Unreachable when v is cut off in G \ F as well). On a memo hit this
+// is a point lookup: a full-table index, or a short binary search of a
+// delta entry falling back to the pinned base.
 func (o *Oracle) Dist(s, v int, faults []int) (int32, error) {
-	canon, err := o.prepare(s, faults)
+	canon, srcIdx, err := o.prepare(s, faults)
 	if err != nil {
 		return bfs.Unreachable, err
 	}
 	if v < 0 || v >= o.set.st.G.N() {
 		return bfs.Unreachable, fmt.Errorf("oracle: target %d out of range", v)
 	}
-	return o.run(s, canon)[v], nil
+	return o.run(s, srcIdx, canon).At(v), nil
 }
 
-// Dists returns the full distance table for one failure event (the slice
-// is owned by the set's cache and shared between clients; callers must not
-// mutate it).
+// Dists returns the full distance table for one failure event. The slice
+// is either shared immutable cache state or handle-owned scratch
+// (delta-encoded events materialize into the handle's buffer, overwritten
+// by this handle's next Dists call); in both cases callers must not mutate
+// it, and must copy it to retain it across queries. Use DistsView to avoid
+// materializing deltas at all.
 func (o *Oracle) Dists(s int, faults []int) ([]int32, error) {
-	canon, err := o.prepare(s, faults)
+	canon, srcIdx, err := o.prepare(s, faults)
 	if err != nil {
 		return nil, err
 	}
-	return o.run(s, canon), nil
+	v := o.run(s, srcIdx, canon)
+	if v.Full != nil {
+		return v.Full, nil
+	}
+	o.dists = v.AppendTo(o.dists[:0])
+	return o.dists, nil
+}
+
+// DistsView returns the distance table for one failure event in its
+// stored representation — a full table, or a delta against the source's
+// pinned base — without materializing. The view references immutable
+// memory, so callers may retain it across queries (and across eviction);
+// they must not mutate its slices.
+func (o *Oracle) DistsView(s int, faults []int) (DistView, error) {
+	canon, srcIdx, err := o.prepare(s, faults)
+	if err != nil {
+		return DistView{}, err
+	}
+	return o.run(s, srcIdx, canon), nil
 }
 
 // Route returns an optimal s→v path inside H \ F (nil when disconnected).
 // Unlike Dist it always re-runs the BFS (paths are not memoized). Vertex
 // IDs on the returned path are G's (the structure preserves them).
 func (o *Oracle) Route(s, v int, faults []int) (path.Path, error) {
-	canon, err := o.prepare(s, faults)
+	canon, _, err := o.prepare(s, faults)
 	if err != nil {
 		return nil, err
 	}

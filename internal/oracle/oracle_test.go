@@ -261,20 +261,20 @@ func TestShardCountClamps(t *testing.T) {
 		{1024, -3, 1}, // degenerate shard request
 	}
 	for _, tc := range cases {
-		c := newShardedCache(tc.capacity, tc.shards)
+		c := newShardedCache(tc.capacity, 0, tc.shards)
 		if len(c.shards) != tc.want {
-			t.Errorf("newShardedCache(%d, %d): %d shards, want %d",
+			t.Errorf("newShardedCache(%d, 0, %d): %d shards, want %d",
 				tc.capacity, tc.shards, len(c.shards), tc.want)
 		}
 		total := 0
 		for _, sh := range c.shards {
-			if tc.capacity > 0 && len(c.shards) > 1 && sh.capacity == 0 {
-				t.Errorf("newShardedCache(%d, %d): empty shard", tc.capacity, tc.shards)
+			if tc.capacity > 0 && len(c.shards) > 1 && sh.maxEntries == 0 {
+				t.Errorf("newShardedCache(%d, 0, %d): empty shard", tc.capacity, tc.shards)
 			}
-			total += sh.capacity
+			total += sh.maxEntries
 		}
 		if tc.capacity > 0 && total != tc.capacity {
-			t.Errorf("newShardedCache(%d, %d): shard capacities sum to %d",
+			t.Errorf("newShardedCache(%d, 0, %d): shard capacities sum to %d",
 				tc.capacity, tc.shards, total)
 		}
 	}

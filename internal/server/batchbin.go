@@ -158,16 +158,31 @@ func answerBinaryItem(o *oracle.Oracle, it batchcodec.Item, x xlat,
 	}
 	faults := scratch[:distinct]
 	if it.AllDists() {
+		if x.identity() {
+			// Serve the table in its stored representation: a full table
+			// streams straight into the value area, a delta-encoded one is
+			// written as base-plus-patch — no intermediate materialization
+			// either way.
+			v, err := o.DistsView(src, faults)
+			if err != nil {
+				rw.Error(batchcodec.ErrInternal)
+				return 2
+			}
+			if v.Full != nil {
+				rw.Dists(v.Full)
+			} else {
+				rw.DistsPatched(v.Base, v.Keys, v.Vals)
+			}
+			return 2 + v.Len()
+		}
+		// Reindexing permutes the whole table anyway; materialize into the
+		// handle's scratch (DistsReindexed copies out of it immediately).
 		d, err := o.Dists(src, faults)
 		if err != nil {
 			rw.Error(batchcodec.ErrInternal)
 			return 2
 		}
-		if x.identity() {
-			rw.Dists(d)
-		} else {
-			rw.DistsReindexed(d, x.toNew)
-		}
+		rw.DistsReindexed(d, x.toNew)
 		return 2 + len(d)
 	}
 	target := int(it.Target)

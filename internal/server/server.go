@@ -52,18 +52,30 @@ import (
 	"repro/internal/snap"
 )
 
+// DefaultCacheBytes is the per-build memo budget applied when
+// Config.CacheBytes is zero.
+const DefaultCacheBytes = 256 << 20
+
 // Config tunes the service. The zero value is ready to use.
 type Config struct {
 	// MaxConcurrentBuilds bounds simultaneously running structure builds
 	// (default: GOMAXPROCS; builds beyond it queue).
 	MaxConcurrentBuilds int
-	// CacheEntries bounds each build's shared failure-event memo
-	// (default oracle.DefaultCacheEntries).
+	// CacheEntries caps each build's shared failure-event memo by entry
+	// count. 0 means no entry cap — the byte budget alone governs, which
+	// is the default and lets delta-compressed events pack the budget;
+	// < 0 disables memoization entirely.
 	CacheEntries int
-	// CacheBytes additionally bounds each build's memo by memory: the
-	// entry cap is clamped so cached distance tables stay under this
-	// many bytes (default 256 MiB). Untrusted clients can force one
-	// table per distinct fault set, so the bound must not scale with n.
+	// CacheBytes bounds each build's memo by memory (default
+	// DefaultCacheBytes = 256 MiB; < 0 removes the byte bound, falling
+	// back to an oracle.DefaultCacheEntries entry cap when CacheEntries
+	// is 0 — a memo with no bound at all is never offered). Entries
+	// are byte-accounted — delta-compressed events are charged only for
+	// what the fault actually changed — and least-recently-used events
+	// are evicted to stay within the budget. Untrusted clients can force
+	// one entry per distinct fault set, so the bound must not scale
+	// with n; pinned fault-free base tables (4 bytes × n per source) sit
+	// outside it and are reported separately as pinnedBytes.
 	CacheBytes int64
 	// CacheShards overrides the memo shard count per build (0 = auto:
 	// ~GOMAXPROCS shards, rounded to a power of two). 1 restores the
@@ -88,10 +100,11 @@ type Config struct {
 	// MaxSnapshotBytes bounds uploaded snapshot bodies on the PUT
 	// snapshot endpoint (default 1 GiB).
 	MaxSnapshotBytes int64
-	// PrewarmRestored makes WarmStart seed each restored build's oracle
-	// memo with its fault-free (empty fault set) distance tables, so the
-	// most common query after a restart — no faults — hits the cache
-	// immediately. The count of warmed entries is reported by
+	// PrewarmRestored makes WarmStart pin each restored build's
+	// fault-free (empty fault set) distance tables — the memo's tier-0
+	// bases — so the most common query after a restart, no faults, hits
+	// immediately and the first faulted queries delta-encode against a
+	// ready base. The count of warmed tables is reported by
 	// GET /v1/stats.
 	PrewarmRestored bool
 	// BuildLog, when set, receives one event per build reaching a
@@ -155,11 +168,8 @@ func New(cfg *Config) *Server {
 	if s.cfg.MaxConcurrentBuilds <= 0 {
 		s.cfg.MaxConcurrentBuilds = runtime.GOMAXPROCS(0)
 	}
-	if s.cfg.CacheEntries == 0 {
-		s.cfg.CacheEntries = oracle.DefaultCacheEntries
-	}
-	if s.cfg.CacheBytes <= 0 {
-		s.cfg.CacheBytes = 256 << 20
+	if s.cfg.CacheBytes == 0 {
+		s.cfg.CacheBytes = DefaultCacheBytes
 	}
 	if s.cfg.MaxBodyBytes <= 0 {
 		s.cfg.MaxBodyBytes = 32 << 20
@@ -424,6 +434,26 @@ type cacheInfo struct {
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
+	// Byte accounting of the two-tier memo: BytesUsed/BytesCapacity cover
+	// the evictable tier-1 entries (DeltaEntries of them delta-compressed,
+	// FullEntries stored as full tables); PinnedBytes counts the per-source
+	// fault-free base tables pinned outside the budget.
+	BytesUsed     int64 `json:"bytesUsed"`
+	BytesCapacity int64 `json:"bytesCapacity"`
+	DeltaEntries  int   `json:"deltaEntries"`
+	FullEntries   int   `json:"fullEntries"`
+	PinnedBytes   int64 `json:"pinnedBytes"`
+}
+
+// cacheInfoFrom converts oracle cache counters to their wire form.
+func cacheInfoFrom(cs oracle.CacheStats) cacheInfo {
+	return cacheInfo{
+		Len: cs.Len, Capacity: cs.Capacity, Shards: cs.Shards,
+		Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions,
+		BytesUsed: cs.BytesUsed, BytesCapacity: cs.BytesCapacity,
+		DeltaEntries: cs.DeltaEntries, FullEntries: cs.FullEntries,
+		PinnedBytes: cs.PinnedBytes,
+	}
 }
 
 type buildInfo struct {
@@ -517,22 +547,6 @@ func (s *Server) handleCreateBuild(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// cacheEntriesFor clamps the configured memo entry cap so one build's
-// cached distance tables (4 bytes × n each) stay within Config.CacheBytes.
-func (s *Server) cacheEntriesFor(n int) int {
-	entries := s.cfg.CacheEntries
-	if entries <= 0 || n <= 0 {
-		return entries
-	}
-	if byBytes := int(s.cfg.CacheBytes / (4 * int64(n))); byBytes < entries {
-		if byBytes < 1 {
-			byBytes = 1
-		}
-		return byBytes
-	}
-	return entries
-}
-
 // runBuild executes one structure build under the concurrency semaphore
 // and publishes the result (or failure) under the server lock. The build
 // timer starts only once the semaphore slot is acquired; time spent queued
@@ -572,7 +586,7 @@ func (s *Server) runBuild(ctx context.Context, graphName string, g2 *graph.Graph
 	st, err := build(g2, opts)
 	var set *oracle.OracleSet
 	if err == nil && ctx.Err() == nil {
-		set, err = s.newOracleSet(st, g2.N())
+		set, err = s.newOracleSet(st)
 	}
 	s.mu.Lock()
 	be.elapsed = time.Since(be.started)
@@ -707,13 +721,23 @@ func (s *Server) persistBuild(graphName string, be *buildEntry) {
 }
 
 // newOracleSet builds a build's shared query state with the configured
-// memo bounds and shard count.
-func (s *Server) newOracleSet(st *core.Structure, n int) (*oracle.OracleSet, error) {
-	entries := s.cacheEntriesFor(n)
-	if s.cfg.CacheShards > 0 {
-		return oracle.NewSetSharded(st, entries, s.cfg.CacheShards)
+// memo bounds and shard count. The bounds pass straight through to the
+// oracle's byte-accounted cache: the old "clamp the entry cap by 4n bytes
+// per table" approximation is gone — the cache charges each entry what it
+// actually costs (deltas are a fraction of a full table), so the budget is
+// enforced exactly and holds far more events.
+func (s *Server) newOracleSet(st *core.Structure) (*oracle.OracleSet, error) {
+	entries, bytes := s.cfg.CacheEntries, s.cfg.CacheBytes
+	if bytes < 0 {
+		// Explicit "no byte bound". A memo with no bound at all is never
+		// offered (untrusted clients could grow it without limit), so when
+		// there is no entry cap either, fall back to the classic one.
+		bytes = 0
+		if entries == 0 {
+			entries = oracle.DefaultCacheEntries
+		}
 	}
-	return oracle.NewSetCapacity(st, entries)
+	return oracle.NewSetBudget(st, entries, bytes, s.cfg.CacheShards)
 }
 
 // progressInfo is the wire form of a build's live progress counters.
@@ -777,9 +801,8 @@ func (s *Server) buildInfoLocked(graphName string, be *buildEntry) buildInfo {
 			MaxE2:        be.st.Stats.MaxE2,
 			NewEndingPiD: be.st.Stats.NewEndingPiD,
 		}
-		cs := be.set.CacheStats()
-		info.Cache = &cacheInfo{Len: cs.Len, Capacity: cs.Capacity, Shards: cs.Shards,
-			Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions}
+		ci := cacheInfoFrom(be.set.CacheStats())
+		info.Cache = &ci
 		info.Restored = be.restored
 		info.Snapshot = be.snapState
 		info.SnapshotError = be.snapErr
@@ -992,6 +1015,20 @@ func reindexDists(d []int32, toNew []int32) []int32 {
 	return out
 }
 
+// reindexDistsView is reindexDists reading through a distance view:
+// delta-encoded tables are resolved per position (a short binary search
+// each) instead of being materialized and then permuted.
+func reindexDistsView(v oracle.DistView, toNew []int32) []int32 {
+	if v.Full != nil {
+		return reindexDists(v.Full, toNew)
+	}
+	out := make([]int32, len(toNew))
+	for w, nw := range toNew {
+		out[w] = v.At(int(nw))
+	}
+	return out
+}
+
 // ---- queries ----
 
 func parseFaults(q string) ([]int, error) {
@@ -1183,16 +1220,22 @@ func answerQuery(o *oracle.Oracle, q *batchQuery, x xlat) batchResult {
 		reachable := d != bfs.Unreachable
 		return batchResult{Dist: &d, Reachable: &reachable}
 	default:
-		d, err := o.Dists(x.in(q.Source), q.Faults)
+		// DistsView, not Dists: the view references immutable memory, so
+		// the result survives until the whole batch is encoded even when
+		// later items reuse this handle (the non-streaming handler collects
+		// every result before writing). Delta-encoded events materialize a
+		// fresh exact-size table; full tables are shared with the cache.
+		v, err := o.DistsView(x.in(q.Source), q.Faults)
 		if err != nil {
 			return batchResult{Error: err.Error()}
 		}
 		if !x.identity() {
-			// The oracle's table is cache-owned and internally ordered;
-			// render a wire-order copy instead of mutating it.
-			return batchResult{Dists: reindexDists(d, x.toNew)}
+			return batchResult{Dists: reindexDistsView(v, x.toNew)}
 		}
-		return batchResult{Dists: d}
+		if v.Full != nil {
+			return batchResult{Dists: v.Full}
+		}
+		return batchResult{Dists: v.AppendTo(nil)}
 	}
 }
 

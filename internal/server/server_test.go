@@ -13,7 +13,9 @@ import (
 	"time"
 
 	"repro/internal/bfs"
+	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/oracle"
 )
 
 // testClient wraps an httptest server with JSON helpers.
@@ -321,24 +323,37 @@ func TestServerErrors(t *testing.T) {
 	}
 }
 
-// TestCacheEntriesClamp checks the per-build memo cap is clamped by the
-// memory budget so large graphs cannot pin CacheEntries × n × 4 bytes.
-func TestCacheEntriesClamp(t *testing.T) {
-	s := New(&Config{CacheEntries: 4096, CacheBytes: 1 << 20}) // 1 MiB budget
-	cases := []struct{ n, want int }{
-		{0, 4096},    // degenerate: no clamp basis
-		{10, 4096},   // tiny graph: entry cap wins
-		{1 << 20, 1}, // 4 MiB per table: floor at 1 entry
-		{1024, 256},  // 4 KiB per table: 1 MiB / 4 KiB
+// TestCacheBudgetWiring checks that Config's cache bounds reach each
+// build's oracle set exactly as configured: the default byte budget, both
+// explicit caps, the no-byte-bound fallback and the disable switch.
+func TestCacheBudgetWiring(t *testing.T) {
+	g := gen.GNP(12, 0.3, 1)
+	st, err := core.BuildSingle(g, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name        string
+		cfg         Config
+		wantEntries int
+		wantBytes   int64
+	}{
+		{"default", Config{}, 0, DefaultCacheBytes},
+		{"both bounds", Config{CacheEntries: 64, CacheBytes: 1 << 20}, 64, 1 << 20},
+		{"byte budget only", Config{CacheBytes: 1 << 20}, 0, 1 << 20},
+		{"no byte bound", Config{CacheBytes: -1}, oracle.DefaultCacheEntries, 0},
+		{"disabled", Config{CacheEntries: -1}, 0, 0},
 	}
 	for _, tc := range cases {
-		if got := s.cacheEntriesFor(tc.n); got != tc.want {
-			t.Errorf("cacheEntriesFor(%d) = %d, want %d", tc.n, got, tc.want)
+		set, err := New(&tc.cfg).newOracleSet(st)
+		if err != nil {
+			t.Fatal(err)
 		}
-	}
-	disabled := New(&Config{CacheEntries: -1})
-	if got := disabled.cacheEntriesFor(1000); got != -1 {
-		t.Errorf("disabled cache clamped to %d", got)
+		entries, bytes := set.CacheBudget()
+		if entries != tc.wantEntries || bytes != tc.wantBytes {
+			t.Errorf("%s: budget (%d entries, %d bytes), want (%d, %d)",
+				tc.name, entries, bytes, tc.wantEntries, tc.wantBytes)
+		}
 	}
 }
 

@@ -116,7 +116,7 @@ func (s *Server) installSnapshot(graphName, buildID string, sn *snap.Snapshot, s
 	}
 	// Rehydrate the shared query state before taking the write lock: it
 	// materializes H and is the expensive part of a restore.
-	set, err := s.newOracleSet(st, st.G.N())
+	set, err := s.newOracleSet(st)
 	if err != nil {
 		return nil, err
 	}

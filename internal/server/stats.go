@@ -52,6 +52,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			agg.Hits += cs.Hits
 			agg.Misses += cs.Misses
 			agg.Evictions += cs.Evictions
+			agg.BytesUsed += cs.BytesUsed
+			agg.BytesCapacity += cs.BytesCapacity
+			agg.DeltaEntries += cs.DeltaEntries
+			agg.FullEntries += cs.FullEntries
+			agg.PinnedBytes += cs.PinnedBytes
 		}
 	}
 	s.mu.RUnlock()
